@@ -1,0 +1,70 @@
+#pragma once
+
+// Shared scenario construction for the reproduction benches.
+//
+// Every figure/table bench builds the same "paper-scale" world: a ~600-AS
+// synthetic Internet, a 4-collector RIS deployment with 72 sessions, and a
+// July-2014-calibrated Tor consensus (4586 relays). Benches that need a
+// month of routing dynamics generate it on top. Everything is seeded, so
+// each bench is reproducible in isolation.
+
+#include <iostream>
+#include <string>
+
+#include "bgp/collector.hpp"
+#include "bgp/dynamics_gen.hpp"
+#include "bgp/topology_gen.hpp"
+#include "tor/consensus_gen.hpp"
+#include "tor/prefix_map.hpp"
+#include "util/table.hpp"
+
+namespace quicksand::bench {
+
+/// The common measurement world.
+struct Scenario {
+  bgp::Topology topology;
+  bgp::CollectorSet collectors;
+  tor::GeneratedConsensus consensus;
+  tor::TorPrefixMap prefix_map;
+};
+
+inline Scenario MakePaperScenario(std::uint64_t seed = 20140501) {
+  bgp::TopologyParams tp;  // defaults: 8 tier-1, 90 transit, 510 stubs
+  tp.seed = seed;
+  Scenario scenario;
+  scenario.topology = bgp::GenerateTopology(tp);
+
+  bgp::CollectorParams cp;  // defaults: 4 collectors x 18 sessions
+  cp.seed = seed + 1;
+  scenario.collectors = bgp::CollectorSet::Create(scenario.topology, cp);
+
+  tor::ConsensusGenParams gp;  // defaults: the paper's relay counts
+  gp.seed = seed + 2;
+  scenario.consensus = tor::GenerateConsensus(scenario.topology, gp);
+
+  scenario.prefix_map = tor::TorPrefixMap::Build(scenario.consensus.consensus,
+                                                 scenario.topology.prefix_origins);
+  return scenario;
+}
+
+inline bgp::GeneratedDynamics MakeMonthOfDynamics(const Scenario& scenario,
+                                                  std::uint64_t seed = 20140502) {
+  bgp::DynamicsParams dp;  // defaults: one month, paper-calibrated churn
+  dp.seed = seed;
+  return bgp::GenerateDynamics(scenario.topology, scenario.collectors, dp);
+}
+
+/// Standard bench header: what this binary reproduces.
+inline void PrintHeader(const std::string& experiment, const std::string& claim) {
+  std::cout << "QuickSand reproduction bench\n"
+            << "  experiment: " << experiment << "\n"
+            << "  paper claim: " << claim << "\n";
+}
+
+/// "paper vs measured" comparison row helper.
+inline void PrintComparison(util::Table& table, const std::string& metric,
+                            const std::string& paper, const std::string& measured) {
+  table.AddRow({metric, paper, measured});
+}
+
+}  // namespace quicksand::bench

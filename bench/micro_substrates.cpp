@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// substrates: prefix-trie lookups, policy-route computation, hijack
+// execution, correlation statistics, update parsing, and the flow
+// simulator. These quantify the cost model behind the month-scale
+// experiment benches.
+
+#include <benchmark/benchmark.h>
+
+#include "bgp/hijack.hpp"
+#include "bgp/mrt.hpp"
+#include "bgp/route_computation.hpp"
+#include "bgp/topology_gen.hpp"
+#include "core/correlation_attack.hpp"
+#include "netbase/prefix_trie.hpp"
+#include "netbase/rng.hpp"
+#include "traffic/flow_sim.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace quicksand;
+
+const bgp::Topology& SharedTopology() {
+  static const bgp::Topology topology = [] {
+    bgp::TopologyParams params;
+    params.seed = 1;
+    return bgp::GenerateTopology(params);
+  }();
+  return topology;
+}
+
+void BM_PrefixTrieLongestMatch(benchmark::State& state) {
+  netbase::Rng rng(2);
+  netbase::PrefixTrie<int> trie;
+  for (int i = 0; i < state.range(0); ++i) {
+    trie.Insert(netbase::Prefix(netbase::Ipv4Address(static_cast<std::uint32_t>(rng())),
+                                static_cast<int>(rng.UniformInt(8, 24))),
+                i);
+  }
+  std::uint32_t probe = 0x0A000000;
+  for (auto _ : state) {
+    probe = probe * 1664525u + 1013904223u;
+    benchmark::DoNotOptimize(trie.LongestMatch(netbase::Ipv4Address(probe)));
+  }
+}
+BENCHMARK(BM_PrefixTrieLongestMatch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PrefixTrieInsert(benchmark::State& state) {
+  netbase::Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    netbase::PrefixTrie<int> trie;
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      trie.Insert(
+          netbase::Prefix(netbase::Ipv4Address(static_cast<std::uint32_t>(rng())),
+                          static_cast<int>(rng.UniformInt(8, 24))),
+          i);
+    }
+    benchmark::DoNotOptimize(trie.size());
+  }
+}
+BENCHMARK(BM_PrefixTrieInsert)->Arg(1000)->Arg(10000);
+
+void BM_ComputeRoutes(benchmark::State& state) {
+  const bgp::Topology& topo = SharedTopology();
+  const bgp::AsNumber origin = topo.hostings[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::ComputeRoutes(topo.graph, origin));
+  }
+  state.SetLabel(std::to_string(topo.graph.AsCount()) + " ASes, " +
+                 std::to_string(topo.graph.LinkCount()) + " links");
+}
+BENCHMARK(BM_ComputeRoutes)->Arg(0)->Arg(5);
+
+void BM_HijackExecute(benchmark::State& state) {
+  const bgp::Topology& topo = SharedTopology();
+  const bgp::HijackSimulator sim(topo.graph);
+  bgp::AttackSpec spec;
+  spec.victim = topo.hostings.front();
+  spec.attacker = topo.transits.front();
+  spec.victim_prefix = topo.PrefixesOf(spec.victim).front();
+  spec.more_specific = state.range(0) != 0;
+  spec.keep_alive = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Execute(spec));
+  }
+}
+BENCHMARK(BM_HijackExecute)->Arg(0)->Arg(1);
+
+void BM_PearsonCorrelation(benchmark::State& state) {
+  netbase::Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < state.range(0); ++i) {
+    a.push_back(rng.UniformDouble());
+    b.push_back(rng.UniformDouble());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::PearsonCorrelation(a, b));
+  }
+}
+BENCHMARK(BM_PearsonCorrelation)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_MaxLagCorrelation(benchmark::State& state) {
+  netbase::Rng rng(6);
+  std::vector<double> a, b;
+  for (int i = 0; i < 512; ++i) {
+    a.push_back(rng.UniformDouble());
+    b.push_back(rng.UniformDouble());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::MaxLagCorrelation(a, b, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_MaxLagCorrelation)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_MrtParseLine(benchmark::State& state) {
+  const std::string line = "1714521600|12|A|78.46.0.0/15|701 3356 1299 24940";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::mrt::ParseLine(line));
+  }
+}
+BENCHMARK(BM_MrtParseLine);
+
+void BM_FlowSimulation(benchmark::State& state) {
+  traffic::FlowSimParams params;
+  params.file_bytes = static_cast<std::uint64_t>(state.range(0)) << 20;
+  params.seed = 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(traffic::SimulateTransfer(params));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " MB transfer");
+}
+BENCHMARK(BM_FlowSimulation)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Section 3.1 analytical model: the probability that an AS-level adversary
+// observes the client<->guard communication approaches 1-(1-f)^x (and
+// 1-(1-f)^(l*x) with l guards), where BGP dynamics grow x over time —
+// "this probability increases exponentially with the number of ASes".
+//
+// The bench sweeps the closed-form model and then grounds x empirically:
+// routing variants over the synthetic topology give the actual distinct-AS
+// exposure of client-guard pairs with and without a month of dynamics.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "core/anonymity.hpp"
+#include "core/exposure.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace quicksand;
+
+  bench::PrintHeader(
+      "Section 3.1 — compromise probability vs AS exposure",
+      "P = 1-(1-f)^(l*x); guard multiplicity and BGP churn amplify exposure");
+
+  util::PrintBanner(std::cout, "closed-form sweep: P(compromise) for l = 3 guards");
+  util::Table sweep({"f \\ x", "x=2", "x=4", "x=8", "x=16", "x=32"});
+  for (double f : {0.001, 0.005, 0.01, 0.02, 0.05}) {
+    std::vector<std::string> row = {util::FormatDouble(f, 3)};
+    for (double x : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+      row.push_back(
+          util::FormatPercent(core::MultiGuardCompromiseProbability(f, 3, x), 2));
+    }
+    sweep.AddRow(row);
+  }
+  std::cout << sweep.Render();
+
+  util::PrintBanner(std::cout, "guard multiplicity amplification (f = 0.01, x = 6)");
+  util::Table guards({"guards (l)", "P(compromise)", "expected instances to compromise"});
+  for (double l : {1.0, 2.0, 3.0, 5.0, 9.0}) {
+    const double p = core::MultiGuardCompromiseProbability(0.01, l, 6);
+    guards.AddRow({util::FormatDouble(l, 0), util::FormatPercent(p, 2),
+                   util::FormatDouble(core::ExpectedInstancesToCompromise(p), 1)});
+  }
+  std::cout << guards.Render();
+
+  // Empirical x: distinct ASes on client<->guard paths, static vs a month
+  // of routing variants.
+  const bench::Scenario scenario = bench::MakePaperScenario();
+  core::ExposureAnalyzer analyzer(scenario.topology.graph, scenario.topology.policy_salts);
+  std::vector<double> x_static, x_monthly;
+  std::size_t sample = 0;
+  for (std::size_t i = 0; i < scenario.topology.eyeballs.size() && i < 24; ++i) {
+    for (std::size_t j = 0; j < scenario.topology.hostings.size() && j < 8; ++j) {
+      const std::uint64_t seed = 9000 + sample++;
+      x_static.push_back(static_cast<double>(analyzer.DistinctEntryAses(
+          scenario.topology.eyeballs[i], scenario.topology.hostings[j], 0, seed)));
+      x_monthly.push_back(static_cast<double>(analyzer.DistinctEntryAses(
+          scenario.topology.eyeballs[i], scenario.topology.hostings[j], 15, seed)));
+    }
+  }
+
+  util::PrintBanner(std::cout, "empirical exposure x of client-guard pairs");
+  util::Table empirical(
+      {"scenario", "mean x", "median x", "p90 x",
+       "P(compromise) @ f=0.01, l=3 (mean x)"});
+  const util::Summary s_static = util::Summarize(x_static);
+  const util::Summary s_monthly = util::Summarize(x_monthly);
+  empirical.AddRow({"static paths (prior work's model)",
+                    util::FormatDouble(s_static.mean, 1),
+                    util::FormatDouble(s_static.median, 1),
+                    util::FormatDouble(s_static.p90, 1),
+                    util::FormatPercent(core::MultiGuardCompromiseProbability(
+                                            0.01, 3, s_static.mean),
+                                        2)});
+  empirical.AddRow({"one month of BGP dynamics (this paper)",
+                    util::FormatDouble(s_monthly.mean, 1),
+                    util::FormatDouble(s_monthly.median, 1),
+                    util::FormatDouble(s_monthly.p90, 1),
+                    util::FormatPercent(core::MultiGuardCompromiseProbability(
+                                            0.01, 3, s_monthly.mean),
+                                        2)});
+  std::cout << empirical.Render();
+
+  util::PrintBanner(std::cout, "paper vs measured");
+  util::Table comparison({"metric", "paper", "measured"});
+  bench::PrintComparison(comparison, "dynamics increase exposure",
+                         "x grows over time; P -> 1",
+                         "mean x: " + util::FormatDouble(s_static.mean, 1) + " -> " +
+                             util::FormatDouble(s_monthly.mean, 1));
+  bench::PrintComparison(
+      comparison, "exposure needed for 50% compromise (f=0.01, l=3)", "(model)",
+      util::FormatDouble(core::ExposureNeededForProbability(0.01, 3, 0.5), 1) +
+          " ASes");
+  std::cout << comparison.Render();
+
+  util::CsvWriter csv("sec31_model.csv", {"f", "x", "l", "probability"});
+  for (double f : {0.001, 0.005, 0.01, 0.02, 0.05}) {
+    for (double l : {1.0, 3.0}) {
+      for (double x = 1; x <= 40; ++x) {
+        csv.WriteRow({f, x, l, core::MultiGuardCompromiseProbability(f, l, x)});
+      }
+    }
+  }
+  std::cout << "\nwrote sec31_model.csv\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Section 3.3 — asymmetric traffic analysis: (a) structurally, observing
+// *any* direction at each end enlarges the set of compromising ASes
+// relative to the conventional same-direction model; (b) operationally,
+// the byte-count correlation attack deanonymizes the client under every
+// observation combination, including ACKs-only at both ends.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "core/attack_analysis.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace quicksand;
+
+  bench::PrintHeader(
+      "Section 3.3 — asymmetric traffic analysis",
+      "asymmetric routing increases the fraction of ASes able to analyze "
+      "traffic; correlation works on any direction at each end");
+
+  const bench::Scenario scenario = bench::MakePaperScenario();
+  core::ExposureAnalyzer analyzer(scenario.topology.graph, scenario.topology.policy_salts);
+
+  // Guard/exit AS pools from the actual consensus placement.
+  std::vector<bgp::AsNumber> guard_ases, exit_ases;
+  for (const tor::RelayPrefixEntry& entry : scenario.prefix_map.entries()) {
+    const auto& relay = scenario.consensus.consensus.relays()[entry.relay_index];
+    if (relay.IsGuard()) guard_ases.push_back(entry.origin);
+    if (relay.IsExit()) exit_ases.push_back(entry.origin);
+  }
+
+  const auto gain = core::ComputeAsymmetricGain(
+      analyzer, scenario.topology.graph.AsCount(), scenario.topology.eyeballs,
+      guard_ases, exit_ases, scenario.topology.contents, 400, 20140627);
+
+  util::PrintBanner(std::cout, "observation-model comparison (400 sampled circuits)");
+  util::Table structural({"observation model", "mean observers/circuit",
+                          "circuits with >=1 observer"});
+  structural.AddRow({"symmetric (conventional end-to-end)",
+                     util::FormatDouble(gain.mean_count_symmetric, 3),
+                     util::FormatPercent(gain.circuits_observed_symmetric, 1)});
+  structural.AddRow({"any direction (this paper)",
+                     util::FormatDouble(gain.mean_count_any_direction, 3),
+                     util::FormatPercent(gain.circuits_observed_any_direction, 1)});
+  structural.AddRow({"mean gain (any / symmetric)",
+                     util::FormatDouble(gain.mean_gain, 2) + "x", ""});
+  std::cout << structural.Render();
+
+  // Operational attack across the four observation combinations.
+  util::PrintBanner(std::cout,
+                    "correlation deanonymization, 10 candidate clients, 12 trials");
+  util::Table attack({"entry view", "exit view", "success rate", "mean target r",
+                      "mean runner-up r"});
+  util::CsvWriter csv("sec33_deanon.csv",
+                      {"entry_view", "exit_view", "trial", "success", "target_r",
+                       "runner_up_r"});
+  for (core::SegmentView entry :
+       {core::SegmentView::kDataBytes, core::SegmentView::kAckedBytes}) {
+    for (core::SegmentView exit :
+         {core::SegmentView::kDataBytes, core::SegmentView::kAckedBytes}) {
+      std::size_t successes = 0;
+      std::vector<double> target_r, runner_r;
+      const int trials = 12;
+      for (int trial = 0; trial < trials; ++trial) {
+        core::DeanonExperimentParams params;
+        params.candidate_clients = 10;
+        params.entry_view = entry;
+        params.exit_view = exit;
+        params.base_flow.file_bytes = 12 << 20;
+        params.correlation.bin_s = 0.5;
+        params.correlation.duration_s = 16.0;
+        params.seed = 5000 + static_cast<std::uint64_t>(trial) * 37;
+        const auto result = core::RunCorrelationDeanonymization(params);
+        if (result.success) ++successes;
+        target_r.push_back(result.target_correlation);
+        runner_r.push_back(result.runner_up_correlation);
+        csv.WriteRow({std::string(ToString(entry)), std::string(ToString(exit)),
+                      std::to_string(trial), result.success ? "1" : "0",
+                      util::FormatDouble(result.target_correlation, 4),
+                      util::FormatDouble(result.runner_up_correlation, 4)});
+      }
+      attack.AddRow({std::string(ToString(entry)), std::string(ToString(exit)),
+                     util::FormatPercent(static_cast<double>(successes) / trials, 0),
+                     util::FormatDouble(util::Mean(target_r), 3),
+                     util::FormatDouble(util::Mean(runner_r), 3)});
+    }
+  }
+  std::cout << attack.Render();
+
+  util::PrintBanner(std::cout, "paper vs measured");
+  util::Table comparison({"claim", "paper", "measured"});
+  bench::PrintComparison(comparison, "asymmetry increases observer set",
+                         "\"only increases the security risk\"",
+                         util::FormatDouble(gain.mean_gain, 2) + "x more observers");
+  bench::PrintComparison(comparison, "acks-only observation suffices",
+                         "\"suffices ... in any direction\"",
+                         "acks/acks row above");
+  std::cout << comparison.Render();
+  std::cout << "\nwrote sec33_deanon.csv\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Asymmetric sniffer (Section 3.3 narrative): an AS sits on the reverse
+// path of the entry segment and the forward path of the exit segment —
+// the placement conventional analysis considers harmless. It records only
+// TCP headers, reconstructs byte progressions from cumulative ACKs, and
+// correlates the two ends of a Tor download.
+
+#include <iostream>
+
+#include "core/correlation_attack.hpp"
+#include "core/report.hpp"
+#include "traffic/flow_sim.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace quicksand;
+
+  traffic::FlowSimParams flow;
+  flow.file_bytes = 24 << 20;  // a 24 MB download through the circuit
+  flow.seed = 31;
+  const traffic::FlowTraces traces = traffic::SimulateTransfer(flow);
+  std::cout << "Simulated a " << (flow.file_bytes >> 20)
+            << " MB download over a 3-hop circuit ("
+            << util::FormatDouble(traces.completion_time_s, 1) << " s)\n\n";
+
+  core::CorrelationParams params;
+  params.bin_s = 1.0;
+  params.duration_s = traces.completion_time_s + 1;
+
+  // What the adversary sees: ACK headers client->guard (entry, reverse
+  // direction only) and data server->exit (exit, forward direction only).
+  const auto entry_acked =
+      core::ExtractSeries(traces.client_guard, true, core::SegmentView::kAckedBytes, params);
+  const auto exit_data =
+      core::ExtractSeries(traces.exit_server, true, core::SegmentView::kDataBytes, params);
+
+  const std::vector<std::string> names = {"client->guard acked MB",
+                                          "server->exit data MB"};
+  const std::vector<std::vector<double>> curves = {
+      traffic::CumulativeMegabytes(entry_acked),
+      traffic::CumulativeMegabytes(exit_data)};
+  std::cout << core::RenderAsciiChart(names, curves, 70, 12);
+
+  const double r = core::MaxLagCorrelation(entry_acked, exit_data, params.max_lag_bins);
+  std::cout << "\nCorrelation between the two observation points: "
+            << util::FormatDouble(r, 4) << "\n";
+
+  // The "extreme variant": ACKs only, at both ends.
+  const auto exit_acked =
+      core::ExtractSeries(traces.exit_server, true, core::SegmentView::kAckedBytes, params);
+  const double r_acks =
+      core::MaxLagCorrelation(entry_acked, exit_acked, params.max_lag_bins);
+  std::cout << "ACKs-only at both ends (extreme variant):   "
+            << util::FormatDouble(r_acks, 4) << "\n\n";
+
+  if (r > 0.9 && r_acks > 0.9) {
+    std::cout << "Verdict: the two ends belong to the same flow — the client is "
+                 "deanonymized\nwithout the adversary ever seeing the data "
+                 "direction at the entry side.\n";
+    return 0;
+  }
+  std::cout << "Verdict: correlation too weak on this run.\n";
+  return 1;
+}

@@ -1,0 +1,120 @@
+#pragma once
+
+// AS-level topology with business relationships.
+//
+// Edges are either customer-provider (directed economics, bidirectional
+// connectivity) or peer-peer. The graph hands out dense indices so the
+// routing algorithms can use flat arrays.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/path.hpp"
+
+namespace quicksand::bgp {
+
+/// The role of a neighbor relative to the local AS.
+enum class Relationship : std::uint8_t {
+  kCustomer,  ///< neighbor pays us (we are its provider)
+  kPeer,      ///< settlement-free peer
+  kProvider,  ///< we pay the neighbor (it is our provider)
+};
+
+/// Human-readable name of a relationship.
+[[nodiscard]] std::string_view ToString(Relationship rel) noexcept;
+
+/// Dense AS index inside an AsGraph.
+using AsIndex = std::uint32_t;
+
+/// One adjacency entry: the neighbor and its role relative to the local AS.
+struct Neighbor {
+  AsIndex index;
+  AsNumber asn;
+  Relationship rel;
+};
+
+/// Canonical undirected link key: (min index, max index) packed in 64 bits.
+[[nodiscard]] constexpr std::uint64_t LinkKey(AsIndex a, AsIndex b) noexcept {
+  const AsIndex lo = a < b ? a : b;
+  const AsIndex hi = a < b ? b : a;
+  return (std::uint64_t{lo} << 32) | hi;
+}
+
+/// A set of disabled (failed) links, keyed by LinkKey.
+using LinkSet = std::unordered_set<std::uint64_t>;
+
+/// AS-level topology with customer/provider/peer relationships.
+///
+/// Invariants: each AS appears once; at most one link between two ASes;
+/// no self-links. Violations throw std::invalid_argument.
+class AsGraph {
+ public:
+  /// Registers an AS and returns its dense index. Registering the same ASN
+  /// twice returns the existing index.
+  AsIndex AddAs(AsNumber asn);
+
+  /// Adds a customer-provider link (provider sells transit to customer).
+  /// Both ASes must already exist. Throws on duplicate or self link.
+  void AddCustomerLink(AsNumber provider, AsNumber customer);
+
+  /// Adds a settlement-free peering link. Throws on duplicate or self link.
+  void AddPeerLink(AsNumber a, AsNumber b);
+
+  [[nodiscard]] std::size_t AsCount() const noexcept { return neighbors_.size(); }
+  [[nodiscard]] std::size_t LinkCount() const noexcept { return link_count_; }
+
+  [[nodiscard]] bool HasAs(AsNumber asn) const noexcept {
+    return index_of_.contains(asn);
+  }
+
+  /// Dense index of an ASN, or nullopt if unknown.
+  [[nodiscard]] std::optional<AsIndex> IndexOf(AsNumber asn) const noexcept;
+
+  /// Dense index of an ASN; throws std::invalid_argument if unknown.
+  [[nodiscard]] AsIndex MustIndexOf(AsNumber asn) const;
+
+  /// ASN of a dense index. Index must be < AsCount().
+  [[nodiscard]] AsNumber AsnOf(AsIndex index) const { return asns_.at(index); }
+
+  /// Adjacency of an AS by dense index.
+  [[nodiscard]] std::span<const Neighbor> NeighborsOf(AsIndex index) const {
+    return neighbors_.at(index);
+  }
+
+  /// Relationship of `b` as seen from `a`, or nullopt if not adjacent.
+  [[nodiscard]] std::optional<Relationship> RelationshipBetween(AsNumber a,
+                                                                AsNumber b) const;
+
+  /// All registered ASNs in registration order.
+  [[nodiscard]] const std::vector<AsNumber>& AllAses() const noexcept { return asns_; }
+
+  /// Number of customers / peers / providers of an AS.
+  [[nodiscard]] std::size_t CustomerCount(AsIndex index) const;
+  [[nodiscard]] std::size_t PeerCount(AsIndex index) const;
+  [[nodiscard]] std::size_t ProviderCount(AsIndex index) const;
+
+  /// Total degree of an AS.
+  [[nodiscard]] std::size_t Degree(AsIndex index) const {
+    return neighbors_.at(index).size();
+  }
+
+  /// The ASes in the customer cone of `index` (itself plus all ASes
+  /// reachable by repeatedly following provider->customer edges).
+  [[nodiscard]] std::vector<AsIndex> CustomerCone(AsIndex index) const;
+
+ private:
+  void AddLink(AsNumber a, AsNumber b, Relationship rel_of_b_seen_from_a);
+
+  std::unordered_map<AsNumber, AsIndex> index_of_;
+  std::vector<AsNumber> asns_;
+  std::vector<std::vector<Neighbor>> neighbors_;
+  std::unordered_set<std::uint64_t> links_;
+  std::size_t link_count_ = 0;
+};
+
+}  // namespace quicksand::bgp

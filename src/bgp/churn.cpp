@@ -1,0 +1,204 @@
+#include "bgp/churn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace quicksand::bgp {
+
+namespace {
+
+std::vector<AsNumber> SortedAsSet(const AsPath& path) {
+  auto ases = path.DistinctAses();
+  std::sort(ases.begin(), ases.end());
+  return ases;
+}
+
+std::uint64_t HashAsSet(const std::vector<AsNumber>& sorted) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (AsNumber as : sorted) {
+    h ^= as;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void ChurnAnalyzer::ConsumeInitialRib(std::span<const BgpUpdate> rib) {
+  for (const BgpUpdate& update : rib) Consume(update);
+}
+
+void ChurnAnalyzer::Consume(const BgpUpdate& update) {
+  if (finished_) throw std::logic_error("ChurnAnalyzer: Consume after Finish");
+  State& state = states_[SessionPrefixKey{update.session, update.prefix}];
+  if (update.type == UpdateType::kAnnounce) {
+    Announce(state, update);
+  } else {
+    Withdraw(state, update.time.seconds);
+  }
+}
+
+void ChurnAnalyzer::Announce(State& state, const BgpUpdate& update) {
+  const std::int64_t now = update.time.seconds;
+  auto as_set = SortedAsSet(update.path);
+  ++state.announcements;
+  state.distinct_sets.insert(HashAsSet(as_set));
+
+  if (!state.has_baseline) {
+    state.has_baseline = true;
+    state.baseline = as_set;
+  } else if (as_set != state.last_announced) {
+    ++state.path_changes;
+  }
+
+  // Interval bookkeeping for extra (non-baseline) ASes.
+  CloseIntervals(state, now, &as_set);
+  for (AsNumber as : as_set) {
+    const bool on_baseline =
+        std::binary_search(state.baseline.begin(), state.baseline.end(), as);
+    if (!on_baseline && !state.open_since.contains(as)) {
+      state.open_since.emplace(as, now);
+    }
+  }
+
+  state.last_announced = std::move(as_set);
+  state.withdrawn = false;
+}
+
+void ChurnAnalyzer::Withdraw(State& state, std::int64_t now) {
+  // A withdrawal is not a path change in the paper's definition, but it
+  // does end the on-path intervals of every extra AS.
+  CloseIntervals(state, now, nullptr);
+  state.withdrawn = true;
+}
+
+void ChurnAnalyzer::CloseIntervals(State& state, std::int64_t now,
+                                   const std::vector<AsNumber>* keep_sorted) {
+  for (auto it = state.open_since.begin(); it != state.open_since.end();) {
+    const bool still_on_path =
+        keep_sorted != nullptr &&
+        std::binary_search(keep_sorted->begin(), keep_sorted->end(), it->first);
+    if (still_on_path) {
+      ++it;
+      continue;
+    }
+    if (now - it->second >= params_.dwell_threshold_s) {
+      state.qualifying.insert(it->first);
+    } else {
+      state.glimpsed.insert(it->first);
+    }
+    it = state.open_since.erase(it);
+  }
+}
+
+void ChurnAnalyzer::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (auto& [key, state] : states_) {
+    CloseIntervals(state, params_.window_end_s, nullptr);
+    SessionPrefixChurn churn;
+    churn.announcements = state.announcements;
+    churn.path_changes = state.path_changes;
+    churn.distinct_paths = state.distinct_sets.size();
+    churn.qualifying_extra_ases.assign(state.qualifying.begin(), state.qualifying.end());
+    std::sort(churn.qualifying_extra_ases.begin(), churn.qualifying_extra_ases.end());
+    // Glimpse-only: never reached the threshold in any interval.
+    for (AsNumber as : state.glimpsed) {
+      if (!state.qualifying.contains(as)) churn.glimpsed_extra_ases.push_back(as);
+    }
+    std::sort(churn.glimpsed_extra_ases.begin(), churn.glimpsed_extra_ases.end());
+    results_.emplace(key, std::move(churn));
+  }
+}
+
+const std::map<SessionPrefixKey, SessionPrefixChurn>& ChurnAnalyzer::entries() const {
+  if (!finished_) throw std::logic_error("ChurnAnalyzer: entries() before Finish()");
+  return results_;
+}
+
+std::vector<double> ChurnAnalyzer::PathChangeCounts(SessionId session) const {
+  std::vector<double> out;
+  for (const auto& [key, churn] : entries()) {
+    if (key.session == session) out.push_back(static_cast<double>(churn.path_changes));
+  }
+  return out;
+}
+
+double ChurnAnalyzer::MedianPathChanges(SessionId session) const {
+  const auto counts = PathChangeCounts(session);
+  if (counts.empty()) return 0;
+  return util::Median(counts);
+}
+
+std::vector<double> ChurnAnalyzer::RatioToSessionMedian(
+    const std::unordered_set<netbase::Prefix>& target_prefixes, double median_floor) const {
+  // Precompute session medians once.
+  std::map<SessionId, double> medians;
+  for (const auto& [key, churn] : entries()) {
+    (void)churn;
+    if (!medians.contains(key.session)) {
+      medians.emplace(key.session, MedianPathChanges(key.session));
+    }
+  }
+  std::vector<double> ratios;
+  for (const auto& [key, churn] : entries()) {
+    if (!target_prefixes.contains(key.prefix)) continue;
+    const double median = std::max(medians.at(key.session), median_floor);
+    ratios.push_back(static_cast<double>(churn.path_changes) / median);
+  }
+  return ratios;
+}
+
+std::map<netbase::Prefix, std::size_t> ChurnAnalyzer::ExtraAsCountPerPrefix() const {
+  std::map<netbase::Prefix, std::unordered_set<AsNumber>> unions;
+  for (const auto& [key, churn] : entries()) {
+    auto& set = unions[key.prefix];
+    set.insert(churn.qualifying_extra_ases.begin(), churn.qualifying_extra_ases.end());
+  }
+  std::map<netbase::Prefix, std::size_t> out;
+  for (const auto& [prefix, set] : unions) out.emplace(prefix, set.size());
+  return out;
+}
+
+std::map<netbase::Prefix, std::size_t> ChurnAnalyzer::GlimpsedAsCountPerPrefix() const {
+  std::map<netbase::Prefix, std::unordered_set<AsNumber>> unions;
+  std::map<netbase::Prefix, std::unordered_set<AsNumber>> qualified;
+  for (const auto& [key, churn] : entries()) {
+    unions[key.prefix].insert(churn.glimpsed_extra_ases.begin(),
+                              churn.glimpsed_extra_ases.end());
+    qualified[key.prefix].insert(churn.qualifying_extra_ases.begin(),
+                                 churn.qualifying_extra_ases.end());
+  }
+  std::map<netbase::Prefix, std::size_t> out;
+  for (const auto& [prefix, set] : unions) {
+    std::size_t count = 0;
+    const auto& strong = qualified[prefix];
+    for (AsNumber as : set) {
+      if (!strong.contains(as)) ++count;
+    }
+    out.emplace(prefix, count);
+  }
+  return out;
+}
+
+std::map<netbase::Prefix, std::size_t> ChurnAnalyzer::SessionsPerPrefix() const {
+  std::map<netbase::Prefix, std::size_t> out;
+  for (const auto& [key, churn] : entries()) {
+    (void)churn;
+    ++out[key.prefix];
+  }
+  return out;
+}
+
+std::map<SessionId, std::size_t> ChurnAnalyzer::PrefixesPerSession() const {
+  std::map<SessionId, std::size_t> out;
+  for (const auto& [key, churn] : entries()) {
+    (void)churn;
+    ++out[key.session];
+  }
+  return out;
+}
+
+}  // namespace quicksand::bgp

@@ -1,0 +1,132 @@
+#pragma once
+
+// Path-churn measurement over collector update streams — the paper's
+// Section 4 methodology.
+//
+// Definitions (all from the paper):
+//   * A *path change* on a (session, prefix) is a change in the *set* of
+//     ASes crossed (the distinct ASes of the AS-PATH) between two
+//     subsequent announcements.
+//   * The *baseline* path of a (session, prefix) is the first path
+//     observed at the beginning of the measurement window.
+//   * An *extra AS* for a prefix is an AS that appears on some observed
+//     path but not on the baseline, and that stays on-path for at least
+//     the dwell threshold (5 minutes) during one continuous interval —
+//     shorter appearances are "unlikely that an attack can be performed".
+//
+// The analyzer is streaming: feed it the initial RIB, then time-ordered
+// updates, then Finish(). Results back Figure 3 (left and right) and the
+// dataset statistics of Section 4.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/update.hpp"
+#include "netbase/sim_time.hpp"
+
+namespace quicksand::bgp {
+
+struct ChurnParams {
+  /// Minimum continuous on-path time for an extra AS to count.
+  std::int64_t dwell_threshold_s = netbase::duration::kAttackDwellThreshold;
+  /// End of the measurement window (used to close open intervals).
+  std::int64_t window_end_s = netbase::duration::kMonth;
+};
+
+/// Churn measured for one (session, prefix).
+struct SessionPrefixChurn {
+  std::size_t announcements = 0;  ///< announces seen (incl. initial RIB)
+  std::size_t path_changes = 0;   ///< AS-set changes between announcements
+  std::size_t distinct_paths = 0; ///< distinct AS-sets observed
+  /// Extra ASes (vs the baseline path) that met the dwell threshold.
+  std::vector<AsNumber> qualifying_extra_ases;
+  /// Extra ASes that appeared only below the dwell threshold — too briefly
+  /// for timing analysis, but long enough to *learn that this prefix's
+  /// traffic exists* (the Section 3.1 convergence observation: "these ASes
+  /// can learn about a client's use of the Tor network").
+  std::vector<AsNumber> glimpsed_extra_ases;
+};
+
+struct SessionPrefixKey {
+  SessionId session = 0;
+  netbase::Prefix prefix;
+  friend auto operator<=>(const SessionPrefixKey&, const SessionPrefixKey&) = default;
+};
+
+/// Streaming churn analyzer.
+class ChurnAnalyzer {
+ public:
+  explicit ChurnAnalyzer(ChurnParams params = {}) : params_(params) {}
+
+  /// Feeds the t=0 table (each entry is the baseline announcement).
+  void ConsumeInitialRib(std::span<const BgpUpdate> rib);
+
+  /// Feeds one update; calls must be globally time-ordered.
+  /// Throws std::logic_error if called after Finish().
+  void Consume(const BgpUpdate& update);
+
+  /// Closes all open on-path intervals at the window end. Idempotent.
+  void Finish();
+
+  /// Per-(session, prefix) results. Only valid after Finish().
+  [[nodiscard]] const std::map<SessionPrefixKey, SessionPrefixChurn>& entries() const;
+
+  /// Path-change counts of every prefix observed on `session`.
+  [[nodiscard]] std::vector<double> PathChangeCounts(SessionId session) const;
+
+  /// Median path-change count over all prefixes on `session` (the paper's
+  /// normalizer). Returns 0 if the session observed nothing.
+  [[nodiscard]] double MedianPathChanges(SessionId session) const;
+
+  /// For each (session, prefix) whose prefix satisfies `is_target`, the
+  /// ratio of its path changes to the session's median (the Fig. 3 left
+  /// series). Sessions with a zero median use a floor of `median_floor`.
+  [[nodiscard]] std::vector<double> RatioToSessionMedian(
+      const std::unordered_set<netbase::Prefix>& target_prefixes,
+      double median_floor = 1.0) const;
+
+  /// Per-prefix count of qualifying extra ASes, unioned across sessions
+  /// (the Fig. 3 right series).
+  [[nodiscard]] std::map<netbase::Prefix, std::size_t> ExtraAsCountPerPrefix() const;
+
+  /// Per-prefix count of glimpse-only extra ASes (on-path below the dwell
+  /// threshold and never above it), unioned across sessions — the
+  /// convergence-window observers of Section 3.1.
+  [[nodiscard]] std::map<netbase::Prefix, std::size_t> GlimpsedAsCountPerPrefix() const;
+
+  /// Number of sessions on which each prefix was observed at least once.
+  [[nodiscard]] std::map<netbase::Prefix, std::size_t> SessionsPerPrefix() const;
+
+  /// Number of distinct prefixes observed on each session.
+  [[nodiscard]] std::map<SessionId, std::size_t> PrefixesPerSession() const;
+
+ private:
+  struct State {
+    bool has_baseline = false;
+    std::vector<AsNumber> baseline;       // sorted distinct AS set
+    std::vector<AsNumber> last_announced; // sorted; empty only before first
+    bool withdrawn = true;
+    std::unordered_map<AsNumber, std::int64_t> open_since;  // extra ASes on path
+    std::unordered_set<AsNumber> qualifying;
+    std::unordered_set<AsNumber> glimpsed;
+    std::unordered_set<std::uint64_t> distinct_sets;
+    std::size_t announcements = 0;
+    std::size_t path_changes = 0;
+  };
+
+  void Announce(State& state, const BgpUpdate& update);
+  void Withdraw(State& state, std::int64_t now);
+  void CloseIntervals(State& state, std::int64_t now,
+                      const std::vector<AsNumber>* keep_sorted);
+
+  ChurnParams params_;
+  std::map<SessionPrefixKey, State> states_;
+  mutable std::map<SessionPrefixKey, SessionPrefixChurn> results_;
+  bool finished_ = false;
+};
+
+}  // namespace quicksand::bgp

@@ -1,0 +1,326 @@
+#include "bgp/dynamics_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "bgp/route_computation.hpp"
+#include "netbase/rng.hpp"
+
+namespace quicksand::bgp {
+
+namespace {
+
+using netbase::Rng;
+using netbase::SimTime;
+
+/// Observed paths of one routing state across all sessions.
+using ObservationTable = std::vector<std::optional<AsPath>>;
+
+ObservationTable ObserveAll(const CollectorSet& collectors, const AsGraph& graph,
+                            const RoutingState& state) {
+  ObservationTable table;
+  table.reserve(collectors.SessionCount());
+  for (const PeerSession& session : collectors.sessions()) {
+    table.push_back(CollectorSet::Observe(session, graph, state));
+  }
+  return table;
+}
+
+/// Small-lambda Poisson draw (Knuth).
+std::size_t PoissonDraw(Rng& rng, double lambda) {
+  if (lambda <= 0) return 0;
+  const double limit = std::exp(-lambda);
+  std::size_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.UniformDouble();
+  } while (p > limit && k < 1000);
+  return k - 1;
+}
+
+/// Derives an alternate routing state for a prefix by perturbing the
+/// topology: failing one or more links taken from currently observed
+/// paths (failures biased toward the origin's access links, which reroute
+/// the prefix for nearly every observer) and/or re-salting on-path ASes'
+/// tie-breaks (policy shifts). Reference paths are drawn from all trees
+/// derived so far, so unstable prefixes accumulate compound variants.
+/// Returns nullopt if the variant duplicates an existing tree.
+std::optional<ObservationTable> MakeAlternate(
+    const Topology& topology, const CollectorSet& collectors, AsIndex origin_index,
+    const std::vector<ObservationTable>& existing_trees, Rng& rng) {
+  const AsGraph& graph = topology.graph;
+  const ObservationTable& reference =
+      existing_trees[rng.UniformInt(0, existing_trees.size() - 1)];
+  std::vector<const AsPath*> visible;
+  std::vector<AsNumber> on_path;
+  for (const auto& path : reference) {
+    if (!path) continue;
+    visible.push_back(&*path);
+    for (AsNumber asn : path->DistinctAses()) on_path.push_back(asn);
+  }
+  if (visible.empty()) return std::nullopt;
+
+  ComputationOptions options;
+  LinkSet disabled;
+  std::vector<std::uint64_t> salts;
+  const OriginSpec spec{graph.AsnOf(origin_index), 1, 0};
+
+  const bool fail_links = rng.Bernoulli(0.75);
+  if (fail_links) {
+    const std::size_t failures = 1 + (rng.Bernoulli(0.4) ? 1 : 0);
+    for (std::size_t f = 0; f < failures; ++f) {
+      const AsPath& path = *visible[rng.UniformInt(0, visible.size() - 1)];
+      const auto hops = path.DistinctAses();
+      if (hops.size() < 2) continue;
+      const std::size_t cut = rng.Bernoulli(0.55)
+                                  ? hops.size() - 2
+                                  : rng.UniformInt(0, hops.size() - 2);
+      const auto a = graph.IndexOf(hops[cut]);
+      const auto b = graph.IndexOf(hops[cut + 1]);
+      if (a && b) disabled.insert(LinkKey(*a, *b));
+    }
+    if (disabled.empty()) return std::nullopt;
+    options.disabled_links = &disabled;
+  }
+  if (!fail_links || rng.Bernoulli(0.25)) {
+    // Policy-shift component: re-salt the tie-breaks of 1-2 on-path ASes.
+    if (on_path.empty()) return std::nullopt;
+    salts.assign(graph.AsCount(), 0);
+    const std::size_t shifts = 1 + (rng.Bernoulli(0.4) ? 1 : 0);
+    for (std::size_t s = 0; s < shifts; ++s) {
+      const AsNumber shifted = on_path[rng.UniformInt(0, on_path.size() - 1)];
+      if (const auto idx = graph.IndexOf(shifted)) salts[*idx] = rng() | 1;
+    }
+    options.tie_break_salts = salts;
+  }
+
+  const RoutingState state =
+      ComputeRoutes(graph, std::span<const OriginSpec>(&spec, 1), options);
+  ObservationTable table = ObserveAll(collectors, graph, state);
+  for (const ObservationTable& tree : existing_trees) {
+    if (table == tree) return std::nullopt;
+  }
+  return table;
+}
+
+}  // namespace
+
+GeneratedDynamics GenerateDynamics(const Topology& topology, const CollectorSet& collectors,
+                                   const DynamicsParams& params) {
+  const AsGraph& graph = topology.graph;
+  Rng rng(params.seed);
+  GeneratedDynamics out;
+  out.truth.reserve(topology.prefix_origins.size());
+
+  // Baseline routing states are per *origin AS*; cache them across the
+  // origin's prefixes.
+  std::unordered_map<AsNumber, ObservationTable> baseline_cache;
+
+  // Per (session, prefix-slot) alternates kept for the reset replay below.
+  std::vector<std::vector<ObservationTable>> trees_per_prefix;
+  trees_per_prefix.reserve(topology.prefix_origins.size());
+
+  for (const PrefixOrigin& po : topology.prefix_origins) {
+    auto it = baseline_cache.find(po.origin);
+    if (it == baseline_cache.end()) {
+      const RoutingState state = ComputeRoutes(graph, po.origin);
+      it = baseline_cache.emplace(po.origin, ObserveAll(collectors, graph, state)).first;
+    }
+    const ObservationTable& baseline = it->second;
+
+    // --- Event intensity first: unstable prefixes explore more paths, so
+    // the alternate count below scales with it.
+    const AsRole role = topology.RoleOf(po.origin);
+    const bool hosting = role == AsRole::kHosting;
+    double intensity = rng.Pareto(params.event_pareto_xmin, params.event_pareto_alpha) - 1.0;
+    if (hosting) {
+      intensity *= params.hosting_churn_multiplier;
+    } else if (role == AsRole::kTier1 || role == AsRole::kTransit) {
+      intensity *= params.core_churn_multiplier;
+    }
+    const auto scheduled = std::min<std::size_t>(
+        static_cast<std::size_t>(std::llround(std::max(0.0, intensity))),
+        params.max_events_per_prefix);
+
+    std::vector<ObservationTable> trees;
+    trees.push_back(baseline);
+    const AsIndex origin_index = graph.MustIndexOf(po.origin);
+    const std::size_t alternates = std::min(
+        params.alternates_per_prefix + scheduled / 10, params.max_alternates_per_prefix);
+    for (std::size_t j = 0; j < alternates; ++j) {
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        auto alt = MakeAlternate(topology, collectors, origin_index, trees, rng);
+        if (alt) {
+          trees.push_back(std::move(*alt));
+          break;
+        }
+      }
+    }
+
+    // --- Initial RIB at t=0.
+    for (SessionId s = 0; s < baseline.size(); ++s) {
+      if (baseline[s]) {
+        out.initial_rib.push_back(
+            {SimTime{0}, s, UpdateType::kAnnounce, po.prefix, *baseline[s]});
+      }
+    }
+
+    PrefixDynamicsTruth truth{po.prefix, po.origin, hosting, scheduled, 0};
+
+    if (trees.size() > 1 && scheduled > 0) {
+      std::vector<std::int64_t> times;
+      times.reserve(scheduled);
+      for (std::size_t e = 0; e < scheduled; ++e) {
+        times.push_back(
+            static_cast<std::int64_t>(rng.UniformInt(60, params.window - 60)));
+      }
+      std::sort(times.begin(), times.end());
+
+      std::size_t current = 0;  // index into trees
+      std::int64_t busy_until = 0;
+
+      auto emit_transition = [&](std::int64_t at, std::size_t from, std::size_t to) {
+        for (SessionId s = 0; s < collectors.SessionCount(); ++s) {
+          const auto& pa = trees[from][s];
+          const auto& pb = trees[to][s];
+          if (pa == pb) continue;
+          ++truth.emitted_transitions;
+          if (!pb) {
+            out.updates.push_back({SimTime{at}, s, UpdateType::kWithdraw, po.prefix, {}});
+            continue;
+          }
+          // Convergence exploration: briefly show a third tree's path.
+          if (trees.size() > 2 && rng.Bernoulli(params.convergence_prob)) {
+            std::size_t k = rng.UniformInt(0, trees.size() - 1);
+            if (k != from && k != to && trees[k][s] && trees[k][s] != pa &&
+                trees[k][s] != pb) {
+              out.updates.push_back(
+                  {SimTime{at}, s, UpdateType::kAnnounce, po.prefix, *trees[k][s]});
+              const std::int64_t settle =
+                  std::min<std::int64_t>(at + 5 + static_cast<std::int64_t>(
+                                                      rng.UniformInt(0, 55)),
+                                         params.window);
+              out.updates.push_back(
+                  {SimTime{settle}, s, UpdateType::kAnnounce, po.prefix, *pb});
+              continue;
+            }
+          }
+          out.updates.push_back({SimTime{at}, s, UpdateType::kAnnounce, po.prefix, *pb});
+        }
+      };
+
+      for (std::int64_t t : times) {
+        std::int64_t at = std::max(t, busy_until + 60);
+        if (at >= params.window - 60) break;
+        std::size_t target = rng.UniformInt(1, trees.size() - 1);
+        if (target == current) target = 0;
+
+        if (rng.Bernoulli(params.permanent_shift_prob)) {
+          emit_transition(at, current, target);
+          current = target;
+          busy_until = at + 90;
+          continue;
+        }
+        // Transient: out and back.
+        const double mean = rng.Bernoulli(params.short_dwell_prob)
+                                ? params.short_dwell_mean_s
+                                : params.long_dwell_mean_s;
+        auto dwell = static_cast<std::int64_t>(std::max(10.0, rng.Exponential(mean)));
+        const std::int64_t back = std::min(at + dwell, params.window - 30);
+        emit_transition(at, current, target);
+        emit_transition(back, target, current);
+        busy_until = back + 90;
+      }
+    }
+
+    out.truth.push_back(std::move(truth));
+    trees_per_prefix.push_back(std::move(trees));
+  }
+
+  SortUpdates(out.updates);
+
+  // --- Session resets. Replay the stream to know each session's table at
+  // reset time, then inject full-table re-announcements (plus backup-path
+  // flaps for a fraction of prefixes) — the artifacts of [31].
+  struct ResetEvent {
+    std::int64_t time;
+    SessionId session;
+  };
+  std::vector<ResetEvent> resets;
+  for (SessionId s = 0; s < collectors.SessionCount(); ++s) {
+    const std::size_t count = PoissonDraw(rng, params.session_resets_per_month);
+    for (std::size_t r = 0; r < count; ++r) {
+      resets.push_back({static_cast<std::int64_t>(
+                            rng.UniformInt(3600, params.window - 3600)),
+                        s});
+    }
+  }
+  std::sort(resets.begin(), resets.end(),
+            [](const ResetEvent& a, const ResetEvent& b) { return a.time < b.time; });
+
+  if (!resets.empty()) {
+    // prefix slot lookup for alternates
+    std::unordered_map<netbase::Prefix, std::size_t> slot_of;
+    for (std::size_t i = 0; i < topology.prefix_origins.size(); ++i) {
+      slot_of.emplace(topology.prefix_origins[i].prefix, i);
+    }
+    // Current path per (session, prefix).
+    std::vector<std::unordered_map<netbase::Prefix, AsPath>> table(
+        collectors.SessionCount());
+    for (const BgpUpdate& u : out.initial_rib) table[u.session][u.prefix] = u.path;
+
+    std::vector<BgpUpdate> reset_updates;
+    std::size_t cursor = 0;
+    for (const ResetEvent& reset : resets) {
+      while (cursor < out.updates.size() &&
+             out.updates[cursor].time.seconds <= reset.time) {
+        const BgpUpdate& u = out.updates[cursor++];
+        if (u.type == UpdateType::kAnnounce) {
+          table[u.session][u.prefix] = u.path;
+        } else {
+          table[u.session].erase(u.prefix);
+        }
+      }
+      for (const auto& [prefix, path] : table[reset.session]) {
+        const std::int64_t jitter =
+            static_cast<std::int64_t>(rng.UniformInt(1, 90));
+        if (rng.Bernoulli(params.reset_backup_flap_prob)) {
+          // Withdraw, transient backup path, then the real path again.
+          const auto slot = slot_of.find(prefix);
+          const AsPath* backup = nullptr;
+          if (slot != slot_of.end()) {
+            for (const auto& tree : trees_per_prefix[slot->second]) {
+              const auto& candidate = tree[reset.session];
+              if (candidate && !(*candidate == path)) {
+                backup = &*candidate;
+                break;
+              }
+            }
+          }
+          reset_updates.push_back({SimTime{reset.time + jitter}, reset.session,
+                                   UpdateType::kWithdraw, prefix, {}});
+          if (backup != nullptr) {
+            reset_updates.push_back({SimTime{reset.time + jitter + 20}, reset.session,
+                                     UpdateType::kAnnounce, prefix, *backup});
+          }
+          reset_updates.push_back({SimTime{reset.time + jitter + 45}, reset.session,
+                                   UpdateType::kAnnounce, prefix, path});
+        } else {
+          // Plain duplicate re-announcement.
+          reset_updates.push_back({SimTime{reset.time + jitter}, reset.session,
+                                   UpdateType::kAnnounce, prefix, path});
+        }
+      }
+    }
+    out.updates.insert(out.updates.end(), reset_updates.begin(), reset_updates.end());
+    SortUpdates(out.updates);
+  }
+
+  return out;
+}
+
+}  // namespace quicksand::bgp

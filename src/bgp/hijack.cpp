@@ -1,0 +1,140 @@
+#include "bgp/hijack.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace quicksand::bgp {
+
+std::string AttackSpec::Label() const {
+  std::string label = more_specific ? "more-specific " : "same-prefix ";
+  label += keep_alive ? "interception" : "hijack";
+  if (propagation_radius > 0) {
+    label += " (radius " + std::to_string(propagation_radius) + ")";
+  }
+  if (prepend > 1) label += " (prepend x" + std::to_string(prepend) + ")";
+  return label;
+}
+
+std::vector<AsIndex> LpmForwardingPath(const RoutingState& preferred,
+                                       const RoutingState& fallback, AsIndex src) {
+  std::vector<AsIndex> path;
+  std::unordered_set<AsIndex> visited;
+  AsIndex current = src;
+  while (visited.insert(current).second) {
+    path.push_back(current);
+    const RouteEntry* entry = nullptr;
+    if (preferred.HasRoute(current)) {
+      entry = &preferred.RouteOf(current);
+    } else if (fallback.HasRoute(current)) {
+      entry = &fallback.RouteOf(current);
+    }
+    if (entry == nullptr || entry->cls == RouteClass::kSelf) return path;
+    current = entry->next_hop;
+  }
+  return path;  // loop detected; truncated path
+}
+
+RoutingState HijackSimulator::Baseline(AsNumber victim) const {
+  return ComputeRoutes(*graph_, victim);
+}
+
+AttackOutcome HijackSimulator::Execute(const AttackSpec& spec) const {
+  if (spec.attacker == spec.victim) {
+    throw std::invalid_argument("AttackSpec: attacker must differ from victim");
+  }
+  if (spec.prepend < 1) throw std::invalid_argument("AttackSpec: prepend must be >= 1");
+  const AsIndex attacker = graph_->MustIndexOf(spec.attacker);
+  const AsIndex victim = graph_->MustIndexOf(spec.victim);
+
+  const RoutingState baseline = Baseline(spec.victim);
+
+  AttackOutcome outcome{
+      spec.victim_prefix,
+      [&] {
+        if (spec.more_specific) {
+          if (spec.victim_prefix.length() >= 32) {
+            throw std::invalid_argument(
+                "AttackSpec: cannot announce a more-specific inside a /32");
+          }
+          // Only the attacker announces the sub-block; longest-prefix match
+          // makes it win wherever it propagates.
+          const OriginSpec origin{spec.attacker, spec.prepend, spec.propagation_radius};
+          return ComputeRoutes(*graph_, std::span<const OriginSpec>(&origin, 1));
+        }
+        // Same-prefix: both origins compete for the identical prefix.
+        const OriginSpec origins[2] = {
+            {spec.victim, 1, 0},
+            {spec.attacker, spec.prepend, spec.propagation_radius},
+        };
+        return ComputeRoutes(*graph_, origins);
+      }(),
+      {},
+      0,
+      false,
+      {}};
+  if (spec.more_specific) {
+    outcome.announced_prefix =
+        netbase::Prefix(spec.victim_prefix.network(), spec.victim_prefix.length() + 1);
+  }
+
+  // Capture set: ASes whose traffic for the announced block reaches the
+  // attacker. For more-specific attacks every AS holding the bogus route
+  // is captured; for same-prefix attacks, those preferring the bogus origin.
+  for (AsIndex as : outcome.attacked.AsesRoutedTo(attacker)) {
+    if (as != attacker) outcome.captured.push_back(as);
+  }
+  std::size_t baseline_routed = 0;
+  for (AsIndex as = 0; as < graph_->AsCount(); ++as) {
+    if (as != attacker && baseline.HasRoute(as)) ++baseline_routed;
+  }
+  outcome.capture_fraction =
+      baseline_routed == 0
+          ? 0
+          : static_cast<double>(outcome.captured.size()) / static_cast<double>(baseline_routed);
+
+  if (!spec.keep_alive) return outcome;
+
+  // --- Interception delivery check.
+  if (spec.forwarding == ForwardingMode::kTunnel) {
+    // With an overlay the attacker only needs any pre-attack route.
+    if (baseline.HasRoute(attacker)) {
+      outcome.traffic_delivered = true;
+      outcome.delivery_path = baseline.ForwardingPath(attacker);
+    }
+    return outcome;
+  }
+
+  // Hop-by-hop: the attacker hands the packet to its pre-attack next hop;
+  // every later AS forwards under the attacked state, falling back to the
+  // baseline where the bogus (more-specific or scoped) route is absent.
+  if (!baseline.HasRoute(attacker)) return outcome;
+  const RouteEntry& attacker_route = baseline.RouteOf(attacker);
+  if (attacker_route.cls == RouteClass::kSelf) return outcome;  // defensive
+
+  std::vector<AsIndex> path = {attacker};
+  std::unordered_set<AsIndex> visited = {attacker};
+  AsIndex current = attacker_route.next_hop;
+  while (true) {
+    path.push_back(current);
+    if (current == victim) {
+      outcome.traffic_delivered = true;
+      outcome.delivery_path = std::move(path);
+      return outcome;
+    }
+    if (!visited.insert(current).second) return outcome;  // loop
+    const RouteEntry* entry = nullptr;
+    if (outcome.attacked.HasRoute(current)) {
+      entry = &outcome.attacked.RouteOf(current);
+    } else if (baseline.HasRoute(current)) {
+      entry = &baseline.RouteOf(current);
+    }
+    if (entry == nullptr) return outcome;                      // no route: drop
+    if (entry->origin == attacker && entry->cls != RouteClass::kSelf) {
+      return outcome;  // heads back to the attacker: bounce
+    }
+    if (entry->cls == RouteClass::kSelf) return outcome;  // wrong origin terminus
+    current = entry->next_hop;
+  }
+}
+
+}  // namespace quicksand::bgp

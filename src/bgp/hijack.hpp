@@ -1,0 +1,102 @@
+#pragma once
+
+// Active BGP attacks against a victim prefix (Section 3.2).
+//
+// The attack matrix the paper discusses is spanned by three switches:
+//   * same-prefix vs more-specific announcement (more-specifics win by
+//     longest-prefix match everywhere they propagate, but are loud;
+//     same-prefix announcements only capture ASes that *prefer* the bogus
+//     route, and are stealthier);
+//   * blackhole (plain hijack — connections to the victim eventually die,
+//     yielding only an anonymity-set observation) vs interception
+//     (keep-alive: the attacker forwards captured traffic onward to the
+//     victim, enabling exact timing-analysis deanonymization);
+//   * unlimited vs community-scoped propagation (limiting how far the
+//     bogus announcement spreads, per the Renesys MITM report [35]).
+//
+// Interception delivery is checked hop-by-hop: the attacker forwards to
+// its pre-attack next hop, and every subsequent AS forwards under the
+// *attacked* routing state (falling back to the victim's route where the
+// bogus announcement did not propagate — longest-prefix-match semantics
+// for more-specific attacks). If the path bounces back to the attacker,
+// interception fails; a tunnel mode models attackers with an overlay.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/as_graph.hpp"
+#include "bgp/route_computation.hpp"
+#include "netbase/prefix.hpp"
+
+namespace quicksand::bgp {
+
+/// How an intercepting attacker gets captured traffic back to the victim.
+enum class ForwardingMode : std::uint8_t {
+  kHopByHop,  ///< normal IP forwarding from the attacker's next hop
+  kTunnel,    ///< attacker tunnels to a remote AS that still routes cleanly
+};
+
+/// One attack configuration.
+struct AttackSpec {
+  AsNumber attacker = 0;
+  AsNumber victim = 0;                ///< legitimate origin AS
+  netbase::Prefix victim_prefix;      ///< the prefix hosting the target relay
+  bool more_specific = false;         ///< announce a /len+1 inside the victim prefix
+  bool keep_alive = false;            ///< interception (forward traffic onward)
+  int propagation_radius = 0;         ///< >0: community-scoped announcement
+  int prepend = 1;                    ///< attacker-side path prepending
+  ForwardingMode forwarding = ForwardingMode::kHopByHop;
+
+  /// Short human-readable label, e.g. "more-specific interception (radius 3)".
+  [[nodiscard]] std::string Label() const;
+};
+
+/// Result of executing one attack.
+struct AttackOutcome {
+  /// The prefix the attacker announced (equal to victim_prefix, or the
+  /// lower /len+1 half for more-specific attacks).
+  netbase::Prefix announced_prefix;
+  /// Routing state for the announced prefix after the attack.
+  RoutingState attacked;
+  /// ASes (dense indices) whose traffic for the victim prefix now reaches
+  /// the attacker. Excludes the attacker itself.
+  std::vector<AsIndex> captured;
+  /// captured / (ASes with a baseline route to the victim, excl. attacker).
+  double capture_fraction = 0;
+  /// True iff keep_alive was requested and the attacker can still deliver
+  /// captured traffic to the victim.
+  bool traffic_delivered = false;
+  /// The post-attack delivery path attacker -> ... -> victim (dense
+  /// indices), empty unless traffic_delivered.
+  std::vector<AsIndex> delivery_path;
+};
+
+/// The data-plane path from `src` under longest-prefix-match semantics:
+/// each hop forwards by `preferred` (the attacked, more-specific state)
+/// when it has a route there, falling back to `fallback` (the victim's
+/// baseline) otherwise. Stops at the first origin reached, on a loop, or
+/// when no route exists. Returns the AS sequence from src inclusive.
+[[nodiscard]] std::vector<AsIndex> LpmForwardingPath(const RoutingState& preferred,
+                                                     const RoutingState& fallback,
+                                                     AsIndex src);
+
+/// Executes BGP attacks over a fixed topology.
+class HijackSimulator {
+ public:
+  /// `graph` must outlive the simulator.
+  explicit HijackSimulator(const AsGraph& graph) : graph_(&graph) {}
+
+  /// Runs one attack. Throws std::invalid_argument if attacker == victim,
+  /// either AS is unknown, prepend < 1, or a more-specific attack is
+  /// requested against a /32.
+  [[nodiscard]] AttackOutcome Execute(const AttackSpec& spec) const;
+
+  /// Baseline (no attack) routing state for the victim prefix.
+  [[nodiscard]] RoutingState Baseline(AsNumber victim) const;
+
+ private:
+  const AsGraph* graph_;
+};
+
+}  // namespace quicksand::bgp

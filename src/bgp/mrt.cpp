@@ -1,0 +1,118 @@
+#include "bgp/mrt.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace quicksand::bgp::mrt {
+
+std::string ToLine(const BgpUpdate& update) {
+  std::string out = std::to_string(update.time.seconds);
+  out += '|';
+  out += std::to_string(update.session);
+  out += '|';
+  out += update.type == UpdateType::kAnnounce ? 'A' : 'W';
+  out += '|';
+  out += update.prefix.ToString();
+  out += '|';
+  if (update.type == UpdateType::kAnnounce) out += update.path.ToString();
+  return out;
+}
+
+std::optional<BgpUpdate> ParseLine(std::string_view line) {
+  // Split into exactly five '|'-separated fields.
+  std::string_view fields[5];
+  std::size_t start = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (i == 4) {
+      fields[i] = line.substr(start);
+      break;
+    }
+    const auto bar = line.find('|', start);
+    if (bar == std::string_view::npos) return std::nullopt;
+    fields[i] = line.substr(start, bar - start);
+    start = bar + 1;
+  }
+
+  BgpUpdate update;
+  {
+    auto [ptr, ec] = std::from_chars(fields[0].data(), fields[0].data() + fields[0].size(),
+                                     update.time.seconds);
+    if (ec != std::errc{} || ptr != fields[0].data() + fields[0].size()) return std::nullopt;
+  }
+  {
+    auto [ptr, ec] = std::from_chars(fields[1].data(), fields[1].data() + fields[1].size(),
+                                     update.session);
+    if (ec != std::errc{} || ptr != fields[1].data() + fields[1].size()) return std::nullopt;
+  }
+  if (fields[2] == "A") {
+    update.type = UpdateType::kAnnounce;
+  } else if (fields[2] == "W") {
+    update.type = UpdateType::kWithdraw;
+  } else {
+    return std::nullopt;
+  }
+  auto prefix = netbase::Prefix::Parse(fields[3]);
+  if (!prefix) return std::nullopt;
+  update.prefix = *prefix;
+  if (update.type == UpdateType::kAnnounce) {
+    auto path = AsPath::Parse(fields[4]);
+    if (!path || path->empty()) return std::nullopt;
+    update.path = std::move(*path);
+  } else if (!fields[4].empty()) {
+    return std::nullopt;  // withdrawals carry no path
+  }
+  return update;
+}
+
+std::string ToText(const std::vector<BgpUpdate>& updates) {
+  std::string out;
+  for (const BgpUpdate& u : updates) {
+    out += ToLine(u);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<BgpUpdate> ParseText(std::string_view text) {
+  std::vector<BgpUpdate> out;
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    ++line_number;
+    auto end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line.front() == '#') {
+      if (end == text.size()) break;
+      continue;
+    }
+    auto update = ParseLine(line);
+    if (!update) {
+      throw std::runtime_error("mrt: malformed line " + std::to_string(line_number) + ": '" +
+                               std::string(line) + "'");
+    }
+    out.push_back(std::move(*update));
+    if (end == text.size()) break;
+  }
+  return out;
+}
+
+void WriteFile(const std::string& path, const std::vector<BgpUpdate>& updates) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("mrt: cannot open '" + path + "' for writing");
+  out << ToText(updates);
+  if (!out) throw std::runtime_error("mrt: write failed for '" + path + "'");
+}
+
+std::vector<BgpUpdate> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("mrt: cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseText(buffer.str());
+}
+
+}  // namespace quicksand::bgp::mrt

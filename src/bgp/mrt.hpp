@@ -1,0 +1,43 @@
+#pragma once
+
+// Textual MRT-like serialization of BGP update streams.
+//
+// Real RIPE RIS archives are binary MRT; this project uses an equivalent
+// line-oriented format carrying exactly the fields the analysis needs:
+//
+//   <unix-seconds>|<session>|A|<prefix>|<as-path>
+//   <unix-seconds>|<session>|W|<prefix>|
+//
+// The format is lossless for BgpUpdate and diff-friendly, so dumps can be
+// inspected and checked into test fixtures.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/update.hpp"
+
+namespace quicksand::bgp::mrt {
+
+/// Serializes one update to its line form (no trailing newline).
+[[nodiscard]] std::string ToLine(const BgpUpdate& update);
+
+/// Parses one line. Returns nullopt on malformed input.
+[[nodiscard]] std::optional<BgpUpdate> ParseLine(std::string_view line);
+
+/// Serializes a stream of updates, one per line.
+[[nodiscard]] std::string ToText(const std::vector<BgpUpdate>& updates);
+
+/// Parses a whole dump; blank lines and lines starting with '#' are
+/// skipped. Throws std::runtime_error naming the first bad line.
+[[nodiscard]] std::vector<BgpUpdate> ParseText(std::string_view text);
+
+/// Writes updates to a file. Throws std::runtime_error if it cannot open.
+void WriteFile(const std::string& path, const std::vector<BgpUpdate>& updates);
+
+/// Reads updates from a file. Throws std::runtime_error on I/O or parse
+/// errors.
+[[nodiscard]] std::vector<BgpUpdate> ReadFile(const std::string& path);
+
+}  // namespace quicksand::bgp::mrt

@@ -1,0 +1,16 @@
+#include "bgp/policy.hpp"
+
+namespace quicksand::bgp {
+
+std::string_view ToString(RouteClass cls) noexcept {
+  switch (cls) {
+    case RouteClass::kSelf: return "self";
+    case RouteClass::kCustomer: return "customer";
+    case RouteClass::kPeer: return "peer";
+    case RouteClass::kProvider: return "provider";
+    case RouteClass::kNone: return "none";
+  }
+  return "?";
+}
+
+}  // namespace quicksand::bgp

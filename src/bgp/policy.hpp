@@ -1,0 +1,67 @@
+#pragma once
+
+// Gao–Rexford routing policy: route classes, preference and export rules.
+//
+// Preference (highest first): routes learned from customers, then from
+// peers, then from providers; within a class, shorter AS-PATH wins; final
+// tie-break is deterministic per (local AS, neighbor) and can be "salted"
+// to model intra-domain policy shifts that flip between equally good routes.
+//
+// Export: a route learned from a customer (or originated locally) is
+// exported to everyone; a route learned from a peer or provider is exported
+// only to customers. These two rules yield valley-free paths.
+
+#include <cstdint>
+#include <string_view>
+
+#include "bgp/as_graph.hpp"
+
+namespace quicksand::bgp {
+
+/// How an AS learned its best route. Order encodes preference (lower is
+/// more preferred), with kSelf (locally originated) the most preferred.
+enum class RouteClass : std::uint8_t {
+  kSelf = 0,      ///< locally originated
+  kCustomer = 1,  ///< learned from a customer
+  kPeer = 2,      ///< learned from a peer
+  kProvider = 3,  ///< learned from a provider
+  kNone = 4,      ///< no route
+};
+
+[[nodiscard]] std::string_view ToString(RouteClass cls) noexcept;
+
+/// Route class obtained when learning a route from a neighbor with the
+/// given relationship (a route via my customer is a customer route, etc.).
+[[nodiscard]] constexpr RouteClass ClassVia(Relationship rel) noexcept {
+  switch (rel) {
+    case Relationship::kCustomer: return RouteClass::kCustomer;
+    case Relationship::kPeer: return RouteClass::kPeer;
+    case Relationship::kProvider: return RouteClass::kProvider;
+  }
+  return RouteClass::kNone;
+}
+
+/// Gao–Rexford export rule: may an AS whose best route has class `cls`
+/// advertise it to a neighbor with relationship `to`?
+[[nodiscard]] constexpr bool MayExport(RouteClass cls, Relationship to) noexcept {
+  if (cls == RouteClass::kNone) return false;
+  if (cls == RouteClass::kSelf || cls == RouteClass::kCustomer) return true;
+  // Peer- and provider-learned routes go only to customers.
+  return to == Relationship::kCustomer;
+}
+
+/// Deterministic tie-break score for choosing among equally good
+/// (class, length) candidates at AS `local`: lower score wins. With
+/// salt == 0 this is simply the neighbor ASN (prefer lowest neighbor);
+/// a non-zero salt reshuffles preferences, modeling an operator changing
+/// intradomain configuration without any topology change.
+[[nodiscard]] constexpr std::uint64_t TieBreakScore(AsNumber neighbor_asn,
+                                                    std::uint64_t salt) noexcept {
+  if (salt == 0) return neighbor_asn;
+  std::uint64_t z = neighbor_asn ^ (salt * 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace quicksand::bgp

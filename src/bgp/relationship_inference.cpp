@@ -1,0 +1,117 @@
+#include "bgp/relationship_inference.hpp"
+
+#include <algorithm>
+
+namespace quicksand::bgp {
+
+void RelationshipInference::AddPath(const AsPath& path) {
+  if (path.HasLoop()) return;
+  const auto hops = path.DistinctAses();
+  if (hops.size() < 2) return;
+  ++paths_;
+
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    neighbours_[hops[i]][hops[i + 1]] = true;
+    neighbours_[hops[i + 1]][hops[i]] = true;
+  }
+
+  // Find the top of the path: the AS with the highest observed degree.
+  // (Degrees update as the corpus grows; Infer() is where the final votes
+  // were already cast, matching Gao's two-phase structure closely enough
+  // for a streaming implementation.)
+  std::size_t top = 0;
+  std::size_t top_degree = 0;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    const std::size_t degree = DegreeOf(hops[i]);
+    if (degree > top_degree) {
+      top_degree = degree;
+      top = i;
+    }
+  }
+
+  // The path reads receiver -> origin, with the top at index `top`.
+  // Walking the stored order, the receiver-side segment (i < top) ascends
+  // towards the top — hops[i+1] is the provider of hops[i] — while the
+  // origin-side segment (i >= top) descends — hops[i] is the provider of
+  // hops[i+1].
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    const AsNumber x = hops[i];
+    const AsNumber y = hops[i + 1];
+    const bool x_is_provider = i >= top;
+    auto& votes = votes_[Key(x, y)];
+    const AsNumber high = std::max(x, y);
+    const bool high_is_provider = (high == x) == x_is_provider;
+    if (high_is_provider) {
+      ++votes.high_is_provider;
+    } else {
+      ++votes.high_is_customer;
+    }
+    // A valley-free path crosses its (single) peer link at the top.
+    if (i + 1 == top || i == top) ++votes.at_top;
+  }
+}
+
+std::size_t RelationshipInference::DegreeOf(AsNumber as) const {
+  const auto it = neighbours_.find(as);
+  return it == neighbours_.end() ? 0 : it->second.size();
+}
+
+std::vector<InferredLink> RelationshipInference::Infer() const {
+  std::vector<InferredLink> out;
+  out.reserve(votes_.size());
+  for (const auto& [key, votes] : votes_) {
+    const auto [low, high] = key;
+    const std::size_t total = votes.high_is_provider + votes.high_is_customer;
+    if (total == 0) continue;
+    const double provider_share =
+        static_cast<double>(votes.high_is_provider) / static_cast<double>(total);
+
+    InferredLink link;
+    link.a = low;
+    link.b = high;
+    // Peer phase (Gao): links that live at path tops between ASes of
+    // comparable degree are settlement-free peerings.
+    const double degree_low = static_cast<double>(std::max<std::size_t>(1, DegreeOf(low)));
+    const double degree_high =
+        static_cast<double>(std::max<std::size_t>(1, DegreeOf(high)));
+    const double ratio = std::max(degree_low, degree_high) /
+                         std::min(degree_low, degree_high);
+    const double top_fraction =
+        static_cast<double>(votes.at_top) / static_cast<double>(total);
+    if ((top_fraction >= params_.peer_top_fraction && ratio <= params_.peer_degree_ratio) ||
+        std::abs(provider_share - 0.5) <= params_.peer_vote_margin) {
+      link.rel = Relationship::kPeer;
+      link.confidence = std::max(top_fraction, 0.5 + std::abs(provider_share - 0.5));
+    } else if (provider_share > 0.5) {
+      // b (high) is the provider of a => seen from a, b is a provider...
+      // InferredLink.rel is the role of b as seen from a.
+      link.rel = Relationship::kProvider;
+      link.confidence = provider_share;
+    } else {
+      link.rel = Relationship::kCustomer;
+      link.confidence = 1.0 - provider_share;
+    }
+    out.push_back(link);
+  }
+  return out;
+}
+
+RelationshipInference::Validation RelationshipInference::Validate(
+    std::span<const InferredLink> inferred, const AsGraph& truth) {
+  Validation v;
+  for (const InferredLink& link : inferred) {
+    const auto actual = truth.RelationshipBetween(link.a, link.b);
+    if (!actual) continue;
+    ++v.links_evaluated;
+    if (*actual == link.rel) {
+      ++v.correct;
+    } else if (*actual == Relationship::kPeer || link.rel == Relationship::kPeer) {
+      ++v.class_errors;
+    } else {
+      ++v.direction_errors;
+    }
+  }
+  return v;
+}
+
+}  // namespace quicksand::bgp

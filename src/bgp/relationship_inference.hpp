@@ -1,0 +1,109 @@
+#pragma once
+
+// AS-relationship inference from observed AS-PATHs, after Gao, "On
+// inferring autonomous system relationships in the Internet" (ToN 2001) —
+// the algorithm behind the path predictions of the prior work the paper
+// builds on (Feamster–Dingledine, Edman–Syverson).
+//
+// The core heuristic: in a valley-free path, the highest-degree AS is the
+// "top"; links before the top go customer->provider (uphill) and links
+// after it provider->customer (downhill). Votes are accumulated across
+// paths; links with balanced votes at the top become peers.
+//
+// In this project the inference runs against paths exported by the policy
+// simulator, which lets us *validate* it against ground-truth
+// relationships — the paper's pipeline inherits whatever error this
+// inference makes, so quantifying it matters.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bgp/as_graph.hpp"
+#include "bgp/path.hpp"
+
+namespace quicksand::bgp {
+
+/// An inferred relationship for one AS pair (a, b), a < b by ASN.
+struct InferredLink {
+  AsNumber a = 0;
+  AsNumber b = 0;
+  /// Relationship of b as seen from a (kCustomer: b is a's customer).
+  Relationship rel = Relationship::kPeer;
+  /// Votes supporting the majority direction vs total votes, in [0.5, 1].
+  double confidence = 0;
+
+  friend bool operator==(const InferredLink&, const InferredLink&) = default;
+};
+
+struct InferenceParams {
+  /// Links whose uphill/downhill vote ratio is within this margin of 0.5
+  /// are classified as peer links.
+  double peer_vote_margin = 0.12;
+  /// Gao's peer phase: a link is reclassified as peer when it sits at the
+  /// top of at least this fraction of the paths crossing it...
+  double peer_top_fraction = 0.5;
+  /// ...and its endpoints' observed degrees are within this ratio.
+  double peer_degree_ratio = 2.5;
+};
+
+/// Infers relationships from a corpus of AS-PATHs.
+class RelationshipInference {
+ public:
+  explicit RelationshipInference(InferenceParams params = {}) : params_(params) {}
+
+  /// Adds one observed path (front = receiver, back = origin), updating
+  /// degree estimates and directional votes. Paths with loops are ignored.
+  void AddPath(const AsPath& path);
+
+  /// Number of paths accepted so far.
+  [[nodiscard]] std::size_t PathCount() const noexcept { return paths_; }
+
+  /// Observed degree (distinct neighbours seen in paths) of an AS.
+  [[nodiscard]] std::size_t DegreeOf(AsNumber as) const;
+
+  /// Runs classification over everything observed so far.
+  [[nodiscard]] std::vector<InferredLink> Infer() const;
+
+  /// Convenience: compares an inference against ground truth.
+  struct Validation {
+    std::size_t links_evaluated = 0;
+    std::size_t correct = 0;
+    /// Peer links misread as customer-provider or vice versa.
+    std::size_t class_errors = 0;
+    /// Customer-provider links with the direction flipped.
+    std::size_t direction_errors = 0;
+    [[nodiscard]] double Accuracy() const {
+      return links_evaluated == 0
+                 ? 0
+                 : static_cast<double>(correct) / static_cast<double>(links_evaluated);
+    }
+  };
+
+  /// Scores inferred links against the true graph; links absent from the
+  /// graph are skipped.
+  [[nodiscard]] static Validation Validate(std::span<const InferredLink> inferred,
+                                           const AsGraph& truth);
+
+ private:
+  struct LinkVotes {
+    // Votes that the higher-ASN side is the provider / the customer.
+    std::size_t high_is_provider = 0;
+    std::size_t high_is_customer = 0;
+    // Paths in which this link was adjacent to the path top.
+    std::size_t at_top = 0;
+  };
+
+  static std::pair<AsNumber, AsNumber> Key(AsNumber x, AsNumber y) {
+    return x < y ? std::make_pair(x, y) : std::make_pair(y, x);
+  }
+
+  InferenceParams params_;
+  std::size_t paths_ = 0;
+  std::map<AsNumber, std::map<AsNumber, bool>> neighbours_;  // adjacency seen
+  std::map<std::pair<AsNumber, AsNumber>, LinkVotes> votes_;
+};
+
+}  // namespace quicksand::bgp

@@ -1,0 +1,30 @@
+#include "bgp/rib.hpp"
+
+namespace quicksand::bgp {
+
+bool SessionRib::Apply(const BgpUpdate& update) {
+  if (update.type == UpdateType::kAnnounce) {
+    const AsPath* existing = trie_.Find(update.prefix);
+    if (existing != nullptr && *existing == update.path) return false;
+    trie_.Insert(update.prefix, update.path);
+    return true;
+  }
+  return trie_.Erase(update.prefix);
+}
+
+std::optional<std::pair<netbase::Prefix, AsPath>> SessionRib::Lookup(
+    netbase::Ipv4Address address) const {
+  const auto match = trie_.LongestMatch(address);
+  if (!match) return std::nullopt;
+  return std::make_pair(match->first, *match->second);
+}
+
+std::size_t RibSet::SessionsCovering(netbase::Ipv4Address address) const {
+  std::size_t count = 0;
+  for (const SessionRib& rib : ribs_) {
+    if (rib.Lookup(address)) ++count;
+  }
+  return count;
+}
+
+}  // namespace quicksand::bgp

@@ -1,0 +1,72 @@
+#pragma once
+
+// Routing Information Bases reconstructed from update streams.
+//
+// A SessionRib is the Adj-RIB-In of one collector session: apply the
+// initial table and the update stream in order and query the state at any
+// point — exact-prefix routes or longest-prefix-match for an address (the
+// "which announcement covers this Tor relay right now?" primitive).
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "bgp/update.hpp"
+#include "netbase/prefix_trie.hpp"
+
+namespace quicksand::bgp {
+
+/// One session's reconstructed table.
+class SessionRib {
+ public:
+  /// Applies one update (announce inserts/replaces, withdraw removes).
+  /// Returns true iff the table changed.
+  bool Apply(const BgpUpdate& update);
+
+  /// Number of prefixes currently held.
+  [[nodiscard]] std::size_t size() const noexcept { return trie_.size(); }
+
+  /// Exact-prefix route, or nullptr if the prefix is not in the table.
+  [[nodiscard]] const AsPath* RouteFor(const netbase::Prefix& prefix) const {
+    return trie_.Find(prefix);
+  }
+
+  /// Longest-prefix-match for an address.
+  [[nodiscard]] std::optional<std::pair<netbase::Prefix, AsPath>> Lookup(
+      netbase::Ipv4Address address) const;
+
+  /// All prefixes currently announced, in address order.
+  [[nodiscard]] std::vector<netbase::Prefix> Prefixes() const { return trie_.Prefixes(); }
+
+ private:
+  netbase::PrefixTrie<AsPath> trie_;
+};
+
+/// RIBs for every session of a collector deployment.
+class RibSet {
+ public:
+  /// Creates tables for sessions [0, session_count).
+  explicit RibSet(std::size_t session_count) : ribs_(session_count) {}
+
+  /// Applies one update to its session's table.
+  /// Throws std::out_of_range for an unknown session.
+  bool Apply(const BgpUpdate& update) { return ribs_.at(update.session).Apply(update); }
+
+  /// Applies a whole stream in order.
+  void ApplyAll(std::span<const BgpUpdate> updates) {
+    for (const BgpUpdate& update : updates) (void)Apply(update);
+  }
+
+  [[nodiscard]] std::size_t SessionCount() const noexcept { return ribs_.size(); }
+  [[nodiscard]] const SessionRib& Of(SessionId session) const { return ribs_.at(session); }
+
+  /// Number of sessions currently carrying a route that covers `address`.
+  [[nodiscard]] std::size_t SessionsCovering(netbase::Ipv4Address address) const;
+
+ private:
+  std::vector<SessionRib> ribs_;
+};
+
+}  // namespace quicksand::bgp

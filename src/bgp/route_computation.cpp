@@ -1,0 +1,225 @@
+#include "bgp/route_computation.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace quicksand::bgp {
+
+namespace {
+
+constexpr std::uint64_t kNoCandidate = std::numeric_limits<std::uint64_t>::max();
+
+/// Per-AS best candidate while a propagation level is being gathered.
+struct Candidate {
+  std::uint64_t score = kNoCandidate;
+  AsIndex exporter = 0;
+};
+
+std::uint64_t SaltOf(std::span<const std::uint64_t> salts, AsIndex as) {
+  return salts.empty() ? 0 : salts[as];
+}
+
+bool LinkUp(const LinkSet* disabled, AsIndex a, AsIndex b) {
+  return disabled == nullptr || !disabled->contains(LinkKey(a, b));
+}
+
+}  // namespace
+
+std::size_t RoutingState::RoutedCount() const noexcept {
+  std::size_t count = 0;
+  for (const RouteEntry& r : routes_) {
+    if (r.cls != RouteClass::kNone) ++count;
+  }
+  return count;
+}
+
+AsPath RoutingState::PathOf(AsIndex as) const {
+  if (!HasRoute(as)) return {};
+  std::vector<AsNumber> hops;
+  AsIndex current = as;
+  while (routes_[current].cls != RouteClass::kSelf) {
+    hops.push_back(graph_->AsnOf(current));
+    current = routes_[current].next_hop;
+  }
+  const int prepend = prepends_[current];
+  for (int i = 0; i < prepend; ++i) hops.push_back(graph_->AsnOf(current));
+  return AsPath(std::move(hops));
+}
+
+std::vector<AsIndex> RoutingState::ForwardingPath(AsIndex src) const {
+  if (!HasRoute(src)) return {};
+  std::vector<AsIndex> path;
+  AsIndex current = src;
+  path.push_back(current);
+  while (routes_[current].cls != RouteClass::kSelf) {
+    current = routes_[current].next_hop;
+    path.push_back(current);
+  }
+  return path;
+}
+
+bool RoutingState::PathCrosses(AsIndex src, AsIndex transit) const {
+  if (!HasRoute(src)) return false;
+  AsIndex current = src;
+  while (true) {
+    if (current == transit) return true;
+    if (routes_[current].cls == RouteClass::kSelf) return false;
+    current = routes_[current].next_hop;
+  }
+}
+
+std::vector<AsIndex> RoutingState::AsesRoutedTo(AsIndex origin) const {
+  std::vector<AsIndex> out;
+  for (AsIndex as = 0; as < routes_.size(); ++as) {
+    if (HasRoute(as) && routes_[as].origin == origin) out.push_back(as);
+  }
+  return out;
+}
+
+RoutingState ComputeRoutes(const AsGraph& graph, std::span<const OriginSpec> origins,
+                           const ComputationOptions& options) {
+  const std::size_t n = graph.AsCount();
+  if (!options.tie_break_salts.empty() && options.tie_break_salts.size() != n) {
+    throw std::invalid_argument("tie_break_salts size must equal AsCount");
+  }
+  std::vector<RouteEntry> routes(n);
+  std::vector<int> prepends(n, 0);
+  std::vector<int> radius(n, 0);  // per-origin propagation radius (dense index)
+
+  std::unordered_set<AsIndex> origin_set;
+  for (const OriginSpec& spec : origins) {
+    if (spec.prepend < 1) throw std::invalid_argument("OriginSpec: prepend must be >= 1");
+    const AsIndex idx = graph.MustIndexOf(spec.origin);
+    if (!origin_set.insert(idx).second) {
+      throw std::invalid_argument("duplicate origin AS" + std::to_string(spec.origin));
+    }
+    routes[idx] = RouteEntry{RouteClass::kSelf, idx, idx,
+                             static_cast<std::uint16_t>(spec.prepend)};
+    prepends[idx] = spec.prepend;
+    radius[idx] = spec.propagation_radius;
+  }
+
+  // True if a route via `exporter` may grow to `new_length` hops under the
+  // exporter's origin's propagation radius.
+  auto radius_allows = [&](AsIndex exporter, int new_length) {
+    const int r = radius[routes[exporter].origin];
+    return r == 0 || new_length <= r;
+  };
+
+  // ---- Stage 1: customer routes ripple up provider links, BFS by length.
+  // frontier[L] holds ASes whose customer/self route of length L was just
+  // finalized and must be offered to their providers.
+  std::map<int, std::vector<AsIndex>> frontier;
+  for (AsIndex o : origin_set) frontier[routes[o].length].push_back(o);
+
+  std::unordered_map<AsIndex, Candidate> candidates;
+  while (!frontier.empty()) {
+    const auto level = frontier.begin()->first;
+    const std::vector<AsIndex> exporters = std::move(frontier.begin()->second);
+    frontier.erase(frontier.begin());
+    candidates.clear();
+    for (AsIndex u : exporters) {
+      if (!radius_allows(u, level + 1)) continue;
+      for (const Neighbor& nb : graph.NeighborsOf(u)) {
+        if (nb.rel != Relationship::kProvider) continue;  // export up only
+        const AsIndex v = nb.index;
+        if (!LinkUp(options.disabled_links, u, v)) continue;
+        // v already has a self or (necessarily shorter-or-equal) customer
+        // route finalized at an earlier level.
+        if (routes[v].cls <= RouteClass::kCustomer) continue;
+        const std::uint64_t score =
+            TieBreakScore(graph.AsnOf(u), SaltOf(options.tie_break_salts, v));
+        Candidate& cand = candidates[v];
+        if (score < cand.score) cand = Candidate{score, u};
+      }
+    }
+    for (const auto& [v, cand] : candidates) {
+      routes[v] = RouteEntry{RouteClass::kCustomer, cand.exporter,
+                             routes[cand.exporter].origin,
+                             static_cast<std::uint16_t>(level + 1)};
+      frontier[level + 1].push_back(v);
+    }
+  }
+
+  // ---- Stage 2: one round of peer exports from customer/self routes.
+  // Collect the best peer candidate per AS (shortest, then score), then
+  // commit all at once; peer routes are never re-exported to peers.
+  struct PeerCandidate {
+    int length = std::numeric_limits<int>::max();
+    std::uint64_t score = kNoCandidate;
+    AsIndex exporter = 0;
+  };
+  std::unordered_map<AsIndex, PeerCandidate> peer_candidates;
+  for (AsIndex u = 0; u < n; ++u) {
+    if (routes[u].cls > RouteClass::kCustomer) continue;
+    const int new_length = routes[u].length + 1;
+    if (!radius_allows(u, new_length)) continue;
+    for (const Neighbor& nb : graph.NeighborsOf(u)) {
+      if (nb.rel != Relationship::kPeer) continue;
+      const AsIndex v = nb.index;
+      if (!LinkUp(options.disabled_links, u, v)) continue;
+      if (routes[v].cls <= RouteClass::kCustomer) continue;  // has better class
+      const std::uint64_t score =
+          TieBreakScore(graph.AsnOf(u), SaltOf(options.tie_break_salts, v));
+      PeerCandidate& cand = peer_candidates[v];
+      if (new_length < cand.length || (new_length == cand.length && score < cand.score)) {
+        cand = PeerCandidate{new_length, score, u};
+      }
+    }
+  }
+  for (const auto& [v, cand] : peer_candidates) {
+    routes[v] = RouteEntry{RouteClass::kPeer, cand.exporter, routes[cand.exporter].origin,
+                           static_cast<std::uint16_t>(cand.length)};
+  }
+
+  // ---- Stage 3: provider routes ripple down customer links, BFS by the
+  // total candidate length (sources have heterogeneous lengths).
+  std::map<int, std::vector<std::pair<AsIndex, AsIndex>>> down;  // length -> (v, exporter)
+  auto offer_down = [&](AsIndex u) {
+    const int new_length = routes[u].length + 1;
+    if (!radius_allows(u, new_length)) return;
+    for (const Neighbor& nb : graph.NeighborsOf(u)) {
+      if (nb.rel != Relationship::kCustomer) continue;
+      const AsIndex v = nb.index;
+      if (!LinkUp(options.disabled_links, u, v)) continue;
+      if (routes[v].cls != RouteClass::kNone) continue;
+      down[new_length].emplace_back(v, u);
+    }
+  };
+  for (AsIndex u = 0; u < n; ++u) {
+    if (routes[u].cls != RouteClass::kNone) offer_down(u);
+  }
+  while (!down.empty()) {
+    const int level = down.begin()->first;
+    const auto offers = std::move(down.begin()->second);
+    down.erase(down.begin());
+    candidates.clear();
+    for (const auto& [v, u] : offers) {
+      if (routes[v].cls != RouteClass::kNone) continue;  // finalized earlier
+      const std::uint64_t score =
+          TieBreakScore(graph.AsnOf(u), SaltOf(options.tie_break_salts, v));
+      Candidate& cand = candidates[v];
+      if (score < cand.score) cand = Candidate{score, u};
+    }
+    for (const auto& [v, cand] : candidates) {
+      routes[v] = RouteEntry{RouteClass::kProvider, cand.exporter,
+                             routes[cand.exporter].origin,
+                             static_cast<std::uint16_t>(level)};
+      offer_down(v);
+    }
+  }
+
+  return RoutingState(graph, std::move(routes), std::move(prepends));
+}
+
+RoutingState ComputeRoutes(const AsGraph& graph, AsNumber origin,
+                           const ComputationOptions& options) {
+  const OriginSpec spec{origin, 1, 0};
+  return ComputeRoutes(graph, std::span<const OriginSpec>(&spec, 1), options);
+}
+
+}  // namespace quicksand::bgp

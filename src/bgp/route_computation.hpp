@@ -1,0 +1,112 @@
+#pragma once
+
+// Per-prefix interdomain route computation under Gao–Rexford policies.
+//
+// Computes the stable routing state toward a destination prefix announced
+// by one or more origin ASes (several origins model MOAS conflicts and
+// hijack/interception attacks). The algorithm is the classical three-stage
+// propagation used in routing-security studies:
+//
+//   stage 1  customer routes ripple *up* provider links from the origins,
+//            in breadth-first (shortest-path) order;
+//   stage 2  ASes with customer/self routes offer them across peer links;
+//   stage 3  routes ripple *down* customer links, again breadth-first.
+//
+// Preference at every AS: customer > peer > provider class, then shortest
+// AS-PATH, then a deterministic tie-break (optionally salted per AS to
+// model policy shifts). The result is the unique stable valley-free state.
+//
+// Failed links are passed as a LinkSet; announcements may carry a
+// propagation radius (BGP-community-scoped attacks, Section 3.2) and
+// origin-side path prepending.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/as_graph.hpp"
+#include "bgp/path.hpp"
+#include "bgp/policy.hpp"
+
+namespace quicksand::bgp {
+
+/// One origin announcement of the destination prefix.
+struct OriginSpec {
+  AsNumber origin = 0;
+  /// How many times the origin appears in the announced path (prepending).
+  /// Must be >= 1.
+  int prepend = 1;
+  /// If positive, the announcement is dropped once the AS-PATH would grow
+  /// beyond this many hops — models community-scoped, limited-propagation
+  /// announcements ("stealth" hijacks). 0 means unlimited.
+  int propagation_radius = 0;
+};
+
+/// Options shared by a route computation.
+struct ComputationOptions {
+  /// Links to treat as failed (keyed by LinkKey of dense indices).
+  const LinkSet* disabled_links = nullptr;
+  /// Per-AS tie-break salt (dense-indexed). Empty span means all zeros,
+  /// i.e. prefer the lowest neighbor ASN among equally good routes.
+  std::span<const std::uint64_t> tie_break_salts = {};
+};
+
+/// An AS's best route in the computed state.
+struct RouteEntry {
+  RouteClass cls = RouteClass::kNone;
+  AsIndex next_hop = 0;  ///< meaningful unless cls is kSelf or kNone
+  AsIndex origin = 0;    ///< dense index of the origin this route reaches
+  std::uint16_t length = 0;  ///< AS-PATH length including prepending
+};
+
+/// The stable routing state toward one destination prefix.
+class RoutingState {
+ public:
+  RoutingState(const AsGraph& graph, std::vector<RouteEntry> routes,
+               std::vector<int> prepends)
+      : graph_(&graph), routes_(std::move(routes)), prepends_(std::move(prepends)) {}
+
+  [[nodiscard]] const AsGraph& graph() const noexcept { return *graph_; }
+
+  [[nodiscard]] bool HasRoute(AsIndex as) const { return routes_.at(as).cls != RouteClass::kNone; }
+
+  /// Best-route entry of an AS (cls == kNone when unrouted).
+  [[nodiscard]] const RouteEntry& RouteOf(AsIndex as) const { return routes_.at(as); }
+
+  /// Number of ASes holding a route.
+  [[nodiscard]] std::size_t RoutedCount() const noexcept;
+
+  /// The AS-PATH this AS would advertise: [self, ..., origin×prepend].
+  /// Empty path if the AS has no route.
+  [[nodiscard]] AsPath PathOf(AsIndex as) const;
+
+  /// Data-plane AS-level path from `src` to the origin its route reaches,
+  /// inclusive of both ends, without prepend repetition. Empty if unrouted.
+  [[nodiscard]] std::vector<AsIndex> ForwardingPath(AsIndex src) const;
+
+  /// True iff `transit` lies on `src`'s forwarding path (including either
+  /// endpoint).
+  [[nodiscard]] bool PathCrosses(AsIndex src, AsIndex transit) const;
+
+  /// All ASes whose forwarding path terminates at `origin` — e.g. the
+  /// capture set of a hijacking origin.
+  [[nodiscard]] std::vector<AsIndex> AsesRoutedTo(AsIndex origin) const;
+
+ private:
+  const AsGraph* graph_;
+  std::vector<RouteEntry> routes_;
+  std::vector<int> prepends_;  ///< per-AS: prepend count if kSelf, else 0
+};
+
+/// Computes the stable routing state for a prefix announced by `origins`.
+/// Throws std::invalid_argument on an unknown origin ASN, duplicate
+/// origins, or prepend < 1.
+[[nodiscard]] RoutingState ComputeRoutes(const AsGraph& graph,
+                                         std::span<const OriginSpec> origins,
+                                         const ComputationOptions& options = {});
+
+/// Convenience overload: single origin, default options.
+[[nodiscard]] RoutingState ComputeRoutes(const AsGraph& graph, AsNumber origin,
+                                         const ComputationOptions& options = {});
+
+}  // namespace quicksand::bgp

@@ -1,0 +1,172 @@
+#include "bgp/session_reset.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace quicksand::bgp {
+
+namespace {
+
+struct BurstInterval {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;  // inclusive
+};
+
+/// Detects table-transfer bursts per session with a sliding window over
+/// announcement timestamps.
+std::unordered_map<SessionId, std::vector<BurstInterval>> DetectBursts(
+    const std::vector<BgpUpdate>& updates,
+    const std::unordered_map<SessionId, std::size_t>& table_sizes,
+    const ResetFilterParams& params) {
+  std::unordered_map<SessionId, std::vector<std::int64_t>> announce_times;
+  for (const BgpUpdate& u : updates) {
+    if (u.type == UpdateType::kAnnounce) {
+      announce_times[u.session].push_back(u.time.seconds);
+    }
+  }
+
+  std::unordered_map<SessionId, std::vector<BurstInterval>> bursts;
+  for (auto& [session, times] : announce_times) {
+    std::size_t threshold = params.min_burst_updates;
+    if (auto it = table_sizes.find(session); it != table_sizes.end()) {
+      threshold = std::max(threshold,
+                           static_cast<std::size_t>(params.burst_table_fraction *
+                                                    static_cast<double>(it->second)));
+    }
+    std::vector<BurstInterval>& intervals = bursts[session];
+    std::size_t left = 0;
+    for (std::size_t right = 0; right < times.size(); ++right) {
+      while (times[right] - times[left] > params.burst_window_s) ++left;
+      if (right - left + 1 >= threshold) {
+        const std::int64_t begin = times[left];
+        const std::int64_t end = times[right] + params.grace_s;
+        if (!intervals.empty() && begin <= intervals.back().end) {
+          intervals.back().end = std::max(intervals.back().end, end);
+        } else {
+          intervals.push_back({begin, end});
+        }
+      }
+    }
+    if (intervals.empty()) bursts.erase(session);
+  }
+  return bursts;
+}
+
+bool InBurst(const std::vector<BurstInterval>* intervals, std::int64_t t,
+             std::size_t& cursor) {
+  if (intervals == nullptr) return false;
+  while (cursor < intervals->size() && (*intervals)[cursor].end < t) ++cursor;
+  return cursor < intervals->size() && (*intervals)[cursor].begin <= t;
+}
+
+}  // namespace
+
+FilteredUpdates FilterSessionResets(const std::vector<BgpUpdate>& initial_rib,
+                                    const std::vector<BgpUpdate>& updates,
+                                    const ResetFilterParams& params) {
+  for (std::size_t i = 1; i < updates.size(); ++i) {
+    if (updates[i].time < updates[i - 1].time) {
+      throw std::invalid_argument("FilterSessionResets: updates not time-ordered");
+    }
+  }
+
+  // Session tables at t=0 (path per prefix), used for duplicate detection,
+  // and their sizes for the burst threshold.
+  using Key = std::pair<SessionId, netbase::Prefix>;
+  std::map<Key, std::optional<AsPath>> state;
+  std::unordered_map<SessionId, std::size_t> table_sizes;
+  for (const BgpUpdate& u : initial_rib) {
+    state[{u.session, u.prefix}] = u.path;
+    ++table_sizes[u.session];
+  }
+
+  const auto bursts = DetectBursts(updates, table_sizes, params);
+
+  FilteredUpdates result;
+  result.stats.input_updates = updates.size();
+  for (const auto& [session, intervals] : bursts) {
+    result.stats.bursts_detected += intervals.size();
+    (void)session;
+  }
+
+  // Per-session burst scan cursors and buffered burst content.
+  std::unordered_map<SessionId, std::size_t> cursors;
+  struct BurstBuffer {
+    std::int64_t flush_after = 0;
+    // Last update per prefix within the burst, plus how many were buffered.
+    std::map<netbase::Prefix, std::pair<BgpUpdate, std::size_t>> final_updates;
+  };
+  std::unordered_map<SessionId, BurstBuffer> buffers;
+
+  auto flush = [&](SessionId session, BurstBuffer& buffer) {
+    for (auto& [prefix, entry] : buffer.final_updates) {
+      auto& [update, count] = entry;
+      auto& current = state[{session, prefix}];
+      const bool is_announce = update.type == UpdateType::kAnnounce;
+      const bool changes_state =
+          is_announce ? (!current || !(*current == update.path)) : current.has_value();
+      if (changes_state) {
+        result.stats.burst_updates_removed += count - 1;
+        if (is_announce) {
+          current = update.path;
+        } else {
+          current.reset();
+        }
+        result.updates.push_back(std::move(update));
+      } else {
+        // Net no-op: the whole burst group is an artifact.
+        result.stats.burst_updates_removed += count;
+      }
+    }
+    buffer.final_updates.clear();
+  };
+
+  for (const BgpUpdate& u : updates) {
+    const auto burst_it = bursts.find(u.session);
+    const std::vector<BurstInterval>* intervals =
+        burst_it == bursts.end() ? nullptr : &burst_it->second;
+    BurstBuffer& buffer = buffers[u.session];
+    if (!buffer.final_updates.empty() && u.time.seconds > buffer.flush_after) {
+      flush(u.session, buffer);
+    }
+    if (InBurst(intervals, u.time.seconds, cursors[u.session])) {
+      const auto& interval = (*intervals)[cursors[u.session]];
+      buffer.flush_after = interval.end;
+      auto [it, inserted] =
+          buffer.final_updates.try_emplace(u.prefix, std::make_pair(u, std::size_t{1}));
+      if (!inserted) {
+        it->second.first = u;
+        ++it->second.second;
+      }
+      continue;
+    }
+    // Outside bursts: drop state no-ops (duplicate announcements and
+    // withdrawals of prefixes the session does not carry).
+    auto& current = state[{u.session, u.prefix}];
+    if (u.type == UpdateType::kAnnounce) {
+      if (current && *current == u.path) {
+        ++result.stats.duplicates_removed;
+        continue;
+      }
+      current = u.path;
+    } else {
+      if (!current) {
+        ++result.stats.duplicates_removed;
+        continue;
+      }
+      current.reset();
+    }
+    result.updates.push_back(u);
+  }
+  for (auto& [session, buffer] : buffers) {
+    if (!buffer.final_updates.empty()) flush(session, buffer);
+  }
+  SortUpdates(result.updates);
+  result.stats.output_updates = result.updates.size();
+  return result;
+}
+
+}  // namespace quicksand::bgp

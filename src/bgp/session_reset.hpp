@@ -1,0 +1,58 @@
+#pragma once
+
+// Session-reset ("table transfer") artifact removal, after Zhang et al.,
+// "Identifying BGP routing table transfer" (MineNet 2005) — the cleaning
+// step the paper applies before any churn measurement ("we removed any
+// artificial updates caused by BGP session resets").
+//
+// Two artifact classes are removed:
+//   * duplicate announcements — an announce that does not change the
+//     session's current path for the prefix;
+//   * table-transfer bursts — windows in which a session re-announces a
+//     large share of its table; the burst is collapsed to its net effect
+//     (usually nothing), discarding the transient backup-path flaps that
+//     a naive analysis would count as path changes.
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/update.hpp"
+
+namespace quicksand::bgp {
+
+/// Detection thresholds.
+struct ResetFilterParams {
+  /// Sliding-window length used to detect announcement bursts.
+  std::int64_t burst_window_s = 120;
+  /// A window is a burst if it contains at least this many announcements...
+  std::size_t min_burst_updates = 40;
+  /// ...and at least this fraction of the session's known prefixes.
+  double burst_table_fraction = 0.20;
+  /// Bursts are extended by this grace period to catch trailing flaps.
+  std::int64_t grace_s = 60;
+};
+
+/// What the filter did, for reporting and the Fig. 3 (left) ablation.
+struct ResetFilterStats {
+  std::size_t input_updates = 0;
+  std::size_t duplicates_removed = 0;
+  std::size_t burst_updates_removed = 0;
+  std::size_t bursts_detected = 0;
+  std::size_t output_updates = 0;
+};
+
+/// A filtered stream plus its statistics.
+struct FilteredUpdates {
+  std::vector<BgpUpdate> updates;
+  ResetFilterStats stats;
+};
+
+/// Removes session-reset artifacts from a time-ordered update stream.
+/// `initial_rib` provides each session's table at t=0 (used both for the
+/// duplicate check and to size the burst threshold).
+/// Throws std::invalid_argument if `updates` is not time-ordered.
+[[nodiscard]] FilteredUpdates FilterSessionResets(
+    const std::vector<BgpUpdate>& initial_rib, const std::vector<BgpUpdate>& updates,
+    const ResetFilterParams& params = {});
+
+}  // namespace quicksand::bgp

@@ -1,0 +1,24 @@
+#include "bgp/update.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <tuple>
+
+namespace quicksand::bgp {
+
+std::ostream& operator<<(std::ostream& os, const BgpUpdate& update) {
+  os << update.time.seconds << " s" << update.session
+     << (update.type == UpdateType::kAnnounce ? " A " : " W ") << update.prefix;
+  if (update.type == UpdateType::kAnnounce) os << " [" << update.path << "]";
+  return os;
+}
+
+void SortUpdates(std::vector<BgpUpdate>& updates) {
+  std::stable_sort(updates.begin(), updates.end(),
+                   [](const BgpUpdate& a, const BgpUpdate& b) {
+                     return std::tie(a.time.seconds, a.session, a.prefix) <
+                            std::tie(b.time.seconds, b.session, b.prefix);
+                   });
+}
+
+}  // namespace quicksand::bgp

@@ -1,0 +1,99 @@
+#include "core/adversary.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace quicksand::core {
+
+namespace {
+
+using AsSet = std::unordered_set<bgp::AsNumber>;
+
+AsSet ToSet(const std::vector<bgp::AsNumber>& v) { return AsSet(v.begin(), v.end()); }
+
+AsSet Union(const std::vector<bgp::AsNumber>& a, const std::vector<bgp::AsNumber>& b) {
+  AsSet out(a.begin(), a.end());
+  out.insert(b.begin(), b.end());
+  return out;
+}
+
+bool Intersects(const AsSet& set, std::span<const bgp::AsNumber> items) {
+  return std::any_of(items.begin(), items.end(),
+                     [&](bgp::AsNumber as) { return set.contains(as); });
+}
+
+}  // namespace
+
+std::vector<bgp::AsNumber> CompromisingAses(const SegmentExposure& exposure,
+                                            ObservationModel model) {
+  std::vector<bgp::AsNumber> out;
+  if (model == ObservationModel::kAnyDirection) {
+    const AsSet entry = Union(exposure.client_to_guard, exposure.guard_to_client);
+    const AsSet exit = Union(exposure.exit_to_dest, exposure.dest_to_exit);
+    for (bgp::AsNumber as : entry) {
+      if (exit.contains(as)) out.push_back(as);
+    }
+  } else {
+    // Same flow direction at both ends: client->guard pairs with
+    // exit->dest (data flowing towards the destination), and
+    // dest->exit pairs with guard->client (data flowing to the client).
+    const AsSet forward_entry = ToSet(exposure.client_to_guard);
+    const AsSet forward_exit = ToSet(exposure.exit_to_dest);
+    const AsSet reverse_entry = ToSet(exposure.guard_to_client);
+    const AsSet reverse_exit = ToSet(exposure.dest_to_exit);
+    AsSet merged;
+    for (bgp::AsNumber as : forward_entry) {
+      if (forward_exit.contains(as)) merged.insert(as);
+    }
+    for (bgp::AsNumber as : reverse_entry) {
+      if (reverse_exit.contains(as)) merged.insert(as);
+    }
+    out.assign(merged.begin(), merged.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool SetCompromises(std::span<const bgp::AsNumber> colluding,
+                    const SegmentExposure& exposure, ObservationModel model) {
+  if (model == ObservationModel::kAnyDirection) {
+    const AsSet entry = Union(exposure.client_to_guard, exposure.guard_to_client);
+    const AsSet exit = Union(exposure.exit_to_dest, exposure.dest_to_exit);
+    return Intersects(entry, colluding) && Intersects(exit, colluding);
+  }
+  const AsSet forward_entry = ToSet(exposure.client_to_guard);
+  const AsSet forward_exit = ToSet(exposure.exit_to_dest);
+  const AsSet reverse_entry = ToSet(exposure.guard_to_client);
+  const AsSet reverse_exit = ToSet(exposure.dest_to_exit);
+  const bool forward =
+      Intersects(forward_entry, colluding) && Intersects(forward_exit, colluding);
+  const bool reverse =
+      Intersects(reverse_entry, colluding) && Intersects(reverse_exit, colluding);
+  return forward || reverse;
+}
+
+double CompromisingFraction(const SegmentExposure& exposure, ObservationModel model,
+                            std::size_t total_as_count) {
+  if (total_as_count == 0) {
+    throw std::invalid_argument("CompromisingFraction: total_as_count must be positive");
+  }
+  return static_cast<double>(CompromisingAses(exposure, model).size()) /
+         static_cast<double>(total_as_count);
+}
+
+void AccumulateExposure(SegmentExposure& accumulated, const SegmentExposure& instance) {
+  auto merge = [](std::vector<bgp::AsNumber>& into,
+                  const std::vector<bgp::AsNumber>& from) {
+    into.insert(into.end(), from.begin(), from.end());
+    std::sort(into.begin(), into.end());
+    into.erase(std::unique(into.begin(), into.end()), into.end());
+  };
+  merge(accumulated.client_to_guard, instance.client_to_guard);
+  merge(accumulated.guard_to_client, instance.guard_to_client);
+  merge(accumulated.exit_to_dest, instance.exit_to_dest);
+  merge(accumulated.dest_to_exit, instance.dest_to_exit);
+}
+
+}  // namespace quicksand::core

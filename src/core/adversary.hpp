@@ -1,0 +1,60 @@
+#pragma once
+
+// AS-level adversary observation model (Sections 3.1 and 3.3).
+//
+// A timing-analysis adversary must observe traffic at *both ends* of the
+// anonymity path: the client<->guard segment and the exit<->destination
+// segment. The conventional model requires seeing the same direction of
+// the flow at both ends; the paper's asymmetric model (Section 3.3) shows
+// that *any* direction at each end suffices, because cleartext TCP
+// acknowledgements reveal the byte progression. Asymmetric routing
+// therefore strictly increases the set of compromising ASes.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/path.hpp"
+
+namespace quicksand::core {
+
+/// The directional AS sets of one communication instance. Each vector
+/// holds the distinct ASes on the named directed path (endpoints included).
+struct SegmentExposure {
+  std::vector<bgp::AsNumber> client_to_guard;
+  std::vector<bgp::AsNumber> guard_to_client;
+  std::vector<bgp::AsNumber> exit_to_dest;
+  std::vector<bgp::AsNumber> dest_to_exit;
+};
+
+/// What the adversary needs to see to correlate.
+enum class ObservationModel : std::uint8_t {
+  /// Conventional end-to-end analysis: the same direction of the flow at
+  /// both ends (data with data, or acks with acks on the matching side).
+  kSymmetric,
+  /// The paper's attack: any direction at each end.
+  kAnyDirection,
+};
+
+/// ASes individually able to deanonymize this instance under `model`,
+/// sorted ascending.
+[[nodiscard]] std::vector<bgp::AsNumber> CompromisingAses(const SegmentExposure& exposure,
+                                                          ObservationModel model);
+
+/// True iff the colluding set `colluding` collectively observes both ends
+/// under `model` (one member may cover the entry and another the exit).
+[[nodiscard]] bool SetCompromises(std::span<const bgp::AsNumber> colluding,
+                                  const SegmentExposure& exposure, ObservationModel model);
+
+/// |CompromisingAses| / total_as_count.
+/// Throws std::invalid_argument if total_as_count == 0.
+[[nodiscard]] double CompromisingFraction(const SegmentExposure& exposure,
+                                          ObservationModel model,
+                                          std::size_t total_as_count);
+
+/// Merges another instance's exposure into `accumulated` (set union per
+/// direction) — how exposure grows across communication instances as BGP
+/// paths change underneath a fixed circuit.
+void AccumulateExposure(SegmentExposure& accumulated, const SegmentExposure& instance);
+
+}  // namespace quicksand::core

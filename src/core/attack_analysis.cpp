@@ -1,0 +1,144 @@
+#include "core/attack_analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "netbase/rng.hpp"
+
+namespace quicksand::core {
+
+using bgp::AsIndex;
+using bgp::AsNumber;
+
+HijackAnalysisResult AnalyzeHijack(const bgp::AsGraph& graph, const bgp::AttackSpec& spec,
+                                   std::span<const AsNumber> client_ases) {
+  const bgp::HijackSimulator simulator(graph);
+  HijackAnalysisResult result{0, 0, 0, false, simulator.Execute(spec)};
+  result.connection_survives = result.outcome.traffic_delivered;
+  result.clients_total = client_ases.size();
+
+  const bgp::RoutingState baseline = simulator.Baseline(spec.victim);
+  const AsIndex attacker = graph.MustIndexOf(spec.attacker);
+  for (AsNumber client : client_ases) {
+    const auto client_index = graph.IndexOf(client);
+    if (!client_index) continue;
+    const auto path =
+        bgp::LpmForwardingPath(result.outcome.attacked, baseline, *client_index);
+    if (std::find(path.begin(), path.end(), attacker) != path.end()) {
+      ++result.clients_observed;
+    }
+  }
+  result.observed_fraction =
+      result.clients_total == 0
+          ? 0
+          : static_cast<double>(result.clients_observed) /
+                static_cast<double>(result.clients_total);
+  return result;
+}
+
+DeanonResult RunCorrelationDeanonymization(const DeanonExperimentParams& params) {
+  if (params.candidate_clients == 0) {
+    throw std::invalid_argument("RunCorrelationDeanonymization: no candidates");
+  }
+  netbase::Rng rng(params.seed);
+
+  // Simulate every candidate's transfer with individual size and delays.
+  std::vector<traffic::FlowTraces> traces;
+  traces.reserve(params.candidate_clients);
+  for (std::size_t i = 0; i < params.candidate_clients; ++i) {
+    traffic::FlowSimParams flow = params.base_flow;
+    flow.seed = rng();
+    const double size_mult =
+        rng.UniformDouble(1.0 - params.file_size_spread, 1.0 + params.file_size_spread);
+    flow.file_bytes = std::max<std::uint64_t>(
+        1 << 20, static_cast<std::uint64_t>(static_cast<double>(flow.file_bytes) * size_mult));
+    flow.start_time_s = rng.UniformDouble(0.0, params.start_spread_s);
+    const double rate_mult =
+        rng.UniformDouble(1.0 - params.rate_spread, 1.0 + params.rate_spread);
+    for (auto& link : flow.links) {
+      const double delay_mult =
+          rng.UniformDouble(1.0 - params.delay_spread, 1.0 + params.delay_spread);
+      link.delay_fwd_s *= delay_mult;
+      link.delay_rev_s *= delay_mult;
+      link.rate_bytes_per_s *= rate_mult;
+    }
+    traces.push_back(traffic::SimulateTransfer(flow));
+  }
+
+  const bool data_b_to_a = params.base_flow.direction ==
+                           traffic::TransferDirection::kDownload;
+
+  // Entry-side series of every candidate, exit-side series of the target.
+  std::vector<std::vector<double>> entry_series;
+  entry_series.reserve(traces.size());
+  for (const auto& t : traces) {
+    entry_series.push_back(ExtractSeries(t.client_guard, data_b_to_a, params.entry_view,
+                                         params.correlation));
+  }
+  DeanonResult result;
+  result.target = rng.UniformInt(0, traces.size() - 1);
+  const auto target_series = ExtractSeries(traces[result.target].exit_server, data_b_to_a,
+                                           params.exit_view, params.correlation);
+
+  const MatchResult match = MatchFlows(entry_series, target_series, params.correlation);
+  result.matched = match.best_candidate;
+  result.success = result.matched == result.target;
+  result.target_correlation = match.correlations[result.target];
+  result.runner_up_correlation = match.runner_up_correlation;
+  result.correlations = match.correlations;
+  return result;
+}
+
+AsymmetricGainResult ComputeAsymmetricGain(
+    ExposureAnalyzer& analyzer, std::size_t total_as_count,
+    std::span<const AsNumber> client_ases, std::span<const AsNumber> guard_ases,
+    std::span<const AsNumber> exit_ases, std::span<const AsNumber> dest_ases,
+    std::size_t samples, std::uint64_t seed) {
+  if (client_ases.empty() || guard_ases.empty() || exit_ases.empty() ||
+      dest_ases.empty()) {
+    throw std::invalid_argument("ComputeAsymmetricGain: empty AS pools");
+  }
+  netbase::Rng rng(seed);
+  AsymmetricGainResult result;
+  double sum_sym = 0, sum_any = 0, sum_gain = 0;
+  double count_sym = 0, count_any = 0;
+  std::size_t observed_sym = 0, observed_any = 0;
+  std::size_t gain_samples = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const AsNumber client = client_ases[rng.UniformInt(0, client_ases.size() - 1)];
+    const AsNumber guard = guard_ases[rng.UniformInt(0, guard_ases.size() - 1)];
+    const AsNumber exit = exit_ases[rng.UniformInt(0, exit_ases.size() - 1)];
+    const AsNumber dest = dest_ases[rng.UniformInt(0, dest_ases.size() - 1)];
+    const SegmentExposure exposure = analyzer.InstantExposure(client, guard, exit, dest);
+    const auto symmetric = CompromisingAses(exposure, ObservationModel::kSymmetric);
+    const auto any = CompromisingAses(exposure, ObservationModel::kAnyDirection);
+    sum_sym += static_cast<double>(symmetric.size()) / static_cast<double>(total_as_count);
+    sum_any += static_cast<double>(any.size()) / static_cast<double>(total_as_count);
+    count_sym += static_cast<double>(symmetric.size());
+    count_any += static_cast<double>(any.size());
+    if (!symmetric.empty()) ++observed_sym;
+    if (!any.empty()) ++observed_any;
+    // Gain is only meaningful where someone can observe at all; samples
+    // where even the broad model finds nobody are excluded.
+    if (!any.empty()) {
+      sum_gain += static_cast<double>(any.size()) /
+                  std::max<double>(1.0, static_cast<double>(symmetric.size()));
+      ++gain_samples;
+    }
+  }
+  result.samples = samples;
+  if (samples > 0) {
+    const auto n = static_cast<double>(samples);
+    result.mean_fraction_symmetric = sum_sym / n;
+    result.mean_fraction_any_direction = sum_any / n;
+    result.mean_count_symmetric = count_sym / n;
+    result.mean_count_any_direction = count_any / n;
+    result.circuits_observed_symmetric = static_cast<double>(observed_sym) / n;
+    result.circuits_observed_any_direction = static_cast<double>(observed_any) / n;
+    result.mean_gain =
+        gain_samples == 0 ? 1.0 : sum_gain / static_cast<double>(gain_samples);
+  }
+  return result;
+}
+
+}  // namespace quicksand::core

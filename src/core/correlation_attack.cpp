@@ -1,0 +1,92 @@
+#include "core/correlation_attack.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace quicksand::core {
+
+std::string_view ToString(SegmentView view) noexcept {
+  switch (view) {
+    case SegmentView::kDataBytes: return "data";
+    case SegmentView::kAckedBytes: return "acks";
+  }
+  return "?";
+}
+
+std::vector<double> ExtractSeries(const traffic::SegmentTap& tap, bool data_is_b_to_a,
+                                  SegmentView view, const CorrelationParams& params) {
+  const auto& data_stream = data_is_b_to_a ? tap.b_to_a : tap.a_to_b;
+  const auto& ack_stream = data_is_b_to_a ? tap.a_to_b : tap.b_to_a;
+  if (view == SegmentView::kDataBytes) {
+    return traffic::DataBytesBinned(data_stream, params.bin_s, params.duration_s);
+  }
+  return traffic::AckedBytesBinned(ack_stream, params.bin_s, params.duration_s);
+}
+
+double MaxLagCorrelation(std::span<const double> a, std::span<const double> b,
+                         int max_lag_bins) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("MaxLagCorrelation: length mismatch");
+  }
+  if (max_lag_bins < 0) throw std::invalid_argument("MaxLagCorrelation: negative lag");
+  const auto n = static_cast<int>(a.size());
+  if (n <= 2 * max_lag_bins + 2) {
+    throw std::invalid_argument("MaxLagCorrelation: series too short for lag search");
+  }
+  double best = -1.0;
+  for (int lag = -max_lag_bins; lag <= max_lag_bins; ++lag) {
+    // Positive lag: b shifted later relative to a.
+    const int offset_a = std::max(0, -lag);
+    const int offset_b = std::max(0, lag);
+    const int overlap = n - std::abs(lag);
+    const double corr = util::PearsonCorrelation(a.subspan(offset_a, overlap),
+                                                 b.subspan(offset_b, overlap));
+    best = std::max(best, corr);
+  }
+  return best;
+}
+
+MatchResult MatchFlows(std::span<const std::vector<double>> candidate_series,
+                       std::span<const double> target_series,
+                       const CorrelationParams& params) {
+  if (candidate_series.empty()) {
+    throw std::invalid_argument("MatchFlows: no candidates");
+  }
+  // Correlate over the target flow's *active* period only. Trailing
+  // all-zero bins otherwise dominate the statistic with an on/off "box"
+  // signature that any similar-duration flow shares; within the active
+  // window, per-flow throughput structure discriminates.
+  std::size_t active = target_series.size();
+  while (active > 0 && target_series[active - 1] <= 0.0) --active;
+  const std::size_t minimum =
+      static_cast<std::size_t>(2 * params.max_lag_bins + 3) + 1;
+  active = std::min(target_series.size(), std::max(active + 1, minimum));
+  const auto target_window = target_series.subspan(0, active);
+
+  MatchResult result;
+  result.correlations.reserve(candidate_series.size());
+  for (const auto& candidate : candidate_series) {
+    if (candidate.size() < active) {
+      throw std::invalid_argument("MatchFlows: candidate series shorter than target");
+    }
+    result.correlations.push_back(
+        MaxLagCorrelation(std::span<const double>(candidate).subspan(0, active),
+                          target_window, params.max_lag_bins));
+  }
+  const auto best_it = std::max_element(result.correlations.begin(),
+                                        result.correlations.end());
+  result.best_candidate = static_cast<std::size_t>(best_it - result.correlations.begin());
+  result.best_correlation = *best_it;
+  result.runner_up_correlation = -1;
+  for (std::size_t i = 0; i < result.correlations.size(); ++i) {
+    if (i != result.best_candidate) {
+      result.runner_up_correlation =
+          std::max(result.runner_up_correlation, result.correlations[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace quicksand::core

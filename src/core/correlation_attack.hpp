@@ -1,0 +1,64 @@
+#pragma once
+
+// The byte-count correlation attack (Section 3.3).
+//
+// The adversary bins what it can see at each end of the anonymity path
+// into per-interval byte counts — payload bytes where it sees the data
+// direction, *newly acknowledged* bytes (from cleartext TCP headers)
+// where it only sees the reverse direction — and correlates the two
+// series. Because TCP ACKs are cumulative and delayed, acked-byte series
+// are not packet-for-packet aligned with data series; correlation over
+// time bins absorbs that, which is exactly the paper's point.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "traffic/trace.hpp"
+
+namespace quicksand::core {
+
+/// What the adversary extracts from a tap at one end.
+enum class SegmentView : std::uint8_t {
+  kDataBytes,   ///< payload bytes in the data direction
+  kAckedBytes,  ///< newly acknowledged bytes in the ACK direction
+};
+
+[[nodiscard]] std::string_view ToString(SegmentView view) noexcept;
+
+struct CorrelationParams {
+  double bin_s = 1.0;        ///< the paper's Figure 2 uses ~1 s bins
+  double duration_s = 35.0;  ///< observation window
+  int max_lag_bins = 2;      ///< alignment search (one-way delays shift bins)
+};
+
+/// Extracts the observed series from a tap. `data_is_b_to_a` says which
+/// direction carries payload on this tap (for downloads, data arrives
+/// from the remote side: b->a on both taps of SimulateTransfer).
+[[nodiscard]] std::vector<double> ExtractSeries(const traffic::SegmentTap& tap,
+                                                bool data_is_b_to_a, SegmentView view,
+                                                const CorrelationParams& params);
+
+/// Pearson correlation maximized over integer bin shifts in
+/// [-max_lag_bins, +max_lag_bins]; series must have equal, sufficient
+/// length (> 2*max_lag_bins + 2). Throws std::invalid_argument otherwise.
+[[nodiscard]] double MaxLagCorrelation(std::span<const double> a,
+                                       std::span<const double> b, int max_lag_bins);
+
+/// Outcome of matching one target (destination-side) flow against a set
+/// of candidate (entry-side) flows.
+struct MatchResult {
+  std::size_t best_candidate = 0;
+  double best_correlation = 0;
+  double runner_up_correlation = 0;
+  std::vector<double> correlations;  ///< one per candidate
+};
+
+/// Correlates `target` against every candidate series and ranks them.
+/// Throws std::invalid_argument if candidates is empty.
+[[nodiscard]] MatchResult MatchFlows(
+    std::span<const std::vector<double>> candidate_series,
+    std::span<const double> target_series, const CorrelationParams& params);
+
+}  // namespace quicksand::core

@@ -1,0 +1,125 @@
+#include "core/exposure.hpp"
+
+#include <algorithm>
+
+namespace quicksand::core {
+
+using bgp::AsIndex;
+using bgp::AsNumber;
+using bgp::ComputationOptions;
+using bgp::LinkKey;
+using bgp::LinkSet;
+using bgp::OriginSpec;
+using bgp::RoutingState;
+
+const RoutingState& ExposureAnalyzer::StateFor(AsNumber dst) {
+  auto it = cache_.find(dst);
+  if (it == cache_.end()) {
+    ComputationOptions options;
+    options.tie_break_salts = base_salts_;
+    it = cache_
+             .emplace(dst, std::make_unique<RoutingState>(
+                               bgp::ComputeRoutes(*graph_, dst, options)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<AsNumber> ExposureAnalyzer::ForwardPathAses(AsNumber src, AsNumber dst) {
+  if (src == dst) return {src};
+  const RoutingState& state = StateFor(dst);
+  const auto src_index = graph_->IndexOf(src);
+  if (!src_index) return {};
+  std::vector<AsNumber> out;
+  for (AsIndex as : state.ForwardingPath(*src_index)) out.push_back(graph_->AsnOf(as));
+  return out;
+}
+
+int ExposureAnalyzer::ForwardPathLength(AsNumber src, AsNumber dst) {
+  return static_cast<int>(ForwardPathAses(src, dst).size());
+}
+
+SegmentExposure ExposureAnalyzer::InstantExposure(AsNumber client_as, AsNumber guard_as,
+                                                  AsNumber exit_as, AsNumber dest_as) {
+  SegmentExposure exposure;
+  exposure.client_to_guard = ForwardPathAses(client_as, guard_as);
+  exposure.guard_to_client = ForwardPathAses(guard_as, client_as);
+  exposure.exit_to_dest = ForwardPathAses(exit_as, dest_as);
+  exposure.dest_to_exit = ForwardPathAses(dest_as, exit_as);
+  return exposure;
+}
+
+std::vector<AsNumber> ExposureAnalyzer::PathUnderVariant(AsNumber src, AsNumber dst,
+                                                         netbase::Rng& rng) {
+  // Start from the current path and perturb: fail one of its links or
+  // re-salt one of its ASes, then recompute the route for this variant.
+  const auto base = ForwardPathAses(src, dst);
+  if (base.size() < 2) return base;
+
+  ComputationOptions options;
+  LinkSet disabled;
+  std::vector<std::uint64_t> salts = base_salts_;
+  if (salts.empty()) salts.assign(graph_->AsCount(), 0);
+  options.tie_break_salts = salts;
+  if (rng.Bernoulli(0.7)) {
+    const std::size_t cut = rng.UniformInt(0, base.size() - 2);
+    const auto a = graph_->IndexOf(base[cut]);
+    const auto b = graph_->IndexOf(base[cut + 1]);
+    if (a && b) {
+      disabled.insert(LinkKey(*a, *b));
+      options.disabled_links = &disabled;
+    }
+  } else {
+    const AsNumber shifted = base[rng.UniformInt(0, base.size() - 1)];
+    if (const auto idx = graph_->IndexOf(shifted)) {
+      salts[*idx] = rng() | 1;
+    }
+  }
+
+  const OriginSpec spec{dst, 1, 0};
+  const RoutingState state =
+      bgp::ComputeRoutes(*graph_, std::span<const OriginSpec>(&spec, 1), options);
+  const auto src_index = graph_->IndexOf(src);
+  if (!src_index) return {};
+  std::vector<AsNumber> out;
+  for (AsIndex as : state.ForwardingPath(*src_index)) out.push_back(graph_->AsnOf(as));
+  return out;
+}
+
+SegmentExposure ExposureAnalyzer::TemporalExposure(AsNumber client_as, AsNumber guard_as,
+                                                   AsNumber exit_as, AsNumber dest_as,
+                                                   std::size_t variants,
+                                                   std::uint64_t seed) {
+  SegmentExposure exposure = InstantExposure(client_as, guard_as, exit_as, dest_as);
+  netbase::Rng rng(seed);
+  for (std::size_t v = 0; v < variants; ++v) {
+    SegmentExposure variant;
+    variant.client_to_guard = PathUnderVariant(client_as, guard_as, rng);
+    variant.guard_to_client = PathUnderVariant(guard_as, client_as, rng);
+    variant.exit_to_dest = PathUnderVariant(exit_as, dest_as, rng);
+    variant.dest_to_exit = PathUnderVariant(dest_as, exit_as, rng);
+    AccumulateExposure(exposure, variant);
+  }
+  return exposure;
+}
+
+std::size_t ExposureAnalyzer::DistinctEntryAses(AsNumber client_as, AsNumber guard_as,
+                                                std::size_t variants, std::uint64_t seed) {
+  std::vector<AsNumber> all = ForwardPathAses(client_as, guard_as);
+  {
+    const auto reverse = ForwardPathAses(guard_as, client_as);
+    all.insert(all.end(), reverse.begin(), reverse.end());
+  }
+  netbase::Rng rng(seed);
+  for (std::size_t v = 0; v < variants; ++v) {
+    const auto forward = PathUnderVariant(client_as, guard_as, rng);
+    const auto reverse = PathUnderVariant(guard_as, client_as, rng);
+    all.insert(all.end(), forward.begin(), forward.end());
+    all.insert(all.end(), reverse.begin(), reverse.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all.size();
+}
+
+}  // namespace quicksand::core

@@ -1,0 +1,83 @@
+#include "core/longterm.hpp"
+
+#include <stdexcept>
+
+#include "netbase/rng.hpp"
+
+namespace quicksand::core {
+
+LongTermResult SimulateLongTermExposure(const tor::Consensus& consensus,
+                                        const LongTermParams& params) {
+  if (params.clients == 0 || params.instances == 0) {
+    throw std::invalid_argument("SimulateLongTermExposure: need clients and instances");
+  }
+  if (params.malicious_bandwidth_fraction < 0 || params.malicious_bandwidth_fraction > 1) {
+    throw std::invalid_argument("SimulateLongTermExposure: fraction outside [0,1]");
+  }
+  netbase::Rng rng(params.seed);
+
+  // Mark relays malicious until the adversary owns the target bandwidth
+  // share (random order: the adversary stands up mid-sized relays, not
+  // only the biggest ones).
+  const auto& relays = consensus.relays();
+  std::vector<bool> malicious(relays.size(), false);
+  std::vector<std::size_t> order(relays.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  const double target =
+      params.malicious_bandwidth_fraction * static_cast<double>(consensus.TotalBandwidth());
+  double owned = 0;
+  LongTermResult result;
+  for (std::size_t index : order) {
+    if (owned >= target) break;
+    malicious[index] = true;
+    owned += relays[index].bandwidth_kbs;
+    ++result.malicious_relays;
+    if (relays[index].IsGuard()) ++result.malicious_guards;
+    if (relays[index].IsExit()) ++result.malicious_exits;
+  }
+
+  tor::PathSelectionConfig config;
+  config.guard_set_size = std::max<std::size_t>(1, params.guard_set_size);
+  const tor::PathSelector selector(consensus, config);
+  const bool persistent_guards = params.guard_set_size > 0;
+
+  struct ClientState {
+    netbase::Rng rng;
+    std::vector<std::size_t> guards;
+    std::int64_t guards_since = 0;
+    bool compromised = false;
+  };
+  std::vector<ClientState> clients;
+  clients.reserve(params.clients);
+  for (std::size_t c = 0; c < params.clients; ++c) {
+    ClientState state{rng.Fork(), {}, 0, false};
+    state.guards = selector.PickGuardSet(state.rng);
+    clients.push_back(std::move(state));
+  }
+
+  result.cumulative_compromised.reserve(params.instances);
+  std::size_t compromised_clients = 0;
+  for (std::size_t instance = 0; instance < params.instances; ++instance) {
+    const std::int64_t now =
+        static_cast<std::int64_t>(instance) * params.instance_interval_s;
+    for (ClientState& client : clients) {
+      if (client.compromised) continue;
+      if (!persistent_guards || now - client.guards_since >= params.guard_lifetime_s) {
+        client.guards = selector.PickGuardSet(client.rng);
+        client.guards_since = now;
+      }
+      const tor::Circuit circuit = selector.BuildCircuit(client.guards, client.rng);
+      if (malicious[circuit.guard] && malicious[circuit.exit]) {
+        client.compromised = true;
+        ++compromised_clients;
+      }
+    }
+    result.cumulative_compromised.push_back(static_cast<double>(compromised_clients) /
+                                            static_cast<double>(params.clients));
+  }
+  result.final_fraction = result.cumulative_compromised.back();
+  return result;
+}
+
+}  // namespace quicksand::core

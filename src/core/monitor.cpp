@@ -1,0 +1,90 @@
+#include "core/monitor.hpp"
+
+namespace quicksand::core {
+
+std::string_view ToString(AlertKind kind) noexcept {
+  switch (kind) {
+    case AlertKind::kOriginChange: return "origin-change";
+    case AlertKind::kMoreSpecific: return "more-specific";
+    case AlertKind::kNewUpstream: return "new-upstream";
+  }
+  return "?";
+}
+
+RelayMonitor::RelayMonitor(std::unordered_set<netbase::Prefix> monitored,
+                           MonitorParams params)
+    : params_(params), monitored_(std::move(monitored)) {
+  for (const netbase::Prefix& prefix : monitored_) monitored_trie_.Insert(prefix, 0);
+}
+
+void RelayMonitor::Learn(const bgp::BgpUpdate& update) {
+  if (update.type != bgp::UpdateType::kAnnounce || update.path.empty()) return;
+  if (!monitored_.contains(update.prefix)) return;
+  const auto& hops = update.path.hops();
+  legit_origins_[update.prefix].insert(hops.back());
+  // The upstream is the AS adjacent to the origin (skipping prepends).
+  for (std::size_t i = hops.size(); i-- > 0;) {
+    if (hops[i] != hops.back()) {
+      known_upstreams_[update.prefix].insert(hops[i]);
+      break;
+    }
+  }
+}
+
+void RelayMonitor::LearnBaseline(std::span<const bgp::BgpUpdate> initial_rib) {
+  for (const bgp::BgpUpdate& update : initial_rib) Learn(update);
+}
+
+std::vector<Alert> RelayMonitor::Consume(const bgp::BgpUpdate& update) {
+  std::vector<Alert> raised;
+  if (update.type != bgp::UpdateType::kAnnounce || update.path.empty()) return raised;
+  const bgp::AsNumber origin = update.path.origin();
+
+  if (monitored_.contains(update.prefix)) {
+    const auto origins_it = legit_origins_.find(update.prefix);
+    const bool origin_known =
+        origins_it != legit_origins_.end() && origins_it->second.contains(origin);
+    if (params_.alert_on_origin_change && !origin_known) {
+      raised.push_back(Alert{update.time, update.session, update.prefix, update.prefix,
+                             AlertKind::kOriginChange, origin});
+    }
+    if (params_.alert_on_new_upstream && origin_known) {
+      const auto& hops = update.path.hops();
+      bgp::AsNumber upstream = 0;
+      for (std::size_t i = hops.size(); i-- > 0;) {
+        if (hops[i] != hops.back()) {
+          upstream = hops[i];
+          break;
+        }
+      }
+      if (upstream != 0) {
+        auto& known = known_upstreams_[update.prefix];
+        if (!known.contains(upstream)) {
+          raised.push_back(Alert{update.time, update.session, update.prefix,
+                                 update.prefix, AlertKind::kNewUpstream, upstream});
+          // Learn it: repeat announcements via the same new upstream only
+          // alert once (aggressive but not noisy).
+          known.insert(upstream);
+        }
+      }
+    }
+  } else if (params_.alert_on_more_specific) {
+    // An announcement strictly inside a monitored prefix.
+    const auto covering = monitored_trie_.MostSpecificCovering(update.prefix);
+    if (covering && covering->first.length() < update.prefix.length()) {
+      raised.push_back(Alert{update.time, update.session, covering->first, update.prefix,
+                             AlertKind::kMoreSpecific, origin});
+    }
+  }
+
+  alerts_.insert(alerts_.end(), raised.begin(), raised.end());
+  return raised;
+}
+
+std::set<netbase::Prefix> RelayMonitor::FlaggedPrefixes() const {
+  std::set<netbase::Prefix> out;
+  for (const Alert& alert : alerts_) out.insert(alert.monitored_prefix);
+  return out;
+}
+
+}  // namespace quicksand::core

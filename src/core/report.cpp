@@ -1,0 +1,122 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace quicksand::core {
+
+std::vector<ConcentrationPoint> ConcentrationCurve(
+    const std::map<bgp::AsNumber, std::size_t>& relays_per_as) {
+  std::vector<std::size_t> counts;
+  counts.reserve(relays_per_as.size());
+  std::size_t total = 0;
+  for (const auto& [asn, count] : relays_per_as) {
+    (void)asn;
+    counts.push_back(count);
+    total += count;
+  }
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  std::vector<ConcentrationPoint> curve;
+  curve.reserve(counts.size());
+  std::size_t running = 0;
+  for (std::size_t rank = 0; rank < counts.size(); ++rank) {
+    running += counts[rank];
+    curve.push_back({rank + 1, total == 0 ? 0.0
+                                          : static_cast<double>(running) /
+                                                static_cast<double>(total)});
+  }
+  return curve;
+}
+
+double TopAsShare(std::span<const ConcentrationPoint> curve,
+                  std::size_t as_count) noexcept {
+  double share = 0;
+  for (const ConcentrationPoint& point : curve) {
+    if (point.as_count > as_count) break;
+    share = point.fraction;
+  }
+  return share;
+}
+
+void PrintCcdf(std::ostream& os, std::span<const util::CcdfPoint> ccdf,
+               const std::string& x_label, std::size_t max_rows) {
+  util::Table table({x_label, "P(X >= x)"});
+  // Subsample long CCDFs evenly, always keeping the first and last points.
+  const std::size_t n = ccdf.size();
+  if (n == 0) {
+    os << "(empty CCDF)\n";
+    return;
+  }
+  const std::size_t step = n <= max_rows ? 1 : (n + max_rows - 1) / max_rows;
+  for (std::size_t i = 0; i < n; i += step) {
+    table.AddRow({util::FormatDouble(ccdf[i].value, 2),
+                  util::FormatPercent(ccdf[i].fraction, 1)});
+  }
+  if ((n - 1) % step != 0) {
+    table.AddRow({util::FormatDouble(ccdf[n - 1].value, 2),
+                  util::FormatPercent(ccdf[n - 1].fraction, 1)});
+  }
+  os << table.Render();
+}
+
+std::string RenderAsciiChart(std::span<const std::string> names,
+                             std::span<const std::vector<double>> series,
+                             std::size_t width, std::size_t height) {
+  if (names.size() != series.size() || series.empty()) {
+    throw std::invalid_argument("RenderAsciiChart: names/series mismatch or empty");
+  }
+  std::size_t length = 0;
+  double maximum = 0;
+  for (const auto& s : series) {
+    length = std::max(length, s.size());
+    for (double v : s) maximum = std::max(maximum, v);
+  }
+  if (length == 0) throw std::invalid_argument("RenderAsciiChart: empty series");
+  if (maximum <= 0) maximum = 1;
+
+  static constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@'};
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const char glyph = kGlyphs[s % std::size(kGlyphs)];
+    for (std::size_t col = 0; col < width; ++col) {
+      const std::size_t idx =
+          std::min(length - 1, col * length / std::max<std::size_t>(width, 1));
+      if (idx >= series[s].size()) continue;
+      const double v = series[s][idx];
+      const auto row = static_cast<std::size_t>(
+          std::round((1.0 - v / maximum) * static_cast<double>(height - 1)));
+      canvas[std::min(row, height - 1)][col] = glyph;
+    }
+  }
+
+  std::string out;
+  char label[32];
+  std::snprintf(label, sizeof label, "%8.1f |", maximum);
+  out += label;
+  out += canvas[0];
+  out += '\n';
+  for (std::size_t r = 1; r + 1 < height; ++r) {
+    out += "         |";
+    out += canvas[r];
+    out += '\n';
+  }
+  std::snprintf(label, sizeof label, "%8.1f |", 0.0);
+  out += label;
+  out += canvas[height - 1];
+  out += '\n';
+  out += "          ";
+  out.append(width, '-');
+  out += '\n';
+  for (std::size_t s = 0; s < names.size(); ++s) {
+    out += "          ";
+    out += kGlyphs[s % std::size(kGlyphs)];
+    out += " = " + names[s] + "\n";
+  }
+  return out;
+}
+
+}  // namespace quicksand::core

@@ -1,0 +1,46 @@
+#pragma once
+
+// Report-building helpers shared by the benches: the relay-concentration
+// curve (Figure 2 left), CCDF rendering (Figure 3), and a small ASCII
+// line chart for time series (Figure 2 right).
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/path.hpp"
+#include "util/stats.hpp"
+
+namespace quicksand::core {
+
+/// One point of the concentration curve: the top `as_count` ASes together
+/// host `fraction` of the relays.
+struct ConcentrationPoint {
+  std::size_t as_count = 0;
+  double fraction = 0;
+};
+
+/// Builds the Figure 2 (left) curve from per-AS relay counts: ASes sorted
+/// by descending count, cumulative share at every rank.
+[[nodiscard]] std::vector<ConcentrationPoint> ConcentrationCurve(
+    const std::map<bgp::AsNumber, std::size_t>& relays_per_as);
+
+/// Fraction of relays hosted by the top `as_count` ASes (reads the curve).
+[[nodiscard]] double TopAsShare(std::span<const ConcentrationPoint> curve,
+                                std::size_t as_count) noexcept;
+
+/// Prints a CCDF as an aligned two-column table ("x", "P(X >= x) %").
+void PrintCcdf(std::ostream& os, std::span<const util::CcdfPoint> ccdf,
+               const std::string& x_label, std::size_t max_rows = 24);
+
+/// Renders several time series as one ASCII chart (distinct glyph per
+/// series). All series share the x axis; y is auto-scaled to the global
+/// maximum. Throws std::invalid_argument on size mismatch or empty input.
+[[nodiscard]] std::string RenderAsciiChart(std::span<const std::string> names,
+                                           std::span<const std::vector<double>> series,
+                                           std::size_t width = 72, std::size_t height = 16);
+
+}  // namespace quicksand::core

@@ -1,0 +1,53 @@
+#include "netbase/ipv4.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <stdexcept>
+
+namespace quicksand::netbase {
+
+std::optional<Ipv4Address> Ipv4Address::Parse(std::string_view text) noexcept {
+  std::uint32_t value = 0;
+  const char* cursor = text.data();
+  const char* const end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (cursor == end || *cursor != '.') return std::nullopt;
+      ++cursor;
+    }
+    unsigned octet = 0;
+    auto [ptr, ec] = std::from_chars(cursor, end, octet);
+    if (ec != std::errc{} || ptr == cursor || octet > 255) return std::nullopt;
+    // Reject leading zeros longer than one digit ("01") to keep the
+    // representation canonical and avoid octal ambiguity.
+    if (ptr - cursor > 1 && *cursor == '0') return std::nullopt;
+    value = (value << 8) | octet;
+    cursor = ptr;
+  }
+  if (cursor != end) return std::nullopt;
+  return Ipv4Address(value);
+}
+
+Ipv4Address Ipv4Address::MustParse(std::string_view text) {
+  auto parsed = Parse(text);
+  if (!parsed) {
+    throw std::invalid_argument("invalid IPv4 address: '" + std::string(text) + "'");
+  }
+  return *parsed;
+}
+
+std::string Ipv4Address::ToString() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, Ipv4Address address) {
+  return os << address.ToString();
+}
+
+}  // namespace quicksand::netbase

@@ -1,0 +1,66 @@
+#pragma once
+
+// IPv4 address value type.
+//
+// Addresses are stored in host byte order so that arithmetic and prefix
+// masking are straightforward. Parsing and formatting use the usual
+// dotted-quad notation.
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace quicksand::netbase {
+
+/// An IPv4 address. Regular value type, totally ordered by numeric value.
+class Ipv4Address {
+ public:
+  /// Constructs the all-zero address 0.0.0.0.
+  constexpr Ipv4Address() noexcept = default;
+
+  /// Constructs from a 32-bit value in host byte order.
+  constexpr explicit Ipv4Address(std::uint32_t value) noexcept : value_(value) {}
+
+  /// Constructs from four octets: Ipv4Address(192, 0, 2, 1) == "192.0.2.1".
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// The address as a 32-bit value in host byte order.
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+
+  /// The i-th octet, 0 being the most significant ("192" in "192.0.2.1").
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// Parses dotted-quad notation. Returns nullopt on any syntax error
+  /// (missing octets, values > 255, stray characters).
+  [[nodiscard]] static std::optional<Ipv4Address> Parse(std::string_view text) noexcept;
+
+  /// Parses dotted-quad notation; throws std::invalid_argument on error.
+  [[nodiscard]] static Ipv4Address MustParse(std::string_view text);
+
+  /// Formats as dotted-quad, e.g. "192.0.2.1".
+  [[nodiscard]] std::string ToString() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Ipv4Address address);
+
+}  // namespace quicksand::netbase
+
+template <>
+struct std::hash<quicksand::netbase::Ipv4Address> {
+  std::size_t operator()(quicksand::netbase::Ipv4Address a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

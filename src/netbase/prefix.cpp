@@ -1,0 +1,48 @@
+#include "netbase/prefix.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <stdexcept>
+
+namespace quicksand::netbase {
+
+Prefix::Prefix(Ipv4Address base, int length) : length_(length) {
+  if (length < 0 || length > 32) {
+    throw std::invalid_argument("prefix length out of range: " + std::to_string(length));
+  }
+  network_ = Ipv4Address(base.value() & MaskFor(length));
+}
+
+std::optional<Prefix> Prefix::Parse(std::string_view text) noexcept {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto address = Ipv4Address::Parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  const std::string_view length_text = text.substr(slash + 1);
+  int length = -1;
+  auto [ptr, ec] =
+      std::from_chars(length_text.data(), length_text.data() + length_text.size(), length);
+  if (ec != std::errc{} || ptr != length_text.data() + length_text.size()) return std::nullopt;
+  if (length < 0 || length > 32) return std::nullopt;
+  // Require canonical form: no host bits set in the textual base address.
+  if ((address->value() & ~MaskFor(length)) != 0) return std::nullopt;
+  return Prefix(*address, length);
+}
+
+Prefix Prefix::MustParse(std::string_view text) {
+  auto parsed = Parse(text);
+  if (!parsed) {
+    throw std::invalid_argument("invalid prefix: '" + std::string(text) + "'");
+  }
+  return *parsed;
+}
+
+std::string Prefix::ToString() const {
+  return network_.ToString() + "/" + std::to_string(length_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Prefix& prefix) {
+  return os << prefix.ToString();
+}
+
+}  // namespace quicksand::netbase

@@ -1,0 +1,102 @@
+#pragma once
+
+// IPv4 prefix (CIDR block) value type.
+//
+// Invariant: host bits below the prefix length are always zero, so two
+// Prefix objects compare equal iff they denote the same address block.
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netbase/ipv4.hpp"
+
+namespace quicksand::netbase {
+
+/// A CIDR prefix such as 78.46.0.0/15. Regular value type.
+///
+/// Ordering is lexicographic on (network address, length); this places a
+/// covering prefix immediately before the more-specific prefixes it contains,
+/// which the prefix trie and sorted-scan algorithms rely on.
+class Prefix {
+ public:
+  /// Constructs 0.0.0.0/0 (the default route).
+  constexpr Prefix() noexcept = default;
+
+  /// Constructs from a base address and length, masking off host bits.
+  /// Throws std::invalid_argument if length > 32.
+  Prefix(Ipv4Address base, int length);
+
+  /// The network address (host bits zero).
+  [[nodiscard]] constexpr Ipv4Address network() const noexcept { return network_; }
+
+  /// The prefix length in [0, 32].
+  [[nodiscard]] constexpr int length() const noexcept { return length_; }
+
+  /// The netmask as a 32-bit host-order value (e.g. /24 -> 0xFFFFFF00).
+  [[nodiscard]] static constexpr std::uint32_t MaskFor(int length) noexcept {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  }
+
+  /// True iff `address` lies inside this block.
+  [[nodiscard]] constexpr bool Contains(Ipv4Address address) const noexcept {
+    return (address.value() & MaskFor(length_)) == network_.value();
+  }
+
+  /// True iff `other` is fully contained in this block (including equality).
+  [[nodiscard]] constexpr bool Contains(const Prefix& other) const noexcept {
+    return other.length_ >= length_ && Contains(other.network_);
+  }
+
+  /// True iff this prefix is strictly more specific than (contained in,
+  /// longer than) `other`.
+  [[nodiscard]] constexpr bool MoreSpecificThan(const Prefix& other) const noexcept {
+    return length_ > other.length_ && other.Contains(network_);
+  }
+
+  /// The first address of the block (== network()).
+  [[nodiscard]] constexpr Ipv4Address FirstAddress() const noexcept { return network_; }
+
+  /// The last address of the block (broadcast address for /≤31).
+  [[nodiscard]] constexpr Ipv4Address LastAddress() const noexcept {
+    return Ipv4Address(network_.value() | ~MaskFor(length_));
+  }
+
+  /// Number of addresses in the block as a 64-bit count (2^(32-length)).
+  [[nodiscard]] constexpr std::uint64_t AddressCount() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// Parses "a.b.c.d/len". Returns nullopt on syntax error or if host bits
+  /// are set (the textual form must be canonical).
+  [[nodiscard]] static std::optional<Prefix> Parse(std::string_view text) noexcept;
+
+  /// Parses "a.b.c.d/len"; throws std::invalid_argument on error.
+  [[nodiscard]] static Prefix MustParse(std::string_view text);
+
+  /// Formats as "a.b.c.d/len".
+  [[nodiscard]] std::string ToString() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) noexcept = default;
+
+ private:
+  Ipv4Address network_;
+  int length_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Prefix& prefix);
+
+}  // namespace quicksand::netbase
+
+template <>
+struct std::hash<quicksand::netbase::Prefix> {
+  std::size_t operator()(const quicksand::netbase::Prefix& p) const noexcept {
+    // Mix length into the high bits so /16 and /24 of the same base differ.
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{static_cast<std::uint32_t>(p.length())} << 32) |
+        p.network().value());
+  }
+};

@@ -1,0 +1,197 @@
+#pragma once
+
+// Binary (path-uncompressed) trie keyed by IPv4 prefixes.
+//
+// Supports the two lookups the measurement pipeline needs constantly:
+//   * longest-prefix match of an address (routing-table semantics), and
+//   * most-specific stored prefix covering a given prefix (used to map a
+//     Tor relay's /32 onto the announced BGP prefix that contains it).
+//
+// The trie is a header-only template so values of any type can be attached
+// to prefixes without type erasure.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "netbase/ipv4.hpp"
+#include "netbase/prefix.hpp"
+
+namespace quicksand::netbase {
+
+/// Maps IPv4 prefixes to values of type T with longest-prefix-match lookup.
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Number of prefixes stored.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Inserts or overwrites the value at `prefix`. Returns true if the
+  /// prefix was newly inserted, false if an existing value was replaced.
+  bool Insert(const Prefix& prefix, T value) {
+    Node* node = Descend(prefix, /*create=*/true);
+    const bool inserted = !node->value.has_value();
+    node->value = std::move(value);
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  /// Removes `prefix` if present. Returns true if a value was removed.
+  /// (Nodes are not physically pruned; the trie is append-heavy in practice.)
+  bool Erase(const Prefix& prefix) {
+    Node* node = Descend(prefix, /*create=*/false);
+    if (node == nullptr || !node->value.has_value()) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Exact-match lookup. Returns nullptr if `prefix` is not stored.
+  [[nodiscard]] const T* Find(const Prefix& prefix) const {
+    const Node* node = Descend(prefix, /*create=*/false);
+    return (node != nullptr && node->value) ? &*node->value : nullptr;
+  }
+  [[nodiscard]] T* Find(const Prefix& prefix) {
+    Node* node = Descend(prefix, /*create=*/false);
+    return (node != nullptr && node->value) ? &*node->value : nullptr;
+  }
+
+  /// Longest-prefix match for a single address. Returns the matching
+  /// (prefix, value) with the greatest length, or nullopt if nothing
+  /// (not even a default route) covers the address.
+  [[nodiscard]] std::optional<std::pair<Prefix, const T*>> LongestMatch(
+      Ipv4Address address) const {
+    const Node* node = root_.get();
+    std::optional<std::pair<Prefix, const T*>> best;
+    if (node->value) best = {Prefix(address, 0), &*node->value};
+    std::uint32_t bits = address.value();
+    for (int depth = 0; depth < 32 && node != nullptr; ++depth) {
+      const int bit = (bits >> 31) & 1;
+      bits <<= 1;
+      node = node->child[bit].get();
+      if (node != nullptr && node->value) {
+        best = {Prefix(address, depth + 1), &*node->value};
+      }
+    }
+    return best;
+  }
+
+  /// Most specific stored prefix that covers `prefix` (including `prefix`
+  /// itself if stored). This is the "find the announced BGP prefix that
+  /// contains this relay's address block" operation.
+  [[nodiscard]] std::optional<std::pair<Prefix, const T*>> MostSpecificCovering(
+      const Prefix& prefix) const {
+    const Node* node = root_.get();
+    std::optional<std::pair<Prefix, const T*>> best;
+    if (node->value) best = {Prefix{}, &*node->value};
+    std::uint32_t bits = prefix.network().value();
+    for (int depth = 0; depth < prefix.length() && node != nullptr; ++depth) {
+      const int bit = (bits >> 31) & 1;
+      bits <<= 1;
+      node = node->child[bit].get();
+      if (node != nullptr && node->value) {
+        best = {Prefix(prefix.network(), depth + 1), &*node->value};
+      }
+    }
+    return best;
+  }
+
+  /// All stored prefixes contained in `prefix` (including `prefix` itself),
+  /// i.e. the more-specifics — what a hijack of `prefix` would also affect.
+  [[nodiscard]] std::vector<std::pair<Prefix, const T*>> CoveredBy(
+      const Prefix& prefix) const {
+    std::vector<std::pair<Prefix, const T*>> out;
+    const Node* node = root_.get();
+    std::uint32_t bits = prefix.network().value();
+    for (int depth = 0; depth < prefix.length() && node != nullptr; ++depth) {
+      const int bit = (bits >> 31) & 1;
+      bits <<= 1;
+      node = node->child[bit].get();
+    }
+    if (node != nullptr) {
+      CollectSubtree(node, prefix.network().value(), prefix.length(), out);
+    }
+    return out;
+  }
+
+  /// Visits every stored (prefix, value) pair in address order.
+  void ForEach(const std::function<void(const Prefix&, const T&)>& visit) const {
+    CollectAll(root_.get(), 0, 0,
+               [&](const Prefix& p, const T& v) { visit(p, v); });
+  }
+
+  /// All stored prefixes in address order.
+  [[nodiscard]] std::vector<Prefix> Prefixes() const {
+    std::vector<Prefix> out;
+    out.reserve(size_);
+    ForEach([&](const Prefix& p, const T&) { out.push_back(p); });
+    return out;
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  Node* Descend(const Prefix& prefix, bool create) {
+    Node* node = root_.get();
+    std::uint32_t bits = prefix.network().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> 31) & 1;
+      bits <<= 1;
+      if (node->child[bit] == nullptr) {
+        if (!create) return nullptr;
+        node->child[bit] = std::make_unique<Node>();
+      }
+      node = node->child[bit].get();
+    }
+    return node;
+  }
+
+  const Node* Descend(const Prefix& prefix, bool /*create*/) const {
+    const Node* node = root_.get();
+    std::uint32_t bits = prefix.network().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> 31) & 1;
+      bits <<= 1;
+      node = node->child[bit].get();
+      if (node == nullptr) return nullptr;
+    }
+    return node;
+  }
+
+  void CollectSubtree(const Node* node, std::uint32_t network, int depth,
+                      std::vector<std::pair<Prefix, const T*>>& out) const {
+    if (node->value) {
+      out.emplace_back(Prefix(Ipv4Address(network), depth), &*node->value);
+    }
+    if (depth == 32) return;
+    if (node->child[0]) CollectSubtree(node->child[0].get(), network, depth + 1, out);
+    if (node->child[1]) {
+      CollectSubtree(node->child[1].get(), network | (1u << (31 - depth)), depth + 1, out);
+    }
+  }
+
+  template <typename Visit>
+  void CollectAll(const Node* node, std::uint32_t network, int depth,
+                  const Visit& visit) const {
+    if (node->value) visit(Prefix(Ipv4Address(network), depth), *node->value);
+    if (depth == 32) return;
+    if (node->child[0]) CollectAll(node->child[0].get(), network, depth + 1, visit);
+    if (node->child[1]) {
+      CollectAll(node->child[1].get(), network | (1u << (31 - depth)), depth + 1, visit);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace quicksand::netbase

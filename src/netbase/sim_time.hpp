@@ -1,0 +1,61 @@
+#pragma once
+
+// Simulation time.
+//
+// All simulated timestamps are integral seconds since the start of the
+// measurement window (the paper's window is one month). A thin strong
+// typedef keeps them from mixing with other integers; helpers express the
+// durations the paper uses (the 5-minute dwell threshold, the month).
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace quicksand::netbase {
+
+/// A simulated point in time, in seconds since the measurement epoch.
+struct SimTime {
+  std::int64_t seconds = 0;
+
+  friend constexpr auto operator<=>(SimTime, SimTime) noexcept = default;
+  constexpr SimTime operator+(std::int64_t delta) const noexcept {
+    return SimTime{seconds + delta};
+  }
+  constexpr SimTime operator-(std::int64_t delta) const noexcept {
+    return SimTime{seconds - delta};
+  }
+  /// Elapsed seconds between two points.
+  constexpr std::int64_t operator-(SimTime other) const noexcept {
+    return seconds - other.seconds;
+  }
+};
+
+namespace duration {
+inline constexpr std::int64_t kSecond = 1;
+inline constexpr std::int64_t kMinute = 60;
+inline constexpr std::int64_t kHour = 3600;
+inline constexpr std::int64_t kDay = 86400;
+/// The paper's measurement window: May 2014, 31 days.
+inline constexpr std::int64_t kMonth = 31 * kDay;
+/// Minimum time an AS must stay on-path to be counted as gaining
+/// surveillance capability (Section 4: "less than 5 minutes ... unlikely
+/// that an attack can be performed on such a short timescale").
+inline constexpr std::int64_t kAttackDwellThreshold = 5 * kMinute;
+}  // namespace duration
+
+/// Formats a simulated time as "d+hh:mm:ss" for reports.
+[[nodiscard]] inline std::string FormatSimTime(SimTime t) {
+  const std::int64_t day = t.seconds / duration::kDay;
+  std::int64_t rem = t.seconds % duration::kDay;
+  const std::int64_t h = rem / duration::kHour;
+  rem %= duration::kHour;
+  const std::int64_t m = rem / duration::kMinute;
+  const std::int64_t s = rem % duration::kMinute;
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%lld+%02lld:%02lld:%02lld",
+                static_cast<long long>(day), static_cast<long long>(h),
+                static_cast<long long>(m), static_cast<long long>(s));
+  return buffer;
+}
+
+}  // namespace quicksand::netbase

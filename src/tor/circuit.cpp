@@ -1,0 +1,37 @@
+#include "tor/circuit.hpp"
+
+#include <stdexcept>
+
+namespace quicksand::tor {
+
+void ValidateCircuit(const Circuit& circuit, const Consensus& consensus) {
+  const auto& relays = consensus.relays();
+  if (circuit.guard >= relays.size() || circuit.middle >= relays.size() ||
+      circuit.exit >= relays.size()) {
+    throw std::invalid_argument("circuit: relay index out of range");
+  }
+  if (circuit.guard == circuit.middle || circuit.guard == circuit.exit ||
+      circuit.middle == circuit.exit) {
+    throw std::invalid_argument("circuit: relays must be distinct");
+  }
+  if (!relays[circuit.guard].IsGuard()) {
+    throw std::invalid_argument("circuit: first hop lacks the Guard flag");
+  }
+  if (!relays[circuit.exit].IsExit()) {
+    throw std::invalid_argument("circuit: last hop lacks the Exit flag");
+  }
+  for (std::size_t hop : {circuit.guard, circuit.middle, circuit.exit}) {
+    if (!relays[hop].IsRunning()) {
+      throw std::invalid_argument("circuit: relay '" + relays[hop].nickname +
+                                  "' is not Running");
+    }
+  }
+}
+
+std::string CircuitToString(const Circuit& circuit, const Consensus& consensus) {
+  const auto& relays = consensus.relays();
+  return relays.at(circuit.guard).nickname + " -> " + relays.at(circuit.middle).nickname +
+         " -> " + relays.at(circuit.exit).nickname;
+}
+
+}  // namespace quicksand::tor

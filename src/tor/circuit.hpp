@@ -1,0 +1,31 @@
+#pragma once
+
+// Tor circuits: a guard/middle/exit triple over a consensus.
+
+#include <cstddef>
+#include <string>
+
+#include "tor/consensus.hpp"
+
+namespace quicksand::tor {
+
+/// A three-hop circuit; members index into the consensus relay list.
+struct Circuit {
+  std::size_t guard = 0;
+  std::size_t middle = 0;
+  std::size_t exit = 0;
+
+  friend bool operator==(const Circuit&, const Circuit&) = default;
+};
+
+/// Validates circuit invariants against a consensus: distinct relays, the
+/// guard carries the Guard flag, the exit carries the Exit flag, and all
+/// three are Running. Throws std::invalid_argument describing the first
+/// violation.
+void ValidateCircuit(const Circuit& circuit, const Consensus& consensus);
+
+/// Renders "guard(nick) -> middle(nick) -> exit(nick)".
+[[nodiscard]] std::string CircuitToString(const Circuit& circuit,
+                                          const Consensus& consensus);
+
+}  // namespace quicksand::tor

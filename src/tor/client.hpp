@@ -1,0 +1,59 @@
+#pragma once
+
+// A Tor client: a network location plus a persistent guard set.
+//
+// Guard persistence is the defence Section 2 describes — the guard set is
+// kept for about a month (with a proposal to extend to 9 months), so a
+// client's circuits keep entering the network at the same few relays while
+// the AS-level paths underneath them keep changing.
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/path.hpp"
+#include "netbase/rng.hpp"
+#include "netbase/sim_time.hpp"
+#include "tor/path_selection.hpp"
+
+namespace quicksand::tor {
+
+struct ClientConfig {
+  /// Guard rotation period; Tor 2014 default ~30 days.
+  std::int64_t guard_lifetime_s = 30 * netbase::duration::kDay;
+};
+
+/// One simulated Tor client.
+class TorClient {
+ public:
+  /// Creates a client homed in `client_as`, drawing its initial guard set
+  /// from `selector` (which must outlive the client).
+  TorClient(bgp::AsNumber client_as, const PathSelector& selector, netbase::Rng rng,
+            ClientConfig config = {},
+            const CircuitConstraint* constraint = nullptr);
+
+  [[nodiscard]] bgp::AsNumber client_as() const noexcept { return client_as_; }
+  [[nodiscard]] const std::vector<std::size_t>& guard_set() const noexcept {
+    return guard_set_;
+  }
+  [[nodiscard]] std::size_t rotations() const noexcept { return rotations_; }
+
+  /// Rotates the guard set if its lifetime has expired at `now`.
+  /// Returns true if a rotation happened.
+  bool MaybeRotateGuards(netbase::SimTime now);
+
+  /// Builds a fresh circuit for a new connection at `now` (rotating the
+  /// guard set first if expired).
+  [[nodiscard]] Circuit Connect(netbase::SimTime now);
+
+ private:
+  bgp::AsNumber client_as_;
+  const PathSelector* selector_;
+  const CircuitConstraint* constraint_;
+  ClientConfig config_;
+  netbase::Rng rng_;
+  std::vector<std::size_t> guard_set_;
+  netbase::SimTime guards_chosen_at_{};
+  std::size_t rotations_ = 0;
+};
+
+}  // namespace quicksand::tor

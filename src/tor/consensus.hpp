@@ -1,0 +1,53 @@
+#pragma once
+
+// Tor network consensus: the relay directory clients download.
+//
+// A simplified textual format mirrors the fields of a real consensus that
+// this project consumes (address, bandwidth weight, flags):
+//
+//   consensus <valid-after-seconds>
+//   r <nickname> <ip> <orport> <bandwidth-kb/s> <Flag> <Flag> ...
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "netbase/sim_time.hpp"
+#include "tor/relay.hpp"
+
+namespace quicksand::tor {
+
+/// A network consensus document.
+class Consensus {
+ public:
+  Consensus() = default;
+  Consensus(netbase::SimTime valid_after, std::vector<Relay> relays)
+      : valid_after_(valid_after), relays_(std::move(relays)) {}
+
+  [[nodiscard]] netbase::SimTime valid_after() const noexcept { return valid_after_; }
+  [[nodiscard]] const std::vector<Relay>& relays() const noexcept { return relays_; }
+  [[nodiscard]] std::size_t size() const noexcept { return relays_.size(); }
+
+  /// Relays carrying the Guard flag.
+  [[nodiscard]] std::vector<const Relay*> Guards() const;
+  /// Relays carrying the Exit flag.
+  [[nodiscard]] std::vector<const Relay*> Exits() const;
+  /// Relays carrying both Guard and Exit.
+  [[nodiscard]] std::vector<const Relay*> GuardExits() const;
+
+  /// Sum of bandwidth weights over all relays.
+  [[nodiscard]] std::uint64_t TotalBandwidth() const noexcept;
+
+  /// Serializes to the textual consensus format.
+  [[nodiscard]] std::string ToText() const;
+
+  /// Parses the textual format. Throws std::runtime_error naming the
+  /// offending line on malformed input (bad header, address, flag, ...).
+  [[nodiscard]] static Consensus Parse(std::string_view text);
+
+ private:
+  netbase::SimTime valid_after_{};
+  std::vector<Relay> relays_;
+};
+
+}  // namespace quicksand::tor

@@ -1,0 +1,57 @@
+#pragma once
+
+// Synthetic Tor consensus generation, calibrated to the paper's July 2014
+// snapshot: 4586 relays — 1918 guards, 891 exits, 442 flagged both — with
+// relays heavily concentrated in a handful of hosting ASes (Figure 2 left:
+// 5 ASes host ~20% of guard/exit relays) and a skewed relays-per-prefix
+// distribution (median 1, p75 2, max 33 in one /15).
+//
+// Relays are placed inside prefixes actually originated in the BGP
+// topology, so the relay -> most-specific-prefix -> origin-AS mapping the
+// measurement pipeline performs is exercised end-to-end.
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/topology_gen.hpp"
+#include "tor/consensus.hpp"
+
+namespace quicksand::tor {
+
+struct ConsensusGenParams {
+  std::size_t total_relays = 4586;
+  std::size_t guard_only = 1476;  ///< 1918 guards - 442 dual-flagged
+  std::size_t exit_only = 449;    ///< 891 exits - 442 dual-flagged
+  std::size_t guard_exit = 442;
+  /// Zipf exponent of the relay count across hosting ASes; higher is more
+  /// concentrated. 0.7 reproduces "5 ASes host ~20%" at our topology scale.
+  double hosting_zipf_exponent = 0.7;
+  /// Fraction of relays placed in hosting ASes; the rest are volunteers in
+  /// eyeball/content/transit networks.
+  double hosting_fraction = 0.72;
+  /// Fraction of non-hosting ASes that have any relay volunteers at all
+  /// (most access networks host none).
+  double volunteer_as_fraction = 0.35;
+  /// Pareto bandwidth-weight distribution (KB/s).
+  double bandwidth_pareto_xmin = 120;
+  double bandwidth_pareto_alpha = 1.15;
+  /// Multiplier applied to guard bandwidth (guards must be fast).
+  double guard_bandwidth_boost = 1.6;
+  std::uint64_t seed = 99;
+};
+
+/// A generated consensus plus placement ground truth.
+struct GeneratedConsensus {
+  Consensus consensus;
+  /// Host AS of each relay, aligned with consensus.relays(). Ground truth
+  /// for tests; analysis code should recover it via TorPrefixMap instead.
+  std::vector<bgp::AsNumber> host_as;
+};
+
+/// Generates a consensus over the given topology. Throws
+/// std::invalid_argument if flag counts exceed total_relays or the
+/// topology has no prefixes to place relays in.
+[[nodiscard]] GeneratedConsensus GenerateConsensus(const bgp::Topology& topology,
+                                                   const ConsensusGenParams& params);
+
+}  // namespace quicksand::tor

@@ -1,0 +1,130 @@
+#include "tor/path_selection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace quicksand::tor {
+
+PathSelector::PathSelector(const Consensus& consensus, PathSelectionConfig config)
+    : consensus_(&consensus), config_(config) {
+  const auto& relays = consensus.relays();
+  for (std::size_t i = 0; i < relays.size(); ++i) {
+    if (!relays[i].IsRunning()) continue;
+    running_.push_back(i);
+    if (relays[i].IsGuard()) {
+      guards_.push_back(i);
+      guard_bandwidth_total_ += relays[i].bandwidth_kbs;
+    }
+    if (relays[i].IsExit()) {
+      exits_.push_back(i);
+      exit_bandwidth_total_ += relays[i].bandwidth_kbs;
+    }
+  }
+}
+
+bool PathSelector::SharesSlash16(std::size_t a, std::size_t b) const {
+  const auto& relays = consensus_->relays();
+  return (relays[a].address.value() >> 16) == (relays[b].address.value() >> 16);
+}
+
+std::optional<std::size_t> PathSelector::WeightedPick(
+    std::span<const std::size_t> candidates, netbase::Rng& rng,
+    std::span<const double> weight_multipliers,
+    std::span<const std::size_t> exclude) const {
+  const auto& relays = consensus_->relays();
+  std::vector<double> weights;
+  weights.reserve(candidates.size());
+  double total = 0;
+  for (std::size_t index : candidates) {
+    double weight = relays[index].bandwidth_kbs;
+    if (!weight_multipliers.empty()) weight *= weight_multipliers[index];
+    const bool excluded =
+        std::find(exclude.begin(), exclude.end(), index) != exclude.end() ||
+        (config_.enforce_distinct_slash16 &&
+         std::any_of(exclude.begin(), exclude.end(),
+                     [&](std::size_t e) { return SharesSlash16(index, e); }));
+    if (excluded) weight = 0;
+    weights.push_back(weight);
+    total += weight;
+  }
+  if (total <= 0) return std::nullopt;
+  return candidates[rng.WeightedIndex(weights)];
+}
+
+std::vector<std::size_t> PathSelector::PickGuardSet(
+    netbase::Rng& rng, std::span<const double> weight_multipliers,
+    const CircuitConstraint* constraint) const {
+  if (!weight_multipliers.empty() &&
+      weight_multipliers.size() != consensus_->relays().size()) {
+    throw std::invalid_argument(
+        "PickGuardSet: weight_multipliers must align with the relay list");
+  }
+  std::vector<std::size_t> candidates;
+  candidates.reserve(guards_.size());
+  for (std::size_t index : guards_) {
+    if (constraint == nullptr || constraint->AllowGuard(index)) {
+      candidates.push_back(index);
+    }
+  }
+  if (candidates.size() < config_.guard_set_size) {
+    throw std::runtime_error("PickGuardSet: fewer eligible guards than guard_set_size");
+  }
+  std::vector<std::size_t> chosen;
+  while (chosen.size() < config_.guard_set_size) {
+    const auto pick = WeightedPick(candidates, rng, weight_multipliers, chosen);
+    if (!pick) {
+      throw std::runtime_error("PickGuardSet: guard candidates exhausted (weights/16s)");
+    }
+    chosen.push_back(*pick);
+  }
+  return chosen;
+}
+
+Circuit PathSelector::BuildCircuit(std::span<const std::size_t> guard_set,
+                                   netbase::Rng& rng,
+                                   const CircuitConstraint* constraint) const {
+  if (guard_set.empty()) throw std::invalid_argument("BuildCircuit: empty guard set");
+  constexpr int kMaxAttempts = 64;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    // Guard: uniform among the client's guards (Tor rotates across the
+    // small set for availability).
+    const std::size_t guard = guard_set[rng.UniformInt(0, guard_set.size() - 1)];
+    if (constraint != nullptr && !constraint->AllowGuard(guard)) continue;
+
+    // Exit: bandwidth-weighted among exits, excluding the guard.
+    const std::size_t exclude_guard[] = {guard};
+    const auto exit = WeightedPick(exits_, rng, {}, exclude_guard);
+    if (!exit) continue;
+    if (constraint != nullptr && !constraint->AllowExitWithGuard(*exit, guard)) continue;
+
+    // Middle: bandwidth-weighted among all running relays.
+    const std::size_t exclude_both[] = {guard, *exit};
+    const auto middle = WeightedPick(running_, rng, {}, exclude_both);
+    if (!middle) continue;
+
+    Circuit circuit{guard, *middle, *exit};
+    ValidateCircuit(circuit, *consensus_);
+    return circuit;
+  }
+  throw std::runtime_error("BuildCircuit: no valid circuit after bounded retries");
+}
+
+double PathSelector::GuardSelectionProbability(std::size_t relay_index) const {
+  const auto& relays = consensus_->relays();
+  if (relay_index >= relays.size() || !relays[relay_index].IsGuard() ||
+      !relays[relay_index].IsRunning() || guard_bandwidth_total_ <= 0) {
+    return 0;
+  }
+  return relays[relay_index].bandwidth_kbs / guard_bandwidth_total_;
+}
+
+double PathSelector::ExitSelectionProbability(std::size_t relay_index) const {
+  const auto& relays = consensus_->relays();
+  if (relay_index >= relays.size() || !relays[relay_index].IsExit() ||
+      !relays[relay_index].IsRunning() || exit_bandwidth_total_ <= 0) {
+    return 0;
+  }
+  return relays[relay_index].bandwidth_kbs / exit_bandwidth_total_;
+}
+
+}  // namespace quicksand::tor

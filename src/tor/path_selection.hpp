@@ -1,0 +1,108 @@
+#pragma once
+
+// Bandwidth-weighted Tor path selection.
+//
+// Implements the selection behaviour the paper's analysis depends on:
+// relays are chosen with probability proportional to their bandwidth
+// weight ("to load balance the network, clients select relays with a
+// probability that is proportional to their network capacity"), guards
+// come from a small persistent guard set, and circuits obey Tor's
+// distinctness and /16 constraints. Countermeasure policies (Section 5)
+// plug in through CircuitConstraint and per-guard weight multipliers.
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netbase/rng.hpp"
+#include "tor/circuit.hpp"
+#include "tor/consensus.hpp"
+
+namespace quicksand::tor {
+
+/// Pluggable circuit-building policy hook (used by the Section 5
+/// countermeasures). Default-allows everything.
+class CircuitConstraint {
+ public:
+  virtual ~CircuitConstraint() = default;
+  /// May this relay serve as the guard of a new circuit?
+  [[nodiscard]] virtual bool AllowGuard(std::size_t relay_index) const {
+    (void)relay_index;
+    return true;
+  }
+  /// May this exit be combined with this guard?
+  [[nodiscard]] virtual bool AllowExitWithGuard(std::size_t exit_index,
+                                                std::size_t guard_index) const {
+    (void)exit_index;
+    (void)guard_index;
+    return true;
+  }
+};
+
+struct PathSelectionConfig {
+  /// Enforce Tor's rule that no two circuit relays share an IPv4 /16.
+  bool enforce_distinct_slash16 = true;
+  /// Number of guards in a client's guard set (Tor used 3 in 2014).
+  std::size_t guard_set_size = 3;
+};
+
+/// Bandwidth-weighted relay and circuit selection over one consensus.
+/// The consensus must outlive the selector.
+class PathSelector {
+ public:
+  explicit PathSelector(const Consensus& consensus, PathSelectionConfig config = {});
+
+  [[nodiscard]] const Consensus& consensus() const noexcept { return *consensus_; }
+  [[nodiscard]] const PathSelectionConfig& config() const noexcept { return config_; }
+
+  /// Indices of relays eligible for each position.
+  [[nodiscard]] std::span<const std::size_t> GuardCandidates() const noexcept {
+    return guards_;
+  }
+  [[nodiscard]] std::span<const std::size_t> ExitCandidates() const noexcept {
+    return exits_;
+  }
+
+  /// Draws a guard set: `guard_set_size` distinct guards, bandwidth-
+  /// weighted, optionally modulated by per-relay multipliers (aligned with
+  /// the consensus relay list; pass {} for none) and filtered through
+  /// `constraint`. Throws std::runtime_error if too few guards qualify.
+  [[nodiscard]] std::vector<std::size_t> PickGuardSet(
+      netbase::Rng& rng, std::span<const double> weight_multipliers = {},
+      const CircuitConstraint* constraint = nullptr) const;
+
+  /// Builds a circuit: guard uniformly from `guard_set`, exit and middle
+  /// bandwidth-weighted, obeying distinctness, the /16 rule, and
+  /// `constraint`. Throws std::runtime_error if no valid circuit exists
+  /// after bounded retries.
+  [[nodiscard]] Circuit BuildCircuit(std::span<const std::size_t> guard_set,
+                                     netbase::Rng& rng,
+                                     const CircuitConstraint* constraint = nullptr) const;
+
+  /// Probability that a bandwidth-weighted guard draw lands on `relay`
+  /// (0 for non-guards) — used by the analytical anonymity model.
+  [[nodiscard]] double GuardSelectionProbability(std::size_t relay_index) const;
+
+  /// Probability that a bandwidth-weighted exit draw lands on `relay`.
+  [[nodiscard]] double ExitSelectionProbability(std::size_t relay_index) const;
+
+ private:
+  [[nodiscard]] std::optional<std::size_t> WeightedPick(
+      std::span<const std::size_t> candidates, netbase::Rng& rng,
+      std::span<const double> weight_multipliers,
+      std::span<const std::size_t> exclude) const;
+
+  [[nodiscard]] bool SharesSlash16(std::size_t a, std::size_t b) const;
+
+  const Consensus* consensus_;
+  PathSelectionConfig config_;
+  std::vector<std::size_t> guards_;
+  std::vector<std::size_t> exits_;
+  std::vector<std::size_t> running_;
+  double guard_bandwidth_total_ = 0;
+  double exit_bandwidth_total_ = 0;
+};
+
+}  // namespace quicksand::tor

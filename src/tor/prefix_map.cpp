@@ -1,0 +1,70 @@
+#include "tor/prefix_map.hpp"
+
+namespace quicksand::tor {
+
+using netbase::Prefix;
+using netbase::PrefixTrie;
+
+TorPrefixMap TorPrefixMap::Build(const Consensus& consensus,
+                                 std::span<const bgp::PrefixOrigin> origins) {
+  PrefixTrie<bgp::AsNumber> trie;
+  for (const bgp::PrefixOrigin& po : origins) trie.Insert(po.prefix, po.origin);
+
+  TorPrefixMap map;
+  const auto& relays = consensus.relays();
+  for (std::size_t i = 0; i < relays.size(); ++i) {
+    const auto match = trie.LongestMatch(relays[i].address);
+    if (!match) {
+      ++map.unmapped_;
+      continue;
+    }
+    map.entry_of_relay_.emplace(i, map.entries_.size());
+    map.entries_.push_back({i, match->first, *match->second});
+  }
+  return map;
+}
+
+std::unordered_set<Prefix> TorPrefixMap::TorPrefixes(const Consensus& consensus) const {
+  std::unordered_set<Prefix> out;
+  const auto& relays = consensus.relays();
+  for (const RelayPrefixEntry& entry : entries_) {
+    const Relay& relay = relays[entry.relay_index];
+    if (relay.IsGuard() || relay.IsExit()) out.insert(entry.prefix);
+  }
+  return out;
+}
+
+std::map<Prefix, std::size_t> TorPrefixMap::GuardExitRelaysPerPrefix(
+    const Consensus& consensus) const {
+  std::map<Prefix, std::size_t> out;
+  const auto& relays = consensus.relays();
+  for (const RelayPrefixEntry& entry : entries_) {
+    const Relay& relay = relays[entry.relay_index];
+    if (relay.IsGuard() || relay.IsExit()) ++out[entry.prefix];
+  }
+  return out;
+}
+
+std::map<bgp::AsNumber, std::size_t> TorPrefixMap::GuardExitRelaysPerAs(
+    const Consensus& consensus) const {
+  std::map<bgp::AsNumber, std::size_t> out;
+  const auto& relays = consensus.relays();
+  for (const RelayPrefixEntry& entry : entries_) {
+    const Relay& relay = relays[entry.relay_index];
+    if (relay.IsGuard() || relay.IsExit()) ++out[entry.origin];
+  }
+  return out;
+}
+
+bgp::AsNumber TorPrefixMap::OriginOfRelay(std::size_t relay_index) const {
+  const auto it = entry_of_relay_.find(relay_index);
+  return it == entry_of_relay_.end() ? 0 : entries_[it->second].origin;
+}
+
+std::optional<Prefix> TorPrefixMap::PrefixOfRelay(std::size_t relay_index) const {
+  const auto it = entry_of_relay_.find(relay_index);
+  if (it == entry_of_relay_.end()) return std::nullopt;
+  return entries_[it->second].prefix;
+}
+
+}  // namespace quicksand::tor

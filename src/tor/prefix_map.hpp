@@ -1,0 +1,70 @@
+#pragma once
+
+// Mapping Tor relays onto announced BGP prefixes — the paper's "Tor
+// prefix" identification step: "For each guard and exit relay, we
+// identified the most specific BGP prefix that contained it."
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/topology_gen.hpp"
+#include "netbase/prefix.hpp"
+#include "netbase/prefix_trie.hpp"
+#include "tor/consensus.hpp"
+
+namespace quicksand::tor {
+
+/// One relay resolved to its covering announcement.
+struct RelayPrefixEntry {
+  std::size_t relay_index = 0;  ///< index into the consensus relay list
+  netbase::Prefix prefix;       ///< most specific announced prefix containing it
+  bgp::AsNumber origin = 0;     ///< AS announcing that prefix
+};
+
+/// Relay -> prefix -> origin-AS resolution over a set of announcements.
+class TorPrefixMap {
+ public:
+  /// Resolves every relay in `consensus` against the announced prefixes.
+  /// Relays not covered by any announcement are counted in unmapped().
+  [[nodiscard]] static TorPrefixMap Build(const Consensus& consensus,
+                                          std::span<const bgp::PrefixOrigin> origins);
+
+  /// All resolved relays (guards, exits, and middles alike).
+  [[nodiscard]] const std::vector<RelayPrefixEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Number of relays no announced prefix covered.
+  [[nodiscard]] std::size_t unmapped() const noexcept { return unmapped_; }
+
+  /// The Tor prefixes: distinct prefixes hosting at least one relay with
+  /// the Guard or Exit flag (the paper's definition).
+  [[nodiscard]] std::unordered_set<netbase::Prefix> TorPrefixes(
+      const Consensus& consensus) const;
+
+  /// Guard/exit relay count per Tor prefix (the paper's skew statistic:
+  /// median 1, 75th percentile 2, max 33).
+  [[nodiscard]] std::map<netbase::Prefix, std::size_t> GuardExitRelaysPerPrefix(
+      const Consensus& consensus) const;
+
+  /// Guard/exit relay count per origin AS (Figure 2 left input).
+  [[nodiscard]] std::map<bgp::AsNumber, std::size_t> GuardExitRelaysPerAs(
+      const Consensus& consensus) const;
+
+  /// Origin AS of the prefix covering a relay, or 0 if unmapped.
+  [[nodiscard]] bgp::AsNumber OriginOfRelay(std::size_t relay_index) const;
+
+  /// Prefix covering a relay, or nullopt if unmapped.
+  [[nodiscard]] std::optional<netbase::Prefix> PrefixOfRelay(
+      std::size_t relay_index) const;
+
+ private:
+  std::vector<RelayPrefixEntry> entries_;
+  std::map<std::size_t, std::size_t> entry_of_relay_;  // relay index -> entries_ slot
+  std::size_t unmapped_ = 0;
+};
+
+}  // namespace quicksand::tor

@@ -1,0 +1,50 @@
+#include "traffic/tcp.hpp"
+
+#include <algorithm>
+
+namespace quicksand::traffic {
+
+std::uint32_t TcpSender::EmitSegment() {
+  if (!CanSend()) throw std::logic_error("TcpSender: EmitSegment without CanSend");
+  const std::uint64_t permitted =
+      std::min<std::uint64_t>({buffered_, params_.mss_bytes, WindowHeadroom()});
+  buffered_ -= permitted;
+  bytes_sent_ += permitted;
+  return static_cast<std::uint32_t>(permitted);
+}
+
+void TcpSender::OnAck(std::uint64_t cumulative_acked) noexcept {
+  if (cumulative_acked <= bytes_acked_) return;  // stale or duplicate
+  const std::uint64_t newly = cumulative_acked - bytes_acked_;
+  bytes_acked_ = std::min(cumulative_acked, bytes_sent_);
+  window_ = std::min(window_ + newly, params_.max_window);
+}
+
+TcpReceiver::AckDecision TcpReceiver::OnSegment(std::uint32_t bytes, double now) {
+  bytes_received_ += bytes;
+  ++unacked_segments_;
+  AckDecision decision;
+  if (unacked_segments_ >= params_.ack_every_segments) {
+    unacked_segments_ = 0;
+    timer_pending_ = false;
+    bytes_acknowledged_ = bytes_received_;
+    decision.ack_now = bytes_received_;
+    return decision;
+  }
+  if (!timer_pending_) {
+    timer_pending_ = true;
+    decision.arm_timer_at = now + params_.delayed_ack_s;
+  }
+  return decision;
+}
+
+std::optional<std::uint64_t> TcpReceiver::OnDelayedAckTimer() {
+  if (!timer_pending_) return std::nullopt;
+  timer_pending_ = false;
+  unacked_segments_ = 0;
+  if (bytes_received_ == bytes_acknowledged_) return std::nullopt;
+  bytes_acknowledged_ = bytes_received_;
+  return bytes_received_;
+}
+
+}  // namespace quicksand::traffic

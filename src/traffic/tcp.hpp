@@ -1,0 +1,102 @@
+#pragma once
+
+// Simplified TCP endpoint state machines.
+//
+// The asymmetric traffic-analysis attack (Section 3.3) hinges on TCP
+// mechanics: acknowledgements are *cumulative*, delayed, and carried in
+// cleartext headers even under SSL/TLS. This model reproduces exactly
+// those mechanics — byte-accurate cumulative ACKs, the every-2-segments /
+// 40 ms delayed-ACK policy, ACK-clocked window growth — without
+// retransmission logic (the simulated links do not lose packets).
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+namespace quicksand::traffic {
+
+struct TcpParams {
+  std::uint32_t mss_bytes = 1448;        ///< payload per segment
+  double delayed_ack_s = 0.040;          ///< delayed-ACK timeout
+  int ack_every_segments = 2;            ///< ACK immediately every Nth segment
+  std::uint64_t initial_window = 14480;  ///< 10 MSS (RFC 6928 spirit)
+  std::uint64_t max_window = 256u << 10;  ///< receive-window cap (rwnd)
+};
+
+/// Sending side: ACK-clocked sliding window over a byte stream.
+class TcpSender {
+ public:
+  explicit TcpSender(TcpParams params) : params_(params), window_(params.initial_window) {}
+
+  /// Makes `bytes` more application data available to send.
+  void Enqueue(std::uint64_t bytes) noexcept { buffered_ += bytes; }
+
+  /// Bytes the window currently permits in flight beyond what is out.
+  [[nodiscard]] std::uint64_t WindowHeadroom() const noexcept {
+    const std::uint64_t in_flight = bytes_sent_ - bytes_acked_;
+    return in_flight >= window_ ? 0 : window_ - in_flight;
+  }
+
+  /// True iff at least one byte may be emitted now.
+  [[nodiscard]] bool CanSend() const noexcept {
+    return buffered_ > 0 && WindowHeadroom() > 0;
+  }
+
+  /// Emits the next segment: returns its payload size (<= MSS) and
+  /// advances the stream. Call only when CanSend().
+  /// Throws std::logic_error otherwise.
+  std::uint32_t EmitSegment();
+
+  /// Processes a cumulative ACK for `cumulative_acked` total bytes.
+  /// Out-of-order (smaller) ACKs are ignored. Window grows by the newly
+  /// acknowledged amount (slow-start-like) up to max_window.
+  void OnAck(std::uint64_t cumulative_acked) noexcept;
+
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t bytes_acked() const noexcept { return bytes_acked_; }
+  [[nodiscard]] std::uint64_t buffered() const noexcept { return buffered_; }
+  [[nodiscard]] std::uint64_t window() const noexcept { return window_; }
+
+ private:
+  TcpParams params_;
+  std::uint64_t buffered_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_acked_ = 0;
+  std::uint64_t window_;
+};
+
+/// Receiving side: cumulative-ACK generation with the delayed-ACK policy.
+class TcpReceiver {
+ public:
+  explicit TcpReceiver(TcpParams params) : params_(params) {}
+
+  /// What the receiver does in response to a segment.
+  struct AckDecision {
+    /// If set, an ACK for this cumulative byte count leaves immediately.
+    std::optional<std::uint64_t> ack_now;
+    /// If set, a delayed-ACK timer should fire at this absolute time
+    /// (only set when no timer is already pending).
+    std::optional<double> arm_timer_at;
+  };
+
+  /// Ingests a data segment of `bytes` arriving at `now`.
+  [[nodiscard]] AckDecision OnSegment(std::uint32_t bytes, double now);
+
+  /// Delayed-ACK timer fired at `now`: returns the cumulative ACK to send,
+  /// or nullopt if the pending data was already acknowledged.
+  [[nodiscard]] std::optional<std::uint64_t> OnDelayedAckTimer();
+
+  [[nodiscard]] std::uint64_t bytes_received() const noexcept { return bytes_received_; }
+  [[nodiscard]] std::uint64_t bytes_acknowledged() const noexcept {
+    return bytes_acknowledged_;
+  }
+
+ private:
+  TcpParams params_;
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t bytes_acknowledged_ = 0;
+  int unacked_segments_ = 0;
+  bool timer_pending_ = false;
+};
+
+}  // namespace quicksand::traffic

@@ -1,0 +1,70 @@
+#include "traffic/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace quicksand::traffic {
+
+namespace {
+
+std::size_t BinCount(double bin_s, double duration_s) {
+  if (bin_s <= 0 || duration_s <= 0) {
+    throw std::invalid_argument("trace binning: bin and duration must be positive");
+  }
+  return static_cast<std::size_t>(std::ceil(duration_s / bin_s));
+}
+
+}  // namespace
+
+std::vector<double> DataBytesBinned(std::span<const PacketRecord> packets, double bin_s,
+                                    double duration_s) {
+  std::vector<double> bins(BinCount(bin_s, duration_s), 0.0);
+  for (const PacketRecord& p : packets) {
+    if (p.time_s < 0 || p.time_s >= duration_s) continue;
+    bins[static_cast<std::size_t>(p.time_s / bin_s)] += p.payload_bytes;
+  }
+  return bins;
+}
+
+std::vector<double> AckedBytesBinned(std::span<const PacketRecord> packets, double bin_s,
+                                     double duration_s) {
+  std::vector<double> bins(BinCount(bin_s, duration_s), 0.0);
+  std::uint64_t high_water = 0;
+  for (const PacketRecord& p : packets) {
+    if (!p.has_ack) continue;
+    if (p.time_s < 0 || p.time_s >= duration_s) continue;
+    if (p.cumulative_ack <= high_water) continue;
+    bins[static_cast<std::size_t>(p.time_s / bin_s)] +=
+        static_cast<double>(p.cumulative_ack - high_water);
+    high_water = p.cumulative_ack;
+  }
+  return bins;
+}
+
+std::vector<double> CumulativeMegabytes(std::span<const double> binned) {
+  std::vector<double> out;
+  out.reserve(binned.size());
+  double total = 0;
+  for (double v : binned) {
+    total += v;
+    out.push_back(total / (1024.0 * 1024.0));
+  }
+  return out;
+}
+
+std::uint64_t TotalPayloadBytes(std::span<const PacketRecord> packets) noexcept {
+  std::uint64_t total = 0;
+  for (const PacketRecord& p : packets) total += p.payload_bytes;
+  return total;
+}
+
+std::uint64_t FinalAckedBytes(std::span<const PacketRecord> packets) noexcept {
+  std::uint64_t high_water = 0;
+  for (const PacketRecord& p : packets) {
+    if (p.has_ack) high_water = std::max(high_water, p.cumulative_ack);
+  }
+  return high_water;
+}
+
+}  // namespace quicksand::traffic

@@ -1,0 +1,45 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace quicksand::util {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open '" + path + "'");
+  WriteRow(header);
+}
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << EscapeField(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(const std::vector<double>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.6g", fields[i]);
+    out_ << buffer;
+  }
+  out_ << '\n';
+}
+
+}  // namespace quicksand::util

@@ -1,0 +1,33 @@
+#pragma once
+
+// Minimal CSV writer. Benches emit their series as CSV files alongside the
+// stdout report so figures can be re-plotted externally.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace quicksand::util {
+
+/// Streams rows of comma-separated values to a file. Fields containing a
+/// comma, quote or newline are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one data row (string fields).
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Writes one data row of doubles with 6 significant digits.
+  void WriteRow(const std::vector<double>& fields);
+
+  /// Escapes a single field per RFC 4180 (exposed for testing).
+  [[nodiscard]] static std::string EscapeField(const std::string& field);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace quicksand::util

@@ -1,0 +1,95 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+
+namespace quicksand::util {
+
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  bool digit_seen = false;
+  for (char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != 'e' && c != 'x') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  // A column is right-aligned if every non-empty cell looks numeric.
+  std::vector<bool> right(headers_.size(), true);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    bool any = false;
+    for (const auto& row : rows_) {
+      if (row[c].empty()) continue;
+      any = true;
+      if (!LooksNumeric(row[c])) {
+        right[c] = false;
+        break;
+      }
+    }
+    if (!any) right[c] = false;
+  }
+
+  auto emit_row = [&](std::string& out, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) out += "  ";
+      const std::size_t pad = widths[c] - row[c].size();
+      if (right[c]) out.append(pad, ' ');
+      out += row[c];
+      if (!right[c] && c + 1 < headers_.size()) out.append(pad, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(out, headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c > 0 ? 2 : 0);
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(out, row);
+  return out;
+}
+
+std::string FormatDouble(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  return FormatDouble(fraction * 100.0, decimals) + "%";
+}
+
+void PrintBanner(std::ostream& os, const std::string& title) {
+  std::string line = "== " + title + " ";
+  if (line.size() < 72) line.append(72 - line.size(), '=');
+  os << '\n' << line << '\n';
+}
+
+}  // namespace quicksand::util

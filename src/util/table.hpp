@@ -1,0 +1,48 @@
+#pragma once
+
+// Plain-text table rendering for bench/report output. Produces aligned
+// monospace tables matching the rows the paper's evaluation section reports.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace quicksand::util {
+
+/// A simple left/right-aligned text table.
+///
+/// Usage:
+///   Table t({"AS", "relays", "%"});
+///   t.AddRow({"AS24940", "212", "4.6"});
+///   std::cout << t.Render();
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; pads or truncates to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t RowCount() const noexcept { return rows_.size(); }
+
+  /// Renders the table with a header underline and 2-space gutters.
+  /// Numeric-looking cells are right-aligned, text left-aligned.
+  [[nodiscard]] std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimal places.
+[[nodiscard]] std::string FormatDouble(double value, int decimals = 2);
+
+/// Formats a fraction in [0,1] as a percentage string like "20.3%".
+[[nodiscard]] std::string FormatPercent(double fraction, int decimals = 1);
+
+/// Emits a section banner to the stream:  == title ==================
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace quicksand::util

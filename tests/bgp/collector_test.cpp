@@ -1,0 +1,130 @@
+#include "bgp/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace quicksand::bgp {
+namespace {
+
+Topology TestTopology(std::uint64_t seed = 5) {
+  TopologyParams params;
+  params.tier1_count = 4;
+  params.transit_count = 20;
+  params.eyeball_count = 30;
+  params.hosting_count = 10;
+  params.content_count = 20;
+  params.seed = seed;
+  return GenerateTopology(params);
+}
+
+TEST(CollectorSet, CreatesRequestedDeployment) {
+  const Topology topo = TestTopology();
+  CollectorParams params;
+  params.collector_count = 4;
+  params.sessions_per_collector = 10;
+  const CollectorSet set = CollectorSet::Create(topo, params);
+  EXPECT_EQ(set.SessionCount(), 40u);
+  // Session ids are dense and match their position.
+  for (SessionId id = 0; id < set.SessionCount(); ++id) {
+    EXPECT_EQ(set.SessionById(id).id, id);
+  }
+  // Collector names follow the rrcNN convention.
+  EXPECT_EQ(set.sessions().front().collector, "rrc00");
+  EXPECT_EQ(set.sessions().back().collector, "rrc03");
+}
+
+TEST(CollectorSet, PeersAreDistinctWithinACollector) {
+  const Topology topo = TestTopology();
+  CollectorParams params;
+  params.collector_count = 2;
+  params.sessions_per_collector = 12;
+  const CollectorSet set = CollectorSet::Create(topo, params);
+  std::unordered_set<AsNumber> rrc00_peers;
+  for (const PeerSession& session : set.sessions()) {
+    if (session.collector == "rrc00") {
+      EXPECT_TRUE(rrc00_peers.insert(session.peer_as).second)
+          << "duplicate peer AS" << session.peer_as;
+    }
+  }
+}
+
+TEST(CollectorSet, PeersAreTransitOrTier1) {
+  const Topology topo = TestTopology();
+  const CollectorSet set = CollectorSet::Create(topo, {});
+  for (const PeerSession& session : set.sessions()) {
+    const AsRole role = topo.RoleOf(session.peer_as);
+    EXPECT_TRUE(role == AsRole::kTransit || role == AsRole::kTier1)
+        << "peer AS" << session.peer_as << " has role " << ToString(role);
+  }
+}
+
+TEST(CollectorSet, DeterministicForSeed) {
+  const Topology topo = TestTopology();
+  const CollectorSet a = CollectorSet::Create(topo, {});
+  const CollectorSet b = CollectorSet::Create(topo, {});
+  ASSERT_EQ(a.SessionCount(), b.SessionCount());
+  for (SessionId id = 0; id < a.SessionCount(); ++id) {
+    EXPECT_EQ(a.SessionById(id).peer_as, b.SessionById(id).peer_as);
+    EXPECT_EQ(a.SessionById(id).full_feed, b.SessionById(id).full_feed);
+  }
+}
+
+TEST(CollectorSet, RejectsDegenerateParams) {
+  const Topology topo = TestTopology();
+  CollectorParams params;
+  params.collector_count = 0;
+  EXPECT_THROW((void)CollectorSet::Create(topo, params), std::invalid_argument);
+}
+
+TEST(CollectorSet, FullFeedSessionSeesEverythingPeerRoutes) {
+  const Topology topo = TestTopology();
+  const CollectorSet set = CollectorSet::Create(topo, {});
+  const RoutingState state = ComputeRoutes(topo.graph, topo.hostings.front());
+  for (const PeerSession& session : set.sessions()) {
+    const auto observed = CollectorSet::Observe(session, topo.graph, state);
+    const auto peer_index = topo.graph.MustIndexOf(session.peer_as);
+    if (!state.HasRoute(peer_index)) {
+      EXPECT_FALSE(observed.has_value());
+      continue;
+    }
+    if (session.full_feed) {
+      ASSERT_TRUE(observed.has_value());
+      EXPECT_EQ(*observed, state.PathOf(peer_index));
+    } else {
+      // Partial feeds always reveal customer/self routes; other routes
+      // may leak per the session's partial_visibility policy.
+      const RouteClass cls = state.RouteOf(peer_index).cls;
+      if (cls == RouteClass::kSelf || cls == RouteClass::kCustomer) {
+        EXPECT_TRUE(observed.has_value());
+      }
+      if (observed) {
+        EXPECT_EQ(*observed, state.PathOf(peer_index));
+      }
+    }
+  }
+}
+
+TEST(CollectorSet, PartialVisibilityEmergesFromExportPolicy) {
+  // Across hosting-AS prefixes, customer-feed sessions hide a meaningful
+  // share of routes — the paper's "each Tor prefix was received on ~40% of
+  // sessions" phenomenon.
+  const Topology topo = TestTopology();
+  CollectorParams params;
+  params.full_feed_prob = 0.3;
+  const CollectorSet set = CollectorSet::Create(topo, params);
+  std::size_t visible = 0, total = 0;
+  for (AsNumber origin : topo.hostings) {
+    const RoutingState state = ComputeRoutes(topo.graph, origin);
+    for (const PeerSession& session : set.sessions()) {
+      ++total;
+      if (CollectorSet::Observe(session, topo.graph, state)) ++visible;
+    }
+  }
+  const double fraction = static_cast<double>(visible) / static_cast<double>(total);
+  EXPECT_GT(fraction, 0.15);
+  EXPECT_LT(fraction, 0.95);
+}
+
+}  // namespace
+}  // namespace quicksand::bgp

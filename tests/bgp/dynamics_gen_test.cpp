@@ -1,0 +1,161 @@
+#include "bgp/dynamics_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_set>
+
+#include "util/stats.hpp"
+
+namespace quicksand::bgp {
+namespace {
+
+class DynamicsGenTest : public ::testing::Test {
+ protected:
+  DynamicsGenTest() {
+    TopologyParams tp;
+    tp.tier1_count = 4;
+    tp.transit_count = 16;
+    tp.eyeball_count = 20;
+    tp.hosting_count = 8;
+    tp.content_count = 14;
+    tp.seed = 3;
+    topo_ = GenerateTopology(tp);
+    CollectorParams cp;
+    cp.collector_count = 2;
+    cp.sessions_per_collector = 6;
+    cp.seed = 4;
+    collectors_ = CollectorSet::Create(topo_, cp);
+    params_.window = 3 * netbase::duration::kDay;
+    params_.seed = 5;
+  }
+
+  Topology topo_;
+  CollectorSet collectors_;
+  DynamicsParams params_;
+};
+
+TEST_F(DynamicsGenTest, InitialRibCoversVisiblePrefixesAtTimeZero) {
+  const GeneratedDynamics dyn = GenerateDynamics(topo_, collectors_, params_);
+  ASSERT_FALSE(dyn.initial_rib.empty());
+  std::unordered_set<netbase::Prefix> seen;
+  for (const BgpUpdate& u : dyn.initial_rib) {
+    EXPECT_EQ(u.time.seconds, 0);
+    EXPECT_EQ(u.type, UpdateType::kAnnounce);
+    EXPECT_FALSE(u.path.empty());
+    EXPECT_LT(u.session, collectors_.SessionCount());
+    seen.insert(u.prefix);
+  }
+  // A substantial share of the table is visible somewhere.
+  EXPECT_GT(seen.size(), topo_.prefix_origins.size() / 2);
+}
+
+TEST_F(DynamicsGenTest, UpdatesAreTimeOrderedAndInWindow) {
+  const GeneratedDynamics dyn = GenerateDynamics(topo_, collectors_, params_);
+  ASSERT_FALSE(dyn.updates.empty());
+  for (std::size_t i = 0; i < dyn.updates.size(); ++i) {
+    const BgpUpdate& u = dyn.updates[i];
+    EXPECT_GT(u.time.seconds, 0);
+    EXPECT_LE(u.time.seconds, params_.window);
+    if (i > 0) {
+      EXPECT_LE(dyn.updates[i - 1].time.seconds, u.time.seconds);
+    }
+  }
+}
+
+TEST_F(DynamicsGenTest, AnnouncedPathsEndAtTheTruePrefixOrigin) {
+  const GeneratedDynamics dyn = GenerateDynamics(topo_, collectors_, params_);
+  std::map<netbase::Prefix, AsNumber> origin_of;
+  for (const PrefixOrigin& po : topo_.prefix_origins) {
+    origin_of[po.prefix] = po.origin;
+  }
+  for (const BgpUpdate& u : dyn.updates) {
+    if (u.type != UpdateType::kAnnounce) continue;
+    EXPECT_EQ(u.path.origin(), origin_of.at(u.prefix))
+        << u.prefix.ToString() << " announced with wrong origin";
+    EXPECT_FALSE(u.path.HasLoop());
+  }
+}
+
+TEST_F(DynamicsGenTest, AnnouncedPathsStartAtTheSessionPeer) {
+  const GeneratedDynamics dyn = GenerateDynamics(topo_, collectors_, params_);
+  for (const BgpUpdate& u : dyn.updates) {
+    if (u.type != UpdateType::kAnnounce) continue;
+    EXPECT_EQ(u.path.front(), collectors_.SessionById(u.session).peer_as);
+  }
+}
+
+TEST_F(DynamicsGenTest, DeterministicForSeed) {
+  const GeneratedDynamics a = GenerateDynamics(topo_, collectors_, params_);
+  const GeneratedDynamics b = GenerateDynamics(topo_, collectors_, params_);
+  EXPECT_EQ(a.initial_rib, b.initial_rib);
+  EXPECT_EQ(a.updates, b.updates);
+}
+
+TEST_F(DynamicsGenTest, TruthCoversEveryPrefix) {
+  const GeneratedDynamics dyn = GenerateDynamics(topo_, collectors_, params_);
+  EXPECT_EQ(dyn.truth.size(), topo_.prefix_origins.size());
+  std::size_t hosting = 0;
+  for (const PrefixDynamicsTruth& t : dyn.truth) {
+    if (t.hosting_origin) ++hosting;
+    EXPECT_EQ(t.hosting_origin, topo_.RoleOf(t.origin) == AsRole::kHosting);
+  }
+  EXPECT_GT(hosting, 0u);
+}
+
+TEST_F(DynamicsGenTest, HostingPrefixesChurnMoreOnAverage) {
+  DynamicsParams params = params_;
+  params.window = netbase::duration::kMonth;  // enough events to average
+  const GeneratedDynamics dyn = GenerateDynamics(topo_, collectors_, params);
+  // Medians, not means: per-prefix event counts are heavy-tailed, so a
+  // single Pareto outlier in the (larger) non-hosting group would swamp a
+  // mean comparison.
+  std::vector<double> hosting_counts, other_counts;
+  for (const PrefixDynamicsTruth& t : dyn.truth) {
+    (t.hosting_origin ? hosting_counts : other_counts)
+        .push_back(static_cast<double>(t.scheduled_events));
+  }
+  ASSERT_FALSE(hosting_counts.empty());
+  ASSERT_FALSE(other_counts.empty());
+  EXPECT_GT(util::Median(hosting_counts), 1.4 * util::Median(other_counts));
+}
+
+TEST_F(DynamicsGenTest, StreamContainsDuplicateResetArtifacts) {
+  // With resets enabled, the raw stream must contain announcements that do
+  // not change the session's path (exactly what the filter removes).
+  DynamicsParams params = params_;
+  params.session_resets_per_month = 20;  // force resets inside 3 days
+  const GeneratedDynamics dyn = GenerateDynamics(topo_, collectors_, params);
+  std::map<std::pair<SessionId, netbase::Prefix>, AsPath> state;
+  for (const BgpUpdate& u : dyn.initial_rib) state[{u.session, u.prefix}] = u.path;
+  std::size_t duplicates = 0;
+  for (const BgpUpdate& u : dyn.updates) {
+    if (u.type != UpdateType::kAnnounce) continue;
+    auto& current = state[{u.session, u.prefix}];
+    if (current == u.path) ++duplicates;
+    current = u.path;
+  }
+  EXPECT_GT(duplicates, 0u);
+}
+
+TEST_F(DynamicsGenTest, NoResetsMeansNoDuplicateFloods) {
+  DynamicsParams params = params_;
+  params.session_resets_per_month = 0;
+  params.convergence_prob = 0;
+  const GeneratedDynamics dyn = GenerateDynamics(topo_, collectors_, params);
+  // Without resets/convergence, every announce changes the path.
+  std::map<std::pair<SessionId, netbase::Prefix>, AsPath> state;
+  for (const BgpUpdate& u : dyn.initial_rib) state[{u.session, u.prefix}] = u.path;
+  for (const BgpUpdate& u : dyn.updates) {
+    auto& current = state[{u.session, u.prefix}];
+    if (u.type == UpdateType::kAnnounce) {
+      EXPECT_NE(current, u.path);
+      current = u.path;
+    } else {
+      current = AsPath{};
+    }
+  }
+}
+
+}  // namespace
+}  // namespace quicksand::bgp

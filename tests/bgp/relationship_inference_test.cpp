@@ -1,0 +1,115 @@
+#include "bgp/relationship_inference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bgp/route_computation.hpp"
+#include "bgp/topology_gen.hpp"
+
+namespace quicksand::bgp {
+namespace {
+
+TEST(RelationshipInference, EmptyCorpusInfersNothing) {
+  const RelationshipInference inference;
+  EXPECT_EQ(inference.PathCount(), 0u);
+  EXPECT_TRUE(inference.Infer().empty());
+}
+
+TEST(RelationshipInference, IgnoresLoopsAndTrivialPaths) {
+  RelationshipInference inference;
+  inference.AddPath(AsPath{1, 2, 1, 3});  // loop
+  inference.AddPath(AsPath{1});           // single hop
+  inference.AddPath(AsPath{});            // empty
+  EXPECT_EQ(inference.PathCount(), 0u);
+}
+
+TEST(RelationshipInference, DegreeTracksDistinctNeighbours) {
+  RelationshipInference inference;
+  inference.AddPath(AsPath{1, 2, 3});
+  inference.AddPath(AsPath{4, 2, 5});
+  EXPECT_EQ(inference.DegreeOf(2), 4u);  // 1, 3, 4, 5
+  EXPECT_EQ(inference.DegreeOf(1), 1u);
+  EXPECT_EQ(inference.DegreeOf(99), 0u);
+}
+
+TEST(RelationshipInference, SimpleHierarchyInferredCorrectly) {
+  // Star: big AS 10 provides transit to stubs 100..104; stubs originate,
+  // so observed paths climb into 10 and descend to another stub.
+  RelationshipInference inference;
+  for (AsNumber src : {100u, 101u, 102u, 103u, 104u}) {
+    for (AsNumber dst : {100u, 101u, 102u, 103u, 104u}) {
+      if (src == dst) continue;
+      inference.AddPath(AsPath{src, 10, dst});
+    }
+  }
+  const auto inferred = inference.Infer();
+  ASSERT_FALSE(inferred.empty());
+  for (const InferredLink& link : inferred) {
+    // Every link pairs AS 10 with a stub; 10 must come out as the provider.
+    ASSERT_EQ(link.a, 10u);  // a < b by ASN and 10 < 100
+    EXPECT_EQ(link.rel, Relationship::kCustomer)
+        << "AS" << link.b << " should be the customer of AS10";
+    EXPECT_GT(link.confidence, 0.9);
+  }
+}
+
+TEST(RelationshipInference, ValidationScoresAgainstTruth) {
+  AsGraph truth;
+  for (AsNumber asn : {10u, 100u, 200u}) truth.AddAs(asn);
+  truth.AddCustomerLink(10, 100);
+  truth.AddCustomerLink(10, 200);
+
+  const std::vector<InferredLink> inferred = {
+      {10, 100, Relationship::kCustomer, 1.0},  // correct
+      {10, 200, Relationship::kPeer, 0.55},     // class error
+      {10, 999, Relationship::kPeer, 0.5},      // unknown link: skipped
+  };
+  const auto v = RelationshipInference::Validate(inferred, truth);
+  EXPECT_EQ(v.links_evaluated, 2u);
+  EXPECT_EQ(v.correct, 1u);
+  EXPECT_EQ(v.class_errors, 1u);
+  EXPECT_EQ(v.direction_errors, 0u);
+  EXPECT_DOUBLE_EQ(v.Accuracy(), 0.5);
+}
+
+// Property: on a generated topology with ground truth, inference from the
+// simulator's own valley-free paths recovers the bulk of customer-provider
+// directions.
+class InferenceAccuracy : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InferenceAccuracy, RecoversMostRelationships) {
+  TopologyParams params;
+  params.tier1_count = 4;
+  params.transit_count = 20;
+  params.eyeball_count = 30;
+  params.hosting_count = 10;
+  params.content_count = 20;
+  params.seed = GetParam();
+  const Topology topo = GenerateTopology(params);
+
+  RelationshipInference inference;
+  // Feed the paths every AS would use toward a spread of origins.
+  std::size_t origin_counter = 0;
+  for (AsNumber origin : topo.graph.AllAses()) {
+    if (++origin_counter % 4 != 0) continue;  // sample for speed
+    const RoutingState state = ComputeRoutes(topo.graph, origin);
+    for (AsIndex as = 0; as < topo.graph.AsCount(); ++as) {
+      if (state.HasRoute(as)) inference.AddPath(state.PathOf(as));
+    }
+  }
+  const auto inferred = inference.Infer();
+  const auto v = RelationshipInference::Validate(inferred, topo.graph);
+  EXPECT_GT(v.links_evaluated, topo.graph.LinkCount() / 2);
+  EXPECT_GT(v.Accuracy(), 0.75)
+      << "correct=" << v.correct << " class_errors=" << v.class_errors
+      << " direction_errors=" << v.direction_errors;
+  // Direction flips (provider read as customer) are the worst failure
+  // mode and must stay rare.
+  EXPECT_LT(static_cast<double>(v.direction_errors) /
+                static_cast<double>(v.links_evaluated),
+            0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InferenceAccuracy, ::testing::Values(31u, 47u, 59u));
+
+}  // namespace
+}  // namespace quicksand::bgp

@@ -1,0 +1,84 @@
+#include "bgp/rib.hpp"
+
+#include <gtest/gtest.h>
+
+namespace quicksand::bgp {
+namespace {
+
+using netbase::Ipv4Address;
+using netbase::Prefix;
+using netbase::SimTime;
+
+BgpUpdate Announce(SessionId s, const char* prefix, const char* path) {
+  return {SimTime{0}, s, UpdateType::kAnnounce, Prefix::MustParse(prefix),
+          AsPath::MustParse(path)};
+}
+
+BgpUpdate Withdraw(SessionId s, const char* prefix) {
+  return {SimTime{0}, s, UpdateType::kWithdraw, Prefix::MustParse(prefix), {}};
+}
+
+TEST(SessionRib, AnnounceInsertsAndReplaces) {
+  SessionRib rib;
+  EXPECT_TRUE(rib.Apply(Announce(0, "10.0.0.0/8", "1 2")));
+  EXPECT_EQ(rib.size(), 1u);
+  // Same path again: no change.
+  EXPECT_FALSE(rib.Apply(Announce(0, "10.0.0.0/8", "1 2")));
+  // New path replaces.
+  EXPECT_TRUE(rib.Apply(Announce(0, "10.0.0.0/8", "1 9 2")));
+  ASSERT_NE(rib.RouteFor(Prefix::MustParse("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*rib.RouteFor(Prefix::MustParse("10.0.0.0/8")), AsPath::MustParse("1 9 2"));
+}
+
+TEST(SessionRib, WithdrawRemoves) {
+  SessionRib rib;
+  (void)rib.Apply(Announce(0, "10.0.0.0/8", "1 2"));
+  EXPECT_TRUE(rib.Apply(Withdraw(0, "10.0.0.0/8")));
+  EXPECT_EQ(rib.size(), 0u);
+  EXPECT_EQ(rib.RouteFor(Prefix::MustParse("10.0.0.0/8")), nullptr);
+  // Withdrawing again is a no-op.
+  EXPECT_FALSE(rib.Apply(Withdraw(0, "10.0.0.0/8")));
+}
+
+TEST(SessionRib, LookupUsesLongestPrefixMatch) {
+  SessionRib rib;
+  (void)rib.Apply(Announce(0, "10.0.0.0/8", "1 2"));
+  (void)rib.Apply(Announce(0, "10.1.0.0/16", "1 3"));
+  const auto match = rib.Lookup(Ipv4Address(10, 1, 2, 3));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->first, Prefix::MustParse("10.1.0.0/16"));
+  EXPECT_EQ(match->second, AsPath::MustParse("1 3"));
+  EXPECT_FALSE(rib.Lookup(Ipv4Address(11, 0, 0, 1)).has_value());
+}
+
+TEST(SessionRib, PrefixesInAddressOrder) {
+  SessionRib rib;
+  (void)rib.Apply(Announce(0, "11.0.0.0/8", "1"));
+  (void)rib.Apply(Announce(0, "10.0.0.0/8", "1"));
+  const auto prefixes = rib.Prefixes();
+  ASSERT_EQ(prefixes.size(), 2u);
+  EXPECT_EQ(prefixes.front(), Prefix::MustParse("10.0.0.0/8"));
+}
+
+TEST(RibSet, RoutesUpdatesToTheRightSession) {
+  RibSet ribs(3);
+  ribs.ApplyAll(std::vector<BgpUpdate>{
+      Announce(0, "10.0.0.0/8", "1 2"),
+      Announce(2, "10.0.0.0/8", "7 2"),
+      Announce(2, "11.0.0.0/8", "7 3"),
+  });
+  EXPECT_EQ(ribs.Of(0).size(), 1u);
+  EXPECT_EQ(ribs.Of(1).size(), 0u);
+  EXPECT_EQ(ribs.Of(2).size(), 2u);
+  EXPECT_EQ(ribs.SessionsCovering(Ipv4Address(10, 0, 0, 1)), 2u);
+  EXPECT_EQ(ribs.SessionsCovering(Ipv4Address(11, 0, 0, 1)), 1u);
+  EXPECT_EQ(ribs.SessionsCovering(Ipv4Address(12, 0, 0, 1)), 0u);
+}
+
+TEST(RibSet, UnknownSessionThrows) {
+  RibSet ribs(1);
+  EXPECT_THROW((void)ribs.Apply(Announce(5, "10.0.0.0/8", "1")), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace quicksand::bgp

@@ -1,0 +1,285 @@
+#include "bgp/route_computation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bgp/topology_gen.hpp"
+
+namespace quicksand::bgp {
+namespace {
+
+// Classic textbook topology:
+//
+//        T1 ---- T2        (tier-1 peers)
+//       /  .    /  .
+//      A    .  .    B      (A customer of T1; B customer of T2)
+//      |     ..     |
+//      |     ..     |
+//      C    .  .    D      (C customer of A; D customer of B)
+//           M1--M2         (M1 customer of T1, M2 customer of T2, M1--M2 peers)
+AsGraph DiamondGraph() {
+  AsGraph graph;
+  for (AsNumber asn : {10u, 20u, 100u, 200u, 1000u, 2000u, 31u, 32u}) graph.AddAs(asn);
+  graph.AddPeerLink(10, 20);        // T1 -- T2
+  graph.AddCustomerLink(10, 100);   // T1 -> A
+  graph.AddCustomerLink(20, 200);   // T2 -> B
+  graph.AddCustomerLink(100, 1000); // A -> C
+  graph.AddCustomerLink(200, 2000); // B -> D
+  graph.AddCustomerLink(10, 31);    // T1 -> M1
+  graph.AddCustomerLink(20, 32);    // T2 -> M2
+  graph.AddPeerLink(31, 32);        // M1 -- M2
+  return graph;
+}
+
+bool IsValleyFree(const AsGraph& graph, const AsPath& path) {
+  // Once a path goes from provider->customer or crosses a peer link, it
+  // may never go customer->provider or cross another peer link again
+  // (viewed from origin towards the announcing AS we check in reverse:
+  // walk from front (receiver) to back (origin) must be uphill* then at
+  // most one peer link then downhill*).
+  const auto hops = path.DistinctAses();
+  if (hops.size() < 2) return true;
+  // Phase 0: ascending (towards origin means: receiver side climbs via
+  // provider links in reverse). Simpler check: classify each step from
+  // front to back as up (next is my provider... ). We instead verify the
+  // canonical condition on the export sequence: in announcement order
+  // (origin -> receiver, i.e. reverse iteration), steps are
+  // customer->provider* , then <=1 peer step, then provider->customer*.
+  enum Phase { kUp, kDown };
+  Phase phase = kUp;
+  int peer_steps = 0;
+  for (std::size_t i = hops.size(); i-- > 1;) {
+    const AsNumber from = hops[i];      // closer to origin
+    const AsNumber to = hops[i - 1];    // receiver of the announcement
+    const auto rel = graph.RelationshipBetween(from, to);
+    if (!rel) return false;  // non-adjacent hop
+    switch (*rel) {
+      case Relationship::kProvider:  // 'to' is provider of 'from': uphill
+        if (phase == kDown) return false;
+        break;
+      case Relationship::kPeer:
+        if (phase == kDown) return false;
+        ++peer_steps;
+        phase = kDown;
+        break;
+      case Relationship::kCustomer:  // downhill
+        phase = kDown;
+        break;
+    }
+  }
+  return peer_steps <= 1;
+}
+
+TEST(RouteComputation, OriginGetsSelfRoute) {
+  const AsGraph graph = DiamondGraph();
+  const RoutingState state = ComputeRoutes(graph, 1000);
+  const AsIndex origin = graph.MustIndexOf(1000);
+  EXPECT_EQ(state.RouteOf(origin).cls, RouteClass::kSelf);
+  EXPECT_EQ(state.PathOf(origin), AsPath{1000});
+}
+
+TEST(RouteComputation, AllAsesReachAStubInConnectedGraph) {
+  const AsGraph graph = DiamondGraph();
+  const RoutingState state = ComputeRoutes(graph, 1000);
+  EXPECT_EQ(state.RoutedCount(), graph.AsCount());
+}
+
+TEST(RouteComputation, PathsFollowGaoRexfordPreferences) {
+  const AsGraph graph = DiamondGraph();
+  const RoutingState state = ComputeRoutes(graph, 1000);
+
+  // A learns from its customer C directly.
+  const AsIndex a = graph.MustIndexOf(100);
+  EXPECT_EQ(state.RouteOf(a).cls, RouteClass::kCustomer);
+  EXPECT_EQ(state.PathOf(a), (AsPath{100, 1000}));
+
+  // T1 learns from its customer A.
+  const AsIndex t1 = graph.MustIndexOf(10);
+  EXPECT_EQ(state.RouteOf(t1).cls, RouteClass::kCustomer);
+  EXPECT_EQ(state.PathOf(t1), (AsPath{10, 100, 1000}));
+
+  // T2 learns from its peer T1 (customer routes are exported to peers).
+  const AsIndex t2 = graph.MustIndexOf(20);
+  EXPECT_EQ(state.RouteOf(t2).cls, RouteClass::kPeer);
+  EXPECT_EQ(state.PathOf(t2), (AsPath{20, 10, 100, 1000}));
+
+  // D reaches C through its provider chain.
+  const AsIndex d = graph.MustIndexOf(2000);
+  EXPECT_EQ(state.RouteOf(d).cls, RouteClass::kProvider);
+  EXPECT_EQ(state.PathOf(d), (AsPath{2000, 200, 20, 10, 100, 1000}));
+}
+
+TEST(RouteComputation, PeerRouteNotExportedToPeer) {
+  // M2's route to C is via its provider T2 (provider class) — M2 must NOT
+  // give it to its peer M1; M1 should route via T1 instead. Conversely
+  // M1's provider route must not leak to M2.
+  const AsGraph graph = DiamondGraph();
+  const RoutingState state = ComputeRoutes(graph, 1000);
+  const AsIndex m1 = graph.MustIndexOf(31);
+  const AsIndex m2 = graph.MustIndexOf(32);
+  EXPECT_EQ(state.RouteOf(m1).cls, RouteClass::kProvider);
+  EXPECT_EQ(state.PathOf(m1), (AsPath{31, 10, 100, 1000}));
+  EXPECT_EQ(state.RouteOf(m2).cls, RouteClass::kProvider);
+  EXPECT_EQ(state.PathOf(m2), (AsPath{32, 20, 10, 100, 1000}));
+}
+
+TEST(RouteComputation, CustomerRoutePreferredOverShorterPeerOrProvider) {
+  // B: customer D announces. T2 also hears it via peering. B must use its
+  // customer route even when a path via its provider would exist.
+  const AsGraph graph = DiamondGraph();
+  const RoutingState state = ComputeRoutes(graph, 2000);
+  const AsIndex b = graph.MustIndexOf(200);
+  EXPECT_EQ(state.RouteOf(b).cls, RouteClass::kCustomer);
+  EXPECT_EQ(state.PathOf(b), (AsPath{200, 2000}));
+}
+
+TEST(RouteComputation, DisabledLinkReroutesTraffic) {
+  const AsGraph graph = DiamondGraph();
+  LinkSet disabled;
+  disabled.insert(LinkKey(graph.MustIndexOf(10), graph.MustIndexOf(100)));
+  ComputationOptions options;
+  options.disabled_links = &disabled;
+  const RoutingState state = ComputeRoutes(graph, 1000, options);
+  // T1 can no longer use A; C stays reachable only via A, so T1 has no
+  // route at all (A's only other neighbour is C itself).
+  EXPECT_FALSE(state.HasRoute(graph.MustIndexOf(10)));
+  // A itself still routes directly.
+  EXPECT_TRUE(state.HasRoute(graph.MustIndexOf(100)));
+}
+
+TEST(RouteComputation, PrependingLengthensPath) {
+  const AsGraph graph = DiamondGraph();
+  const OriginSpec spec{1000, 3, 0};
+  const RoutingState state =
+      ComputeRoutes(graph, std::span<const OriginSpec>(&spec, 1));
+  const AsIndex a = graph.MustIndexOf(100);
+  EXPECT_EQ(state.PathOf(a), (AsPath{100, 1000, 1000, 1000}));
+  EXPECT_EQ(state.RouteOf(a).length, 4);
+}
+
+TEST(RouteComputation, PropagationRadiusLimitsSpread) {
+  const AsGraph graph = DiamondGraph();
+  const OriginSpec spec{1000, 1, 2};  // paths of at most 2 hops
+  const RoutingState state =
+      ComputeRoutes(graph, std::span<const OriginSpec>(&spec, 1));
+  EXPECT_TRUE(state.HasRoute(graph.MustIndexOf(100)));   // path length 2
+  EXPECT_FALSE(state.HasRoute(graph.MustIndexOf(10)));   // would be 3
+  EXPECT_FALSE(state.HasRoute(graph.MustIndexOf(2000)));
+}
+
+TEST(RouteComputation, MultiOriginSplitsTheInternet) {
+  const AsGraph graph = DiamondGraph();
+  const OriginSpec origins[] = {{1000, 1, 0}, {2000, 1, 0}};
+  const RoutingState state = ComputeRoutes(graph, origins);
+  // Each side of the diamond routes to its nearby origin.
+  const AsIndex a = graph.MustIndexOf(100);
+  const AsIndex b = graph.MustIndexOf(200);
+  EXPECT_EQ(graph.AsnOf(state.RouteOf(a).origin), 1000u);
+  EXPECT_EQ(graph.AsnOf(state.RouteOf(b).origin), 2000u);
+  EXPECT_EQ(state.AsesRoutedTo(graph.MustIndexOf(1000)).size() +
+                state.AsesRoutedTo(graph.MustIndexOf(2000)).size(),
+            graph.AsCount());
+}
+
+TEST(RouteComputation, InputValidation) {
+  const AsGraph graph = DiamondGraph();
+  EXPECT_THROW((void)ComputeRoutes(graph, 777), std::invalid_argument);  // unknown
+  const OriginSpec bad_prepend{1000, 0, 0};
+  EXPECT_THROW((void)ComputeRoutes(graph, std::span<const OriginSpec>(&bad_prepend, 1)),
+               std::invalid_argument);
+  const OriginSpec dup[] = {{1000, 1, 0}, {1000, 1, 0}};
+  EXPECT_THROW((void)ComputeRoutes(graph, dup), std::invalid_argument);
+}
+
+TEST(RouteComputation, ForwardingPathMatchesAdvertisedPath) {
+  const AsGraph graph = DiamondGraph();
+  const RoutingState state = ComputeRoutes(graph, 1000);
+  for (AsIndex as = 0; as < graph.AsCount(); ++as) {
+    if (!state.HasRoute(as)) continue;
+    const auto forwarding = state.ForwardingPath(as);
+    const auto advertised = state.PathOf(as).DistinctAses();
+    ASSERT_EQ(forwarding.size(), advertised.size());
+    for (std::size_t i = 0; i < forwarding.size(); ++i) {
+      EXPECT_EQ(graph.AsnOf(forwarding[i]), advertised[i]);
+    }
+  }
+}
+
+TEST(RouteComputation, PathCrossesDetectsTransit) {
+  const AsGraph graph = DiamondGraph();
+  const RoutingState state = ComputeRoutes(graph, 1000);
+  const AsIndex d = graph.MustIndexOf(2000);
+  EXPECT_TRUE(state.PathCrosses(d, graph.MustIndexOf(10)));
+  EXPECT_TRUE(state.PathCrosses(d, d));
+  EXPECT_FALSE(state.PathCrosses(d, graph.MustIndexOf(31)));
+}
+
+// ---- Property sweeps over generated topologies ----
+
+class RouteComputationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RouteComputationProperty, AllPathsValleyFreeLoopFreeAndConsistent) {
+  TopologyParams params;
+  params.tier1_count = 4;
+  params.transit_count = 25;
+  params.eyeball_count = 40;
+  params.hosting_count = 12;
+  params.content_count = 30;
+  params.seed = GetParam();
+  const Topology topo = GenerateTopology(params);
+
+  // Pick a handful of origins spread over roles.
+  std::vector<AsNumber> origins = {topo.tier1.front(), topo.transits.front(),
+                                   topo.hostings.front(), topo.eyeballs.back()};
+  for (AsNumber origin : origins) {
+    const RoutingState state = ComputeRoutes(topo.graph, origin);
+    for (AsIndex as = 0; as < topo.graph.AsCount(); ++as) {
+      if (!state.HasRoute(as)) continue;
+      const AsPath path = state.PathOf(as);
+      EXPECT_FALSE(path.HasLoop()) << "loop in " << path.ToString();
+      EXPECT_TRUE(IsValleyFree(topo.graph, path)) << "valley in " << path.ToString();
+      EXPECT_EQ(path.origin(), origin);
+      EXPECT_EQ(path.Length(), state.RouteOf(as).length);
+      // Adjacent hops must actually be adjacent in the graph.
+      const auto hops = path.DistinctAses();
+      for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+        EXPECT_TRUE(topo.graph.RelationshipBetween(hops[i], hops[i + 1]).has_value());
+      }
+    }
+  }
+}
+
+TEST_P(RouteComputationProperty, TieBreakSaltsOnlyFlipEqualCostChoices) {
+  TopologyParams params;
+  params.seed = GetParam() + 1000;
+  params.tier1_count = 4;
+  params.transit_count = 25;
+  params.eyeball_count = 30;
+  params.hosting_count = 10;
+  params.content_count = 20;
+  const Topology topo = GenerateTopology(params);
+  const AsNumber origin = topo.hostings.front();
+
+  const RoutingState base = ComputeRoutes(topo.graph, origin);
+  std::vector<std::uint64_t> salts(topo.graph.AsCount(), 0);
+  for (std::size_t i = 0; i < salts.size(); i += 3) salts[i] = GetParam() * 7919 + i;
+  ComputationOptions options;
+  options.tie_break_salts = salts;
+  const RoutingState salted = ComputeRoutes(topo.graph, origin, options);
+
+  for (AsIndex as = 0; as < topo.graph.AsCount(); ++as) {
+    ASSERT_EQ(base.HasRoute(as), salted.HasRoute(as));
+    if (!base.HasRoute(as)) continue;
+    // Salting must never change route class or path length — only which
+    // equally good neighbour is chosen.
+    EXPECT_EQ(base.RouteOf(as).cls, salted.RouteOf(as).cls);
+    EXPECT_EQ(base.RouteOf(as).length, salted.RouteOf(as).length);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouteComputationProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace quicksand::bgp

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "bgp/mrt.hpp"
+#include "bgp/update.hpp"
+
+namespace quicksand::bgp {
+namespace {
+
+using netbase::Prefix;
+using netbase::SimTime;
+
+BgpUpdate Announce(std::int64_t t, SessionId s, const char* prefix, const char* path) {
+  return {SimTime{t}, s, UpdateType::kAnnounce, Prefix::MustParse(prefix),
+          AsPath::MustParse(path)};
+}
+
+BgpUpdate Withdraw(std::int64_t t, SessionId s, const char* prefix) {
+  return {SimTime{t}, s, UpdateType::kWithdraw, Prefix::MustParse(prefix), {}};
+}
+
+TEST(Update, SortOrdersByTimeSessionPrefix) {
+  std::vector<BgpUpdate> updates = {
+      Announce(5, 1, "10.0.0.0/8", "1 2"),
+      Announce(3, 2, "10.0.0.0/8", "1 2"),
+      Announce(3, 1, "11.0.0.0/8", "1 2"),
+      Announce(3, 1, "10.0.0.0/8", "1 2"),
+  };
+  SortUpdates(updates);
+  EXPECT_EQ(updates[0].session, 1u);
+  EXPECT_EQ(updates[0].prefix, Prefix::MustParse("10.0.0.0/8"));
+  EXPECT_EQ(updates[1].prefix, Prefix::MustParse("11.0.0.0/8"));
+  EXPECT_EQ(updates[2].session, 2u);
+  EXPECT_EQ(updates[3].time.seconds, 5);
+}
+
+TEST(Mrt, LineRoundTripAnnounce) {
+  const BgpUpdate update = Announce(1714521600, 12, "78.46.0.0/15", "701 3356 24940");
+  const std::string line = mrt::ToLine(update);
+  EXPECT_EQ(line, "1714521600|12|A|78.46.0.0/15|701 3356 24940");
+  const auto parsed = mrt::ParseLine(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, update);
+}
+
+TEST(Mrt, LineRoundTripWithdraw) {
+  const BgpUpdate update = Withdraw(100, 3, "10.1.0.0/16");
+  const std::string line = mrt::ToLine(update);
+  EXPECT_EQ(line, "100|3|W|10.1.0.0/16|");
+  const auto parsed = mrt::ParseLine(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, update);
+}
+
+TEST(Mrt, ParseRejectsMalformedLines) {
+  for (const char* line : {
+           "",                                 // empty
+           "1|2|A|10.0.0.0/8",                 // missing field
+           "x|2|A|10.0.0.0/8|1 2",             // bad time
+           "1|x|A|10.0.0.0/8|1 2",             // bad session
+           "1|2|Z|10.0.0.0/8|1 2",             // bad type
+           "1|2|A|10.0.0.1/8|1 2",             // non-canonical prefix
+           "1|2|A|10.0.0.0/8|",                // announce without path
+           "1|2|A|10.0.0.0/8|1 x",             // bad path
+           "1|2|W|10.0.0.0/8|1 2",             // withdraw with path
+       }) {
+    EXPECT_FALSE(mrt::ParseLine(line).has_value()) << line;
+  }
+}
+
+TEST(Mrt, TextRoundTripWithCommentsAndBlanks) {
+  const std::vector<BgpUpdate> updates = {
+      Announce(1, 0, "10.0.0.0/8", "65001 65002"),
+      Withdraw(2, 1, "10.0.0.0/8"),
+      Announce(3, 0, "192.168.0.0/16", "65001"),
+  };
+  const std::string text = "# header comment\n\n" + mrt::ToText(updates);
+  const auto parsed = mrt::ParseText(text);
+  EXPECT_EQ(parsed, updates);
+}
+
+TEST(Mrt, ParseTextReportsBadLineNumber) {
+  try {
+    (void)mrt::ParseText("1|0|A|10.0.0.0/8|65001\ngarbage\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Mrt, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "mrt_roundtrip_test.txt";
+  const std::vector<BgpUpdate> updates = {
+      Announce(10, 4, "203.0.113.0/24", "100 200 300"),
+      Withdraw(20, 4, "203.0.113.0/24"),
+  };
+  mrt::WriteFile(path, updates);
+  EXPECT_EQ(mrt::ReadFile(path), updates);
+  std::remove(path.c_str());
+}
+
+TEST(Mrt, ReadMissingFileThrows) {
+  EXPECT_THROW((void)mrt::ReadFile("/nonexistent/mrt.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace quicksand::bgp

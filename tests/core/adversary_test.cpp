@@ -1,0 +1,122 @@
+#include "core/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace quicksand::core {
+namespace {
+
+SegmentExposure AsymmetricExposure() {
+  SegmentExposure e;
+  e.client_to_guard = {1, 2, 3};
+  e.guard_to_client = {1, 4, 3};   // reverse path differs (asymmetric routing)
+  e.exit_to_dest = {5, 2, 6};
+  e.dest_to_exit = {5, 4, 6};
+  return e;
+}
+
+TEST(Adversary, SymmetricModelNeedsSameDirectionAtBothEnds) {
+  const SegmentExposure e = AsymmetricExposure();
+  // AS2 sees client->guard and exit->dest (both forward): compromising.
+  // AS4 sees guard->client and dest->exit (both reverse): compromising.
+  const auto ases = CompromisingAses(e, ObservationModel::kSymmetric);
+  EXPECT_EQ(ases, (std::vector<bgp::AsNumber>{2, 4}));
+}
+
+TEST(Adversary, AnyDirectionModelIsStrictlyBroader) {
+  SegmentExposure e = AsymmetricExposure();
+  // AS7: on guard->client (entry, reverse) and exit->dest (exit, forward) —
+  // only the asymmetric attack catches this placement.
+  e.guard_to_client.push_back(7);
+  e.exit_to_dest.push_back(7);
+  const auto symmetric = CompromisingAses(e, ObservationModel::kSymmetric);
+  const auto any = CompromisingAses(e, ObservationModel::kAnyDirection);
+  EXPECT_EQ(symmetric, (std::vector<bgp::AsNumber>{2, 4}));
+  EXPECT_EQ(any, (std::vector<bgp::AsNumber>{2, 4, 7}));
+}
+
+TEST(Adversary, AnyDirectionAlwaysSupersetOfSymmetric) {
+  const SegmentExposure e = AsymmetricExposure();
+  const auto symmetric = CompromisingAses(e, ObservationModel::kSymmetric);
+  const auto any = CompromisingAses(e, ObservationModel::kAnyDirection);
+  for (bgp::AsNumber as : symmetric) {
+    EXPECT_TRUE(std::find(any.begin(), any.end(), as) != any.end());
+  }
+}
+
+TEST(Adversary, EmptyExposureCompromisesNothing) {
+  const SegmentExposure e;
+  EXPECT_TRUE(CompromisingAses(e, ObservationModel::kSymmetric).empty());
+  EXPECT_TRUE(CompromisingAses(e, ObservationModel::kAnyDirection).empty());
+}
+
+TEST(Adversary, CollusionCoversEndsSeparately) {
+  const SegmentExposure e = AsymmetricExposure();
+  // AS1 sees only the entry; AS6 only the exit. Individually harmless,
+  // together compromising.
+  const std::vector<bgp::AsNumber> as1 = {1};
+  const std::vector<bgp::AsNumber> as6 = {6};
+  const std::vector<bgp::AsNumber> both = {1, 6};
+  EXPECT_FALSE(SetCompromises(as1, e, ObservationModel::kAnyDirection));
+  EXPECT_FALSE(SetCompromises(as6, e, ObservationModel::kAnyDirection));
+  EXPECT_TRUE(SetCompromises(both, e, ObservationModel::kAnyDirection));
+}
+
+TEST(Adversary, SymmetricCollusionRequiresMatchingDirections) {
+  const SegmentExposure e = AsymmetricExposure();
+  // AS1 (entry, both dirs) + AS6 (exit, both dirs): forward pairing works.
+  EXPECT_TRUE(SetCompromises(std::vector<bgp::AsNumber>{1, 6}, e,
+                             ObservationModel::kSymmetric));
+  // AS3 is entry-only (fwd+rev); AS7 absent everywhere.
+  EXPECT_FALSE(SetCompromises(std::vector<bgp::AsNumber>{3, 7}, e,
+                              ObservationModel::kSymmetric));
+}
+
+TEST(Adversary, SymmetricCollusionMismatchedDirectionsFails) {
+  SegmentExposure e;
+  e.client_to_guard = {10};  // A sees entry forward only
+  e.dest_to_exit = {20};     // B sees exit reverse only
+  const std::vector<bgp::AsNumber> colluding = {10, 20};
+  EXPECT_FALSE(SetCompromises(colluding, e, ObservationModel::kSymmetric));
+  // The asymmetric attack makes exactly this pair dangerous.
+  EXPECT_TRUE(SetCompromises(colluding, e, ObservationModel::kAnyDirection));
+}
+
+TEST(Adversary, FractionUsesTotalCount) {
+  const SegmentExposure e = AsymmetricExposure();
+  EXPECT_DOUBLE_EQ(CompromisingFraction(e, ObservationModel::kSymmetric, 10), 0.2);
+  EXPECT_THROW((void)CompromisingFraction(e, ObservationModel::kSymmetric, 0),
+               std::invalid_argument);
+}
+
+TEST(Adversary, AccumulateExposureUnions) {
+  SegmentExposure total;
+  total.client_to_guard = {1, 2};
+  SegmentExposure instance;
+  instance.client_to_guard = {2, 3};
+  instance.dest_to_exit = {9};
+  AccumulateExposure(total, instance);
+  EXPECT_EQ(total.client_to_guard, (std::vector<bgp::AsNumber>{1, 2, 3}));
+  EXPECT_EQ(total.dest_to_exit, (std::vector<bgp::AsNumber>{9}));
+  EXPECT_TRUE(total.exit_to_dest.empty());
+}
+
+TEST(Adversary, AccumulationGrowsCompromisingSet) {
+  // Over two instances with different paths, an AS seen on the entry in
+  // instance 1 and the exit in instance 2 still cannot correlate a single
+  // instance — but an AS on both ends of the union CAN attack the client
+  // across instances (Section 3.1's temporal threat).
+  SegmentExposure inst1;
+  inst1.client_to_guard = {1, 2};
+  inst1.exit_to_dest = {5};
+  SegmentExposure inst2;
+  inst2.client_to_guard = {1, 9};
+  inst2.exit_to_dest = {5, 2};
+  SegmentExposure total = inst1;
+  AccumulateExposure(total, inst2);
+  EXPECT_TRUE(CompromisingAses(inst1, ObservationModel::kAnyDirection).empty());
+  const auto merged = CompromisingAses(total, ObservationModel::kAnyDirection);
+  EXPECT_EQ(merged, (std::vector<bgp::AsNumber>{2}));
+}
+
+}  // namespace
+}  // namespace quicksand::core

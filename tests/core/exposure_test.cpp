@@ -1,0 +1,174 @@
+#include "core/exposure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bgp/topology_gen.hpp"
+
+namespace quicksand::core {
+namespace {
+
+bgp::Topology TestTopology(std::uint64_t seed = 19) {
+  bgp::TopologyParams params;
+  params.tier1_count = 4;
+  params.transit_count = 18;
+  params.eyeball_count = 24;
+  params.hosting_count = 10;
+  params.content_count = 16;
+  params.seed = seed;
+  return bgp::GenerateTopology(params);
+}
+
+TEST(ExposureAnalyzer, ForwardPathConnectsEndpoints) {
+  const bgp::Topology topo = TestTopology();
+  ExposureAnalyzer analyzer(topo.graph);
+  const bgp::AsNumber src = topo.eyeballs.front();
+  const bgp::AsNumber dst = topo.hostings.front();
+  const auto path = analyzer.ForwardPathAses(src, dst);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), src);
+  EXPECT_EQ(path.back(), dst);
+  EXPECT_EQ(analyzer.ForwardPathLength(src, dst), static_cast<int>(path.size()));
+}
+
+TEST(ExposureAnalyzer, SelfPathIsTrivial) {
+  const bgp::Topology topo = TestTopology();
+  ExposureAnalyzer analyzer(topo.graph);
+  const bgp::AsNumber as = topo.eyeballs.front();
+  EXPECT_EQ(analyzer.ForwardPathAses(as, as), std::vector<bgp::AsNumber>{as});
+}
+
+TEST(ExposureAnalyzer, UnknownSourceYieldsEmptyPath) {
+  const bgp::Topology topo = TestTopology();
+  ExposureAnalyzer analyzer(topo.graph);
+  EXPECT_TRUE(analyzer.ForwardPathAses(999999999, topo.hostings.front()).empty());
+  EXPECT_EQ(analyzer.ForwardPathLength(999999999, topo.hostings.front()), 0);
+}
+
+TEST(ExposureAnalyzer, RoutingAsymmetryExistsSomewhere) {
+  // On a policy-routed topology, at least some (src, dst) pairs see
+  // different forward and reverse AS sets — the premise of Section 3.3.
+  const bgp::Topology topo = TestTopology();
+  ExposureAnalyzer analyzer(topo.graph);
+  std::size_t asymmetric = 0, total = 0;
+  for (std::size_t i = 0; i < topo.eyeballs.size() && i < 12; ++i) {
+    for (std::size_t j = 0; j < topo.hostings.size() && j < 6; ++j) {
+      auto forward = analyzer.ForwardPathAses(topo.eyeballs[i], topo.hostings[j]);
+      auto reverse = analyzer.ForwardPathAses(topo.hostings[j], topo.eyeballs[i]);
+      std::sort(forward.begin(), forward.end());
+      std::sort(reverse.begin(), reverse.end());
+      ++total;
+      if (forward != reverse) ++asymmetric;
+    }
+  }
+  EXPECT_GT(asymmetric, 0u) << "no asymmetric pairs among " << total;
+}
+
+TEST(ExposureAnalyzer, InstantExposureContainsEndpoints) {
+  const bgp::Topology topo = TestTopology();
+  ExposureAnalyzer analyzer(topo.graph);
+  const SegmentExposure e =
+      analyzer.InstantExposure(topo.eyeballs[0], topo.hostings[0], topo.hostings[1],
+                               topo.contents[0]);
+  auto contains = [](const std::vector<bgp::AsNumber>& v, bgp::AsNumber a) {
+    return std::find(v.begin(), v.end(), a) != v.end();
+  };
+  EXPECT_TRUE(contains(e.client_to_guard, topo.eyeballs[0]));
+  EXPECT_TRUE(contains(e.client_to_guard, topo.hostings[0]));
+  EXPECT_TRUE(contains(e.exit_to_dest, topo.hostings[1]));
+  EXPECT_TRUE(contains(e.dest_to_exit, topo.contents[0]));
+}
+
+TEST(ExposureAnalyzer, TemporalExposureSupersetOfInstant) {
+  const bgp::Topology topo = TestTopology();
+  ExposureAnalyzer analyzer(topo.graph);
+  const SegmentExposure instant =
+      analyzer.InstantExposure(topo.eyeballs[0], topo.hostings[0], topo.hostings[1],
+                               topo.contents[0]);
+  const SegmentExposure temporal = analyzer.TemporalExposure(
+      topo.eyeballs[0], topo.hostings[0], topo.hostings[1], topo.contents[0], 8, 5);
+  auto superset = [](const std::vector<bgp::AsNumber>& big,
+                     const std::vector<bgp::AsNumber>& small) {
+    return std::all_of(small.begin(), small.end(), [&](bgp::AsNumber a) {
+      return std::find(big.begin(), big.end(), a) != big.end();
+    });
+  };
+  EXPECT_TRUE(superset(temporal.client_to_guard, instant.client_to_guard));
+  EXPECT_TRUE(superset(temporal.guard_to_client, instant.guard_to_client));
+  EXPECT_TRUE(superset(temporal.exit_to_dest, instant.exit_to_dest));
+  EXPECT_TRUE(superset(temporal.dest_to_exit, instant.dest_to_exit));
+}
+
+TEST(ExposureAnalyzer, MoreVariantsNeverShrinkEntryExposure) {
+  const bgp::Topology topo = TestTopology();
+  ExposureAnalyzer analyzer(topo.graph);
+  const auto base =
+      analyzer.DistinctEntryAses(topo.eyeballs[1], topo.hostings[1], 0, 7);
+  const auto more =
+      analyzer.DistinctEntryAses(topo.eyeballs[1], topo.hostings[1], 10, 7);
+  EXPECT_GE(more, base);
+  EXPECT_GE(base, 2u);  // at least the endpoints
+}
+
+TEST(ExposureAnalyzer, DynamicsIncreaseExposureAcrossPopulation) {
+  // The paper's headline: over a month of routing changes, the number of
+  // ASes that can watch the entry segment grows for a substantial share
+  // of client-guard pairs.
+  const bgp::Topology topo = TestTopology();
+  ExposureAnalyzer analyzer(topo.graph);
+  std::size_t grew = 0, pairs = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      const auto base = analyzer.DistinctEntryAses(topo.eyeballs[i], topo.hostings[j],
+                                                   0, 100 + i * 10 + j);
+      const auto monthly = analyzer.DistinctEntryAses(topo.eyeballs[i], topo.hostings[j],
+                                                      12, 100 + i * 10 + j);
+      ++pairs;
+      if (monthly > base) ++grew;
+    }
+  }
+  EXPECT_GT(grew, pairs / 4) << "routing variants almost never changed paths";
+}
+
+TEST(ExposureAnalyzer, DeterministicForSeed) {
+  const bgp::Topology topo = TestTopology();
+  ExposureAnalyzer analyzer(topo.graph);
+  const auto a = analyzer.DistinctEntryAses(topo.eyeballs[2], topo.hostings[2], 6, 42);
+  const auto b = analyzer.DistinctEntryAses(topo.eyeballs[2], topo.hostings[2], 6, 42);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ExposureAnalyzer, PolicySaltsIncreaseRoutingAsymmetry) {
+  // With idiosyncratic per-AS preferences, forward/reverse AS-set pairs
+  // diverge at least as often as under uniform tie-breaking.
+  const bgp::Topology topo = TestTopology();
+  ExposureAnalyzer plain(topo.graph);
+  ExposureAnalyzer salted(topo.graph, topo.policy_salts);
+  auto count_asymmetric = [&](ExposureAnalyzer& analyzer) {
+    std::size_t asymmetric = 0;
+    for (std::size_t i = 0; i < 12; ++i) {
+      for (std::size_t j = 0; j < 6; ++j) {
+        auto fwd = analyzer.ForwardPathAses(topo.eyeballs[i], topo.hostings[j]);
+        auto rev = analyzer.ForwardPathAses(topo.hostings[j], topo.eyeballs[i]);
+        std::sort(fwd.begin(), fwd.end());
+        std::sort(rev.begin(), rev.end());
+        if (fwd != rev) ++asymmetric;
+      }
+    }
+    return asymmetric;
+  };
+  EXPECT_GE(count_asymmetric(salted), count_asymmetric(plain));
+  EXPECT_GT(count_asymmetric(salted), 0u);
+}
+
+TEST(ExposureAnalyzer, CacheClearIsSafe) {
+  const bgp::Topology topo = TestTopology();
+  ExposureAnalyzer analyzer(topo.graph);
+  const auto before = analyzer.ForwardPathAses(topo.eyeballs[0], topo.hostings[0]);
+  analyzer.ClearCache();
+  EXPECT_EQ(analyzer.ForwardPathAses(topo.eyeballs[0], topo.hostings[0]), before);
+}
+
+}  // namespace
+}  // namespace quicksand::core

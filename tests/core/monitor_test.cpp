@@ -1,0 +1,133 @@
+#include "core/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace quicksand::core {
+namespace {
+
+using bgp::AsPath;
+using bgp::BgpUpdate;
+using bgp::SessionId;
+using bgp::UpdateType;
+using netbase::Prefix;
+using netbase::SimTime;
+
+BgpUpdate Announce(std::int64_t t, SessionId s, const char* prefix, const char* path) {
+  return {SimTime{t}, s, UpdateType::kAnnounce, Prefix::MustParse(prefix),
+          AsPath::MustParse(path)};
+}
+
+RelayMonitor MonitorWithBaseline() {
+  RelayMonitor monitor({Prefix::MustParse("78.46.0.0/15"),
+                        Prefix::MustParse("10.9.0.0/16")});
+  const std::vector<BgpUpdate> rib = {
+      Announce(0, 0, "78.46.0.0/15", "701 3356 24940"),
+      Announce(0, 1, "78.46.0.0/15", "1299 3356 24940"),
+      Announce(0, 0, "10.9.0.0/16", "701 16276"),
+  };
+  monitor.LearnBaseline(rib);
+  return monitor;
+}
+
+TEST(RelayMonitor, NoAlertsOnBaselineConsistentUpdates) {
+  RelayMonitor monitor = MonitorWithBaseline();
+  // Same origin, known upstream 3356: silent.
+  const auto alerts = monitor.Consume(Announce(100, 1, "78.46.0.0/15",
+                                               "1299 174 3356 24940"));
+  EXPECT_TRUE(alerts.empty());
+  EXPECT_TRUE(monitor.alerts().empty());
+}
+
+TEST(RelayMonitor, OriginChangeDetected) {
+  RelayMonitor monitor = MonitorWithBaseline();
+  const auto alerts =
+      monitor.Consume(Announce(100, 0, "78.46.0.0/15", "701 4837 666"));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, AlertKind::kOriginChange);
+  EXPECT_EQ(alerts[0].suspect, 666u);
+  EXPECT_EQ(alerts[0].monitored_prefix, Prefix::MustParse("78.46.0.0/15"));
+}
+
+TEST(RelayMonitor, MoreSpecificDetected) {
+  RelayMonitor monitor = MonitorWithBaseline();
+  // A /16 carved out of the monitored /15, announced by anyone.
+  const auto alerts =
+      monitor.Consume(Announce(100, 0, "78.46.0.0/16", "701 3356 24940"));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, AlertKind::kMoreSpecific);
+  EXPECT_EQ(alerts[0].monitored_prefix, Prefix::MustParse("78.46.0.0/15"));
+  EXPECT_EQ(alerts[0].announced_prefix, Prefix::MustParse("78.46.0.0/16"));
+}
+
+TEST(RelayMonitor, UnrelatedPrefixIgnored) {
+  RelayMonitor monitor = MonitorWithBaseline();
+  EXPECT_TRUE(monitor.Consume(Announce(100, 0, "99.0.0.0/8", "701 666")).empty());
+  EXPECT_TRUE(monitor.Consume(Announce(100, 0, "78.48.0.0/16", "701 666")).empty());
+}
+
+TEST(RelayMonitor, NewUpstreamDetectedOnceAndLearned) {
+  RelayMonitor monitor = MonitorWithBaseline();
+  const auto first =
+      monitor.Consume(Announce(100, 0, "10.9.0.0/16", "701 9002 16276"));
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].kind, AlertKind::kNewUpstream);
+  EXPECT_EQ(first[0].suspect, 9002u);
+  // Same upstream again: already learned, no duplicate alert storm.
+  const auto second =
+      monitor.Consume(Announce(200, 1, "10.9.0.0/16", "1299 9002 16276"));
+  EXPECT_TRUE(second.empty());
+}
+
+TEST(RelayMonitor, UpstreamSkipsOriginPrepending) {
+  RelayMonitor monitor = MonitorWithBaseline();
+  // Prepended origin: upstream is still 3356, which is known.
+  const auto alerts = monitor.Consume(
+      Announce(100, 0, "78.46.0.0/15", "701 3356 24940 24940 24940"));
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST(RelayMonitor, WithdrawalsRaiseNothing) {
+  RelayMonitor monitor = MonitorWithBaseline();
+  const BgpUpdate withdraw = {SimTime{100}, 0, UpdateType::kWithdraw,
+                              Prefix::MustParse("78.46.0.0/15"), {}};
+  EXPECT_TRUE(monitor.Consume(withdraw).empty());
+}
+
+TEST(RelayMonitor, AlertsAccumulateAndFlagPrefixes) {
+  RelayMonitor monitor = MonitorWithBaseline();
+  (void)monitor.Consume(Announce(100, 0, "78.46.0.0/15", "701 666"));
+  (void)monitor.Consume(Announce(200, 0, "10.9.128.0/17", "701 666"));
+  EXPECT_EQ(monitor.alerts().size(), 2u);
+  const auto flagged = monitor.FlaggedPrefixes();
+  EXPECT_EQ(flagged.size(), 2u);
+  EXPECT_TRUE(flagged.contains(Prefix::MustParse("78.46.0.0/15")));
+  EXPECT_TRUE(flagged.contains(Prefix::MustParse("10.9.0.0/16")));
+}
+
+TEST(RelayMonitor, DetectorsCanBeDisabled) {
+  MonitorParams params;
+  params.alert_on_more_specific = false;
+  params.alert_on_new_upstream = false;
+  RelayMonitor monitor({Prefix::MustParse("78.46.0.0/15")}, params);
+  const std::vector<BgpUpdate> rib = {Announce(0, 0, "78.46.0.0/15", "701 3356 24940")};
+  monitor.LearnBaseline(rib);
+  EXPECT_TRUE(
+      monitor.Consume(Announce(100, 0, "78.46.0.0/16", "701 3356 24940")).empty());
+  EXPECT_TRUE(
+      monitor.Consume(Announce(100, 0, "78.46.0.0/15", "701 9999 24940")).empty());
+  // Origin change still fires.
+  EXPECT_FALSE(monitor.Consume(Announce(100, 0, "78.46.0.0/15", "701 666")).empty());
+}
+
+TEST(RelayMonitor, MonitoredCount) {
+  EXPECT_EQ(MonitorWithBaseline().MonitoredCount(), 2u);
+}
+
+TEST(AlertKindNames, Readable) {
+  EXPECT_EQ(ToString(AlertKind::kOriginChange), "origin-change");
+  EXPECT_EQ(ToString(AlertKind::kMoreSpecific), "more-specific");
+  EXPECT_EQ(ToString(AlertKind::kNewUpstream), "new-upstream");
+}
+
+}  // namespace
+}  // namespace quicksand::core

@@ -1,0 +1,92 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace quicksand::core {
+namespace {
+
+TEST(ConcentrationCurve, SortsByCountAndAccumulates) {
+  const std::map<bgp::AsNumber, std::size_t> per_as = {
+      {100, 5}, {200, 30}, {300, 10}, {400, 55}};
+  const auto curve = ConcentrationCurve(per_as);
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_EQ(curve[0].as_count, 1u);
+  EXPECT_DOUBLE_EQ(curve[0].fraction, 0.55);
+  EXPECT_DOUBLE_EQ(curve[1].fraction, 0.85);
+  EXPECT_DOUBLE_EQ(curve[2].fraction, 0.95);
+  EXPECT_DOUBLE_EQ(curve[3].fraction, 1.0);
+}
+
+TEST(ConcentrationCurve, EmptyInput) {
+  EXPECT_TRUE(ConcentrationCurve({}).empty());
+}
+
+TEST(ConcentrationCurve, TopAsShareReadsCurve) {
+  const std::map<bgp::AsNumber, std::size_t> per_as = {
+      {1, 40}, {2, 30}, {3, 20}, {4, 10}};
+  const auto curve = ConcentrationCurve(per_as);
+  EXPECT_DOUBLE_EQ(TopAsShare(curve, 1), 0.4);
+  EXPECT_DOUBLE_EQ(TopAsShare(curve, 2), 0.7);
+  EXPECT_DOUBLE_EQ(TopAsShare(curve, 100), 1.0);
+  EXPECT_DOUBLE_EQ(TopAsShare(curve, 0), 0.0);
+}
+
+TEST(PrintCcdf, RendersTable) {
+  const std::vector<util::CcdfPoint> ccdf = {{1, 1.0}, {2, 0.5}, {5, 0.1}};
+  std::ostringstream os;
+  PrintCcdf(os, ccdf, "changes");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("changes"), std::string::npos);
+  EXPECT_NE(out.find("100.0%"), std::string::npos);
+  EXPECT_NE(out.find("10.0%"), std::string::npos);
+}
+
+TEST(PrintCcdf, SubsamplesLongInputsKeepingTail) {
+  std::vector<util::CcdfPoint> ccdf;
+  for (int i = 0; i < 1000; ++i) {
+    ccdf.push_back({static_cast<double>(i), 1.0 - i / 1000.0});
+  }
+  std::ostringstream os;
+  PrintCcdf(os, ccdf, "x", 10);
+  const std::string out = os.str();
+  // Far fewer lines than input, but the final point survives.
+  EXPECT_LT(std::count(out.begin(), out.end(), '\n'), 20);
+  EXPECT_NE(out.find("999.00"), std::string::npos);
+}
+
+TEST(PrintCcdf, EmptyInputHandled) {
+  std::ostringstream os;
+  const std::vector<util::CcdfPoint> empty;
+  PrintCcdf(os, empty, "x");
+  EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+TEST(RenderAsciiChart, ProducesChartWithLegend) {
+  const std::vector<std::string> names = {"alpha", "beta"};
+  const std::vector<std::vector<double>> series = {
+      {0, 1, 2, 3, 4, 5}, {5, 4, 3, 2, 1, 0}};
+  const std::string chart = RenderAsciiChart(names, series, 40, 8);
+  EXPECT_NE(chart.find("* = alpha"), std::string::npos);
+  EXPECT_NE(chart.find("+ = beta"), std::string::npos);
+  EXPECT_NE(chart.find('|'), std::string::npos);
+  EXPECT_NE(chart.find("5.0"), std::string::npos);  // y-axis max label
+}
+
+TEST(RenderAsciiChart, ValidatesInput) {
+  const std::vector<std::string> names = {"a"};
+  const std::vector<std::vector<double>> mismatched = {{1}, {2}};
+  EXPECT_THROW((void)RenderAsciiChart(names, mismatched), std::invalid_argument);
+  const std::vector<std::vector<double>> empty_series = {{}};
+  EXPECT_THROW((void)RenderAsciiChart(names, empty_series), std::invalid_argument);
+}
+
+TEST(RenderAsciiChart, FlatZeroSeriesDoesNotDivideByZero) {
+  const std::vector<std::string> names = {"flat"};
+  const std::vector<std::vector<double>> series = {{0, 0, 0}};
+  EXPECT_NO_THROW({ (void)RenderAsciiChart(names, series); });
+}
+
+}  // namespace
+}  // namespace quicksand::core

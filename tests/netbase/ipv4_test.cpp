@@ -1,0 +1,88 @@
+#include "netbase/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace quicksand::netbase {
+namespace {
+
+TEST(Ipv4Address, DefaultIsZero) {
+  EXPECT_EQ(Ipv4Address{}.value(), 0u);
+  EXPECT_EQ(Ipv4Address{}.ToString(), "0.0.0.0");
+}
+
+TEST(Ipv4Address, OctetConstructorMatchesValue) {
+  const Ipv4Address a(192, 0, 2, 1);
+  EXPECT_EQ(a.value(), 0xC0000201u);
+  EXPECT_EQ(a.octet(0), 192);
+  EXPECT_EQ(a.octet(1), 0);
+  EXPECT_EQ(a.octet(2), 2);
+  EXPECT_EQ(a.octet(3), 1);
+}
+
+TEST(Ipv4Address, RoundTripsThroughString) {
+  for (const char* text : {"0.0.0.0", "1.2.3.4", "10.0.0.1", "78.46.0.0",
+                           "255.255.255.255", "192.168.100.200"}) {
+    const auto parsed = Ipv4Address::Parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(parsed->ToString(), text);
+  }
+}
+
+TEST(Ipv4Address, ParseRejectsMalformedInput) {
+  for (const char* text :
+       {"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "1.2.3.-4", "a.b.c.d", "1..2.3",
+        "1.2.3.4 ", " 1.2.3.4", "01.2.3.4", "1.2.3.04", "1,2,3,4", "1.2.3.4/8"}) {
+    EXPECT_FALSE(Ipv4Address::Parse(text).has_value()) << text;
+  }
+}
+
+TEST(Ipv4Address, MustParseThrowsWithContext) {
+  try {
+    (void)Ipv4Address::MustParse("not-an-ip");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("not-an-ip"), std::string::npos);
+  }
+}
+
+TEST(Ipv4Address, OrderingIsNumeric) {
+  EXPECT_LT(Ipv4Address(1, 2, 3, 4), Ipv4Address(1, 2, 3, 5));
+  EXPECT_LT(Ipv4Address(9, 255, 255, 255), Ipv4Address(10, 0, 0, 0));
+  EXPECT_EQ(Ipv4Address(10, 0, 0, 1), Ipv4Address(0x0A000001u));
+}
+
+TEST(Ipv4Address, StreamsAsDottedQuad) {
+  std::ostringstream os;
+  os << Ipv4Address(8, 8, 8, 8);
+  EXPECT_EQ(os.str(), "8.8.8.8");
+}
+
+TEST(Ipv4Address, HashableInUnorderedSet) {
+  std::unordered_set<Ipv4Address> set;
+  set.insert(Ipv4Address(1, 1, 1, 1));
+  set.insert(Ipv4Address(1, 1, 1, 1));
+  set.insert(Ipv4Address(1, 1, 1, 2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+// Property sweep: parse(to_string(x)) == x across a structured sample of
+// the address space.
+class Ipv4RoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(Ipv4RoundTrip, ParseOfToStringIsIdentity) {
+  const Ipv4Address address(GetParam());
+  const auto parsed = Ipv4Address::Parse(address.ToString());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, address);
+}
+
+INSTANTIATE_TEST_SUITE_P(StructuredSample, Ipv4RoundTrip,
+                         ::testing::Values(0u, 1u, 0xFFu, 0x100u, 0xFFFFu, 0x10000u,
+                                           0xFFFFFFu, 0x1000000u, 0x7F000001u,
+                                           0xC0A80101u, 0xDEADBEEFu, 0xFFFFFFFFu));
+
+}  // namespace
+}  // namespace quicksand::netbase

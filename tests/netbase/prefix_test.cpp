@@ -1,0 +1,113 @@
+#include "netbase/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace quicksand::netbase {
+namespace {
+
+TEST(Prefix, DefaultIsDefaultRoute) {
+  EXPECT_EQ(Prefix{}.ToString(), "0.0.0.0/0");
+  EXPECT_TRUE(Prefix{}.Contains(Ipv4Address(1, 2, 3, 4)));
+}
+
+TEST(Prefix, ConstructorMasksHostBits) {
+  const Prefix p(Ipv4Address(10, 1, 2, 3), 16);
+  EXPECT_EQ(p.ToString(), "10.1.0.0/16");
+  EXPECT_EQ(p.length(), 16);
+}
+
+TEST(Prefix, ConstructorRejectsBadLength) {
+  EXPECT_THROW(Prefix(Ipv4Address{}, 33), std::invalid_argument);
+  EXPECT_THROW(Prefix(Ipv4Address{}, -1), std::invalid_argument);
+}
+
+TEST(Prefix, ContainsAddress) {
+  const Prefix p = Prefix::MustParse("78.46.0.0/15");
+  EXPECT_TRUE(p.Contains(Ipv4Address(78, 46, 0, 1)));
+  EXPECT_TRUE(p.Contains(Ipv4Address(78, 47, 255, 255)));
+  EXPECT_FALSE(p.Contains(Ipv4Address(78, 48, 0, 0)));
+  EXPECT_FALSE(p.Contains(Ipv4Address(78, 45, 255, 255)));
+}
+
+TEST(Prefix, ContainsPrefixAndMoreSpecific) {
+  const Prefix wide = Prefix::MustParse("10.0.0.0/8");
+  const Prefix narrow = Prefix::MustParse("10.1.0.0/16");
+  EXPECT_TRUE(wide.Contains(narrow));
+  EXPECT_FALSE(narrow.Contains(wide));
+  EXPECT_TRUE(wide.Contains(wide));
+  EXPECT_TRUE(narrow.MoreSpecificThan(wide));
+  EXPECT_FALSE(wide.MoreSpecificThan(narrow));
+  EXPECT_FALSE(wide.MoreSpecificThan(wide));
+}
+
+TEST(Prefix, FirstLastAddressAndCount) {
+  const Prefix p = Prefix::MustParse("192.168.4.0/22");
+  EXPECT_EQ(p.FirstAddress(), Ipv4Address(192, 168, 4, 0));
+  EXPECT_EQ(p.LastAddress(), Ipv4Address(192, 168, 7, 255));
+  EXPECT_EQ(p.AddressCount(), 1024u);
+  EXPECT_EQ(Prefix::MustParse("1.2.3.4/32").AddressCount(), 1u);
+  EXPECT_EQ(Prefix{}.AddressCount(), std::uint64_t{1} << 32);
+}
+
+TEST(Prefix, ParseRejectsNonCanonicalAndMalformed) {
+  for (const char* text : {"10.0.0.1/8",  // host bits set
+                           "10.0.0.0/33", "10.0.0.0/-1", "10.0.0.0", "/8",
+                           "10.0.0.0/", "10.0.0.0/8x", "300.0.0.0/8"}) {
+    EXPECT_FALSE(Prefix::Parse(text).has_value()) << text;
+  }
+}
+
+TEST(Prefix, RoundTripsThroughString) {
+  for (const char* text : {"0.0.0.0/0", "10.0.0.0/8", "78.46.0.0/15",
+                           "178.239.176.0/20", "1.2.3.4/32"}) {
+    const auto parsed = Prefix::Parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(parsed->ToString(), text);
+  }
+}
+
+TEST(Prefix, OrderingPutsCoveringPrefixFirst) {
+  const Prefix wide = Prefix::MustParse("10.0.0.0/8");
+  const Prefix narrow = Prefix::MustParse("10.0.0.0/16");
+  EXPECT_LT(wide, narrow);
+}
+
+TEST(Prefix, HashDistinguishesLengths) {
+  std::unordered_set<Prefix> set;
+  set.insert(Prefix::MustParse("10.0.0.0/8"));
+  set.insert(Prefix::MustParse("10.0.0.0/16"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Prefix, MaskForBoundaries) {
+  EXPECT_EQ(Prefix::MaskFor(0), 0u);
+  EXPECT_EQ(Prefix::MaskFor(1), 0x80000000u);
+  EXPECT_EQ(Prefix::MaskFor(24), 0xFFFFFF00u);
+  EXPECT_EQ(Prefix::MaskFor(32), 0xFFFFFFFFu);
+}
+
+// Property: for every length, a prefix contains exactly its own block.
+class PrefixLengthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixLengthSweep, BlockBoundariesAreExact) {
+  const int length = GetParam();
+  const Prefix p(Ipv4Address(172, 16, 0, 0), length);
+  EXPECT_TRUE(p.Contains(p.FirstAddress()));
+  EXPECT_TRUE(p.Contains(p.LastAddress()));
+  if (length > 0) {
+    if (p.FirstAddress().value() > 0) {
+      EXPECT_FALSE(p.Contains(Ipv4Address(p.FirstAddress().value() - 1)));
+    }
+    if (p.LastAddress().value() < 0xFFFFFFFFu) {
+      EXPECT_FALSE(p.Contains(Ipv4Address(p.LastAddress().value() + 1)));
+    }
+  }
+  EXPECT_EQ(p.AddressCount(), std::uint64_t{1} << (32 - length));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLengths, PrefixLengthSweep, ::testing::Range(0, 33));
+
+}  // namespace
+}  // namespace quicksand::netbase

@@ -1,0 +1,159 @@
+#include "netbase/prefix_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "netbase/rng.hpp"
+
+namespace quicksand::netbase {
+namespace {
+
+TEST(PrefixTrie, EmptyTrieFindsNothing) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.Find(Prefix::MustParse("10.0.0.0/8")), nullptr);
+  EXPECT_FALSE(trie.LongestMatch(Ipv4Address(1, 2, 3, 4)).has_value());
+}
+
+TEST(PrefixTrie, InsertFindEraseRoundTrip) {
+  PrefixTrie<int> trie;
+  const Prefix p = Prefix::MustParse("10.0.0.0/8");
+  EXPECT_TRUE(trie.Insert(p, 7));
+  ASSERT_NE(trie.Find(p), nullptr);
+  EXPECT_EQ(*trie.Find(p), 7);
+  EXPECT_FALSE(trie.Insert(p, 9));  // overwrite, not new
+  EXPECT_EQ(*trie.Find(p), 9);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_TRUE(trie.Erase(p));
+  EXPECT_FALSE(trie.Erase(p));
+  EXPECT_TRUE(trie.empty());
+}
+
+TEST(PrefixTrie, LongestMatchPrefersMostSpecific) {
+  PrefixTrie<int> trie;
+  trie.Insert(Prefix::MustParse("10.0.0.0/8"), 8);
+  trie.Insert(Prefix::MustParse("10.1.0.0/16"), 16);
+  trie.Insert(Prefix::MustParse("10.1.2.0/24"), 24);
+
+  const auto inside24 = trie.LongestMatch(Ipv4Address(10, 1, 2, 3));
+  ASSERT_TRUE(inside24.has_value());
+  EXPECT_EQ(*inside24->second, 24);
+  EXPECT_EQ(inside24->first, Prefix::MustParse("10.1.2.0/24"));
+
+  const auto inside16 = trie.LongestMatch(Ipv4Address(10, 1, 99, 1));
+  ASSERT_TRUE(inside16.has_value());
+  EXPECT_EQ(*inside16->second, 16);
+
+  const auto inside8 = trie.LongestMatch(Ipv4Address(10, 200, 0, 1));
+  ASSERT_TRUE(inside8.has_value());
+  EXPECT_EQ(*inside8->second, 8);
+
+  EXPECT_FALSE(trie.LongestMatch(Ipv4Address(11, 0, 0, 1)).has_value());
+}
+
+TEST(PrefixTrie, DefaultRouteMatchesEverything) {
+  PrefixTrie<int> trie;
+  trie.Insert(Prefix{}, 0);
+  const auto match = trie.LongestMatch(Ipv4Address(203, 0, 113, 9));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->first.length(), 0);
+}
+
+TEST(PrefixTrie, MostSpecificCoveringFindsContainer) {
+  PrefixTrie<int> trie;
+  trie.Insert(Prefix::MustParse("78.46.0.0/15"), 1);
+  trie.Insert(Prefix::MustParse("78.0.0.0/8"), 2);
+
+  // A /24 inside the /15: the /15 is the most specific cover.
+  const auto cover = trie.MostSpecificCovering(Prefix::MustParse("78.47.10.0/24"));
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(cover->first, Prefix::MustParse("78.46.0.0/15"));
+
+  // The /15 itself is covered by itself.
+  const auto self_cover = trie.MostSpecificCovering(Prefix::MustParse("78.46.0.0/15"));
+  ASSERT_TRUE(self_cover.has_value());
+  EXPECT_EQ(self_cover->first, Prefix::MustParse("78.46.0.0/15"));
+
+  // Outside both: nothing.
+  EXPECT_FALSE(trie.MostSpecificCovering(Prefix::MustParse("79.0.0.0/16")).has_value());
+}
+
+TEST(PrefixTrie, CoveredByEnumeratesMoreSpecifics) {
+  PrefixTrie<int> trie;
+  trie.Insert(Prefix::MustParse("10.0.0.0/8"), 1);
+  trie.Insert(Prefix::MustParse("10.1.0.0/16"), 2);
+  trie.Insert(Prefix::MustParse("10.1.2.0/24"), 3);
+  trie.Insert(Prefix::MustParse("10.2.0.0/16"), 4);
+  trie.Insert(Prefix::MustParse("11.0.0.0/8"), 5);
+
+  const auto covered = trie.CoveredBy(Prefix::MustParse("10.1.0.0/16"));
+  ASSERT_EQ(covered.size(), 2u);
+  EXPECT_EQ(covered[0].first, Prefix::MustParse("10.1.0.0/16"));
+  EXPECT_EQ(covered[1].first, Prefix::MustParse("10.1.2.0/24"));
+
+  EXPECT_EQ(trie.CoveredBy(Prefix::MustParse("10.0.0.0/8")).size(), 4u);
+  EXPECT_EQ(trie.CoveredBy(Prefix{}).size(), 5u);
+}
+
+TEST(PrefixTrie, ForEachVisitsInAddressOrder) {
+  PrefixTrie<int> trie;
+  trie.Insert(Prefix::MustParse("11.0.0.0/8"), 1);
+  trie.Insert(Prefix::MustParse("10.0.0.0/8"), 2);
+  trie.Insert(Prefix::MustParse("10.128.0.0/9"), 3);
+  const auto prefixes = trie.Prefixes();
+  ASSERT_EQ(prefixes.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(prefixes.begin(), prefixes.end()));
+}
+
+TEST(PrefixTrie, Slash32EntriesWork) {
+  PrefixTrie<int> trie;
+  trie.Insert(Prefix::MustParse("178.239.177.19/32"), 42);
+  const auto match = trie.LongestMatch(Ipv4Address(178, 239, 177, 19));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(*match->second, 42);
+  EXPECT_FALSE(trie.LongestMatch(Ipv4Address(178, 239, 177, 20)).has_value());
+}
+
+// Property test: the trie agrees with a brute-force scan on random data.
+class PrefixTrieRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixTrieRandomized, AgreesWithLinearScan) {
+  Rng rng(GetParam());
+  PrefixTrie<int> trie;
+  std::map<Prefix, int> reference;
+  for (int i = 0; i < 300; ++i) {
+    const int length = static_cast<int>(rng.UniformInt(4, 28));
+    const Prefix p(Ipv4Address(static_cast<std::uint32_t>(rng())), length);
+    trie.Insert(p, i);
+    reference[p] = i;
+  }
+  EXPECT_EQ(trie.size(), reference.size());
+
+  for (int probe = 0; probe < 500; ++probe) {
+    const Ipv4Address address(static_cast<std::uint32_t>(rng()));
+    // Brute force: the longest reference prefix containing the address.
+    const Prefix* best = nullptr;
+    for (const auto& [prefix, value] : reference) {
+      (void)value;
+      if (prefix.Contains(address) && (best == nullptr || prefix.length() > best->length())) {
+        best = &prefix;
+      }
+    }
+    const auto match = trie.LongestMatch(address);
+    if (best == nullptr) {
+      EXPECT_FALSE(match.has_value());
+    } else {
+      ASSERT_TRUE(match.has_value());
+      EXPECT_EQ(match->first, *best);
+      EXPECT_EQ(*match->second, reference[*best]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixTrieRandomized,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace quicksand::netbase

@@ -1,0 +1,33 @@
+#include "netbase/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace quicksand::netbase {
+namespace {
+
+TEST(SimTime, ArithmeticAndComparison) {
+  const SimTime t{100};
+  EXPECT_EQ((t + 50).seconds, 150);
+  EXPECT_EQ((t - 30).seconds, 70);
+  EXPECT_EQ(SimTime{150} - t, 50);
+  EXPECT_LT(t, SimTime{101});
+  EXPECT_EQ(t, SimTime{100});
+}
+
+TEST(SimTime, DurationConstantsAreConsistent) {
+  EXPECT_EQ(duration::kMinute, 60);
+  EXPECT_EQ(duration::kHour, 60 * duration::kMinute);
+  EXPECT_EQ(duration::kDay, 24 * duration::kHour);
+  EXPECT_EQ(duration::kMonth, 31 * duration::kDay);
+  EXPECT_EQ(duration::kAttackDwellThreshold, 5 * duration::kMinute);
+}
+
+TEST(SimTime, FormatsAsDayAndTime) {
+  EXPECT_EQ(FormatSimTime(SimTime{0}), "0+00:00:00");
+  EXPECT_EQ(FormatSimTime(SimTime{duration::kDay + 3661}), "1+01:01:01");
+  EXPECT_EQ(FormatSimTime(SimTime{5 * duration::kDay + 2 * duration::kHour}),
+            "5+02:00:00");
+}
+
+}  // namespace
+}  // namespace quicksand::netbase

@@ -1,0 +1,106 @@
+#include "tor/prefix_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tor/consensus_gen.hpp"
+
+namespace quicksand::tor {
+namespace {
+
+using bgp::PrefixOrigin;
+using netbase::Ipv4Address;
+using netbase::Prefix;
+
+Consensus HandConsensus() {
+  std::vector<Relay> relays(4);
+  relays[0] = {"g1", Ipv4Address(78, 46, 1, 10), 9001, 100,
+               RelayFlag::kGuard | RelayFlag::kRunning};
+  relays[1] = {"g2", Ipv4Address(78, 46, 2, 20), 9001, 100,
+               RelayFlag::kGuard | RelayFlag::kRunning};
+  relays[2] = {"e1", Ipv4Address(10, 9, 0, 5), 9001, 100,
+               RelayFlag::kExit | RelayFlag::kRunning};
+  relays[3] = {"m1", Ipv4Address(192, 0, 2, 1), 9001, 100,
+               static_cast<RelayFlags>(RelayFlag::kRunning)};  // unmapped middle
+  return Consensus(netbase::SimTime{0}, std::move(relays));
+}
+
+std::vector<PrefixOrigin> HandOrigins() {
+  return {
+      {Prefix::MustParse("78.46.0.0/15"), 24940},
+      {Prefix::MustParse("78.46.2.0/24"), 24940},  // more specific, same AS
+      {Prefix::MustParse("10.9.0.0/16"), 16276},
+  };
+}
+
+TEST(TorPrefixMap, MapsRelaysToMostSpecificPrefix) {
+  const Consensus consensus = HandConsensus();
+  const TorPrefixMap map = TorPrefixMap::Build(consensus, HandOrigins());
+  ASSERT_EQ(map.entries().size(), 3u);
+  EXPECT_EQ(map.unmapped(), 1u);  // the 192.0.2.1 middle
+
+  EXPECT_EQ(map.PrefixOfRelay(0), Prefix::MustParse("78.46.0.0/15"));
+  EXPECT_EQ(map.PrefixOfRelay(1), Prefix::MustParse("78.46.2.0/24"));  // most specific
+  EXPECT_EQ(map.PrefixOfRelay(2), Prefix::MustParse("10.9.0.0/16"));
+  EXPECT_FALSE(map.PrefixOfRelay(3).has_value());
+  EXPECT_EQ(map.OriginOfRelay(0), 24940u);
+  EXPECT_EQ(map.OriginOfRelay(3), 0u);
+}
+
+TEST(TorPrefixMap, TorPrefixesOnlyCountGuardAndExitHosts) {
+  const Consensus consensus = HandConsensus();
+  const TorPrefixMap map = TorPrefixMap::Build(consensus, HandOrigins());
+  const auto tor_prefixes = map.TorPrefixes(consensus);
+  EXPECT_EQ(tor_prefixes.size(), 3u);
+  EXPECT_TRUE(tor_prefixes.contains(Prefix::MustParse("78.46.0.0/15")));
+  EXPECT_TRUE(tor_prefixes.contains(Prefix::MustParse("10.9.0.0/16")));
+}
+
+TEST(TorPrefixMap, MiddleOnlyPrefixIsNotATorPrefix) {
+  // Swap the exit's flags to middle: its /16 must drop out.
+  Consensus consensus = HandConsensus();
+  std::vector<Relay> relays = consensus.relays();
+  relays[2].flags = static_cast<RelayFlags>(RelayFlag::kRunning);
+  consensus = Consensus(netbase::SimTime{0}, std::move(relays));
+  const TorPrefixMap map = TorPrefixMap::Build(consensus, HandOrigins());
+  EXPECT_FALSE(map.TorPrefixes(consensus).contains(Prefix::MustParse("10.9.0.0/16")));
+}
+
+TEST(TorPrefixMap, CountsPerPrefixAndPerAs) {
+  const Consensus consensus = HandConsensus();
+  const TorPrefixMap map = TorPrefixMap::Build(consensus, HandOrigins());
+  const auto per_prefix = map.GuardExitRelaysPerPrefix(consensus);
+  EXPECT_EQ(per_prefix.at(Prefix::MustParse("78.46.0.0/15")), 1u);
+  EXPECT_EQ(per_prefix.at(Prefix::MustParse("78.46.2.0/24")), 1u);
+  const auto per_as = map.GuardExitRelaysPerAs(consensus);
+  EXPECT_EQ(per_as.at(24940), 2u);
+  EXPECT_EQ(per_as.at(16276), 1u);
+}
+
+TEST(TorPrefixMap, GeneratedConsensusMapsAlmostCompletely) {
+  bgp::TopologyParams tp;
+  tp.tier1_count = 4;
+  tp.transit_count = 16;
+  tp.eyeball_count = 30;
+  tp.hosting_count = 12;
+  tp.content_count = 20;
+  tp.seed = 13;
+  const bgp::Topology topo = bgp::GenerateTopology(tp);
+  ConsensusGenParams cp;
+  cp.total_relays = 600;
+  cp.guard_only = 200;
+  cp.exit_only = 60;
+  cp.guard_exit = 50;
+  cp.seed = 14;
+  const GeneratedConsensus gen = GenerateConsensus(topo, cp);
+  const TorPrefixMap map = TorPrefixMap::Build(gen.consensus, topo.prefix_origins);
+  // Every generated relay lives inside an announced prefix by construction.
+  EXPECT_EQ(map.unmapped(), 0u);
+  EXPECT_EQ(map.entries().size(), gen.consensus.size());
+  // Recovered origins match the generator's ground truth.
+  for (const RelayPrefixEntry& entry : map.entries()) {
+    EXPECT_EQ(entry.origin, gen.host_as[entry.relay_index]);
+  }
+}
+
+}  // namespace
+}  // namespace quicksand::tor

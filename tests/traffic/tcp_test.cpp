@@ -1,0 +1,164 @@
+#include "traffic/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace quicksand::traffic {
+namespace {
+
+TEST(TcpSender, SegmentsRespectMssAndBuffer) {
+  TcpParams params;
+  params.mss_bytes = 1000;
+  TcpSender sender(params);
+  sender.Enqueue(2500);
+  ASSERT_TRUE(sender.CanSend());
+  EXPECT_EQ(sender.EmitSegment(), 1000u);
+  EXPECT_EQ(sender.EmitSegment(), 1000u);
+  EXPECT_EQ(sender.EmitSegment(), 500u);
+  EXPECT_FALSE(sender.CanSend());
+  EXPECT_EQ(sender.bytes_sent(), 2500u);
+  EXPECT_THROW((void)sender.EmitSegment(), std::logic_error);
+}
+
+TEST(TcpSender, WindowLimitsInFlightBytes) {
+  TcpParams params;
+  params.mss_bytes = 1000;
+  params.initial_window = 2000;
+  TcpSender sender(params);
+  sender.Enqueue(10000);
+  EXPECT_EQ(sender.EmitSegment(), 1000u);
+  EXPECT_EQ(sender.EmitSegment(), 1000u);
+  EXPECT_FALSE(sender.CanSend());  // window full
+  EXPECT_EQ(sender.WindowHeadroom(), 0u);
+  sender.OnAck(1000);
+  EXPECT_TRUE(sender.CanSend());  // headroom again
+}
+
+TEST(TcpSender, WindowGrowsWithAcks) {
+  TcpParams params;
+  params.mss_bytes = 1000;
+  params.initial_window = 2000;
+  params.max_window = 4000;
+  TcpSender sender(params);
+  sender.Enqueue(10000);
+  (void)sender.EmitSegment();
+  (void)sender.EmitSegment();
+  sender.OnAck(2000);
+  EXPECT_EQ(sender.window(), 4000u);  // grew by acked bytes, capped
+  sender.OnAck(2000);                 // duplicate: no further growth
+  EXPECT_EQ(sender.window(), 4000u);
+}
+
+TEST(TcpSender, StaleAcksIgnored) {
+  TcpParams params;
+  TcpSender sender(params);
+  sender.Enqueue(5000);
+  (void)sender.EmitSegment();
+  sender.OnAck(1448);
+  const auto acked = sender.bytes_acked();
+  sender.OnAck(100);  // stale
+  EXPECT_EQ(sender.bytes_acked(), acked);
+}
+
+TEST(TcpSender, AckNeverExceedsBytesSent) {
+  TcpParams params;
+  TcpSender sender(params);
+  sender.Enqueue(1000);
+  (void)sender.EmitSegment();
+  sender.OnAck(999999);  // bogus over-ack clamped
+  EXPECT_EQ(sender.bytes_acked(), sender.bytes_sent());
+}
+
+TEST(TcpReceiver, AcksEverySecondSegmentImmediately) {
+  TcpParams params;
+  params.ack_every_segments = 2;
+  TcpReceiver receiver(params);
+  const auto first = receiver.OnSegment(1000, 0.0);
+  EXPECT_FALSE(first.ack_now.has_value());
+  EXPECT_TRUE(first.arm_timer_at.has_value());
+  const auto second = receiver.OnSegment(1000, 0.001);
+  ASSERT_TRUE(second.ack_now.has_value());
+  EXPECT_EQ(*second.ack_now, 2000u);
+  EXPECT_FALSE(second.arm_timer_at.has_value());
+}
+
+TEST(TcpReceiver, AcksAreCumulative) {
+  TcpParams params;
+  params.ack_every_segments = 2;
+  TcpReceiver receiver(params);
+  (void)receiver.OnSegment(500, 0.0);
+  const auto ack1 = receiver.OnSegment(700, 0.01);
+  ASSERT_TRUE(ack1.ack_now.has_value());
+  EXPECT_EQ(*ack1.ack_now, 1200u);
+  (void)receiver.OnSegment(300, 0.02);
+  const auto ack2 = receiver.OnSegment(100, 0.03);
+  ASSERT_TRUE(ack2.ack_now.has_value());
+  EXPECT_EQ(*ack2.ack_now, 1600u);  // cumulative, not per-segment
+}
+
+TEST(TcpReceiver, DelayedAckTimerFiresOnce) {
+  TcpParams params;
+  params.ack_every_segments = 2;
+  params.delayed_ack_s = 0.04;
+  TcpReceiver receiver(params);
+  const auto decision = receiver.OnSegment(800, 1.0);
+  ASSERT_TRUE(decision.arm_timer_at.has_value());
+  EXPECT_DOUBLE_EQ(*decision.arm_timer_at, 1.04);
+  const auto ack = receiver.OnDelayedAckTimer();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(*ack, 800u);
+  // Second fire with nothing pending: no ack.
+  EXPECT_FALSE(receiver.OnDelayedAckTimer().has_value());
+}
+
+TEST(TcpReceiver, TimerAfterImmediateAckIsNoOp) {
+  TcpParams params;
+  params.ack_every_segments = 2;
+  TcpReceiver receiver(params);
+  (void)receiver.OnSegment(500, 0.0);   // arms timer
+  (void)receiver.OnSegment(500, 0.01);  // immediate ack covers everything
+  EXPECT_FALSE(receiver.OnDelayedAckTimer().has_value());
+}
+
+TEST(TcpReceiver, OnlyOneTimerPendingAtATime) {
+  TcpParams params;
+  params.ack_every_segments = 4;
+  TcpReceiver receiver(params);
+  const auto first = receiver.OnSegment(100, 0.0);
+  EXPECT_TRUE(first.arm_timer_at.has_value());
+  const auto second = receiver.OnSegment(100, 0.01);
+  EXPECT_FALSE(second.arm_timer_at.has_value());  // already armed
+}
+
+TEST(TcpEndToEnd, SenderReceiverConverseToCompletion) {
+  // Drive both state machines by hand: everything sent ends up received
+  // and acknowledged.
+  TcpParams params;
+  params.mss_bytes = 1000;
+  params.initial_window = 3000;
+  TcpSender sender(params);
+  TcpReceiver receiver(params);
+  const std::uint64_t total = 25000;
+  sender.Enqueue(total);
+  double now = 0;
+  while (sender.bytes_acked() < total) {
+    bool progress = false;
+    while (sender.CanSend()) {
+      const auto seg = sender.EmitSegment();
+      const auto decision = receiver.OnSegment(seg, now);
+      if (decision.ack_now) sender.OnAck(*decision.ack_now);
+      progress = true;
+    }
+    const auto delayed = receiver.OnDelayedAckTimer();
+    if (delayed) {
+      sender.OnAck(*delayed);
+      progress = true;
+    }
+    now += 0.01;
+    ASSERT_TRUE(progress) << "deadlock at " << sender.bytes_acked() << " bytes";
+  }
+  EXPECT_EQ(receiver.bytes_received(), total);
+  EXPECT_EQ(sender.bytes_sent(), total);
+}
+
+}  // namespace
+}  // namespace quicksand::traffic

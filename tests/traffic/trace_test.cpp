@@ -1,0 +1,92 @@
+#include "traffic/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace quicksand::traffic {
+namespace {
+
+std::vector<PacketRecord> SampleData() {
+  return {
+      {0.2, 1000, 0, false},
+      {0.8, 500, 0, false},
+      {1.5, 2000, 0, false},
+      {3.9, 100, 0, false},
+      {10.0, 9999, 0, false},  // outside a 10 s window
+  };
+}
+
+std::vector<PacketRecord> SampleAcks() {
+  return {
+      {0.3, 0, 1000, true},
+      {0.9, 0, 1500, true},   // +500
+      {1.1, 0, 1500, true},   // duplicate ack: +0
+      {2.5, 0, 4000, true},   // +2500
+      {2.6, 0, 3000, true},   // reordered/stale: ignored
+      {4.0, 0, 4100, true},   // +100
+  };
+}
+
+TEST(Trace, DataBytesBinnedSumsPayloadPerBin) {
+  const auto bins = DataBytesBinned(SampleData(), 1.0, 10.0);
+  ASSERT_EQ(bins.size(), 10u);
+  EXPECT_DOUBLE_EQ(bins[0], 1500.0);
+  EXPECT_DOUBLE_EQ(bins[1], 2000.0);
+  EXPECT_DOUBLE_EQ(bins[2], 0.0);
+  EXPECT_DOUBLE_EQ(bins[3], 100.0);
+  EXPECT_DOUBLE_EQ(bins[9], 0.0);  // the 10.0 s record was dropped
+}
+
+TEST(Trace, AckedBytesBinnedUsesCumulativeDeltas) {
+  const auto bins = AckedBytesBinned(SampleAcks(), 1.0, 10.0);
+  ASSERT_EQ(bins.size(), 10u);
+  EXPECT_DOUBLE_EQ(bins[0], 1500.0);  // 1000 + 500
+  EXPECT_DOUBLE_EQ(bins[1], 0.0);     // duplicate ack adds nothing
+  EXPECT_DOUBLE_EQ(bins[2], 2500.0);  // stale 3000 after 4000 ignored
+  EXPECT_DOUBLE_EQ(bins[4], 100.0);
+}
+
+TEST(Trace, AckedBytesIgnoresNonAckPackets) {
+  const std::vector<PacketRecord> mixed = {
+      {0.5, 1000, 777, false},  // data packet, ack flag clear
+      {0.6, 0, 500, true},
+  };
+  const auto bins = AckedBytesBinned(mixed, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(bins[0], 500.0);
+}
+
+TEST(Trace, BinningValidatesArguments) {
+  const auto data = SampleData();
+  EXPECT_THROW((void)DataBytesBinned(data, 0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW((void)DataBytesBinned(data, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)AckedBytesBinned(data, -1.0, 10.0), std::invalid_argument);
+}
+
+TEST(Trace, FractionalBinWidths) {
+  const std::vector<PacketRecord> packets = {{0.05, 10, 0, false},
+                                             {0.15, 20, 0, false}};
+  const auto bins = DataBytesBinned(packets, 0.1, 0.3);
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_DOUBLE_EQ(bins[0], 10.0);
+  EXPECT_DOUBLE_EQ(bins[1], 20.0);
+}
+
+TEST(Trace, CumulativeMegabytesIsRunningSum) {
+  const std::vector<double> binned = {1 << 20, 1 << 20, 0, 2 << 20};
+  const auto cumulative = CumulativeMegabytes(binned);
+  ASSERT_EQ(cumulative.size(), 4u);
+  EXPECT_DOUBLE_EQ(cumulative[0], 1.0);
+  EXPECT_DOUBLE_EQ(cumulative[1], 2.0);
+  EXPECT_DOUBLE_EQ(cumulative[2], 2.0);
+  EXPECT_DOUBLE_EQ(cumulative[3], 4.0);
+}
+
+TEST(Trace, Totals) {
+  EXPECT_EQ(TotalPayloadBytes(SampleData()), 1000u + 500 + 2000 + 100 + 9999);
+  EXPECT_EQ(FinalAckedBytes(SampleAcks()), 4100u);
+  const std::vector<PacketRecord> empty;
+  EXPECT_EQ(TotalPayloadBytes(empty), 0u);
+  EXPECT_EQ(FinalAckedBytes(empty), 0u);
+}
+
+}  // namespace
+}  // namespace quicksand::traffic

@@ -1,0 +1,46 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace quicksand::util {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "csv_writer_test.csv";
+};
+
+TEST_F(CsvWriterTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"x", "y"});
+    csv.WriteRow(std::vector<std::string>{"1", "2"});
+    csv.WriteRow(std::vector<double>{3.5, 4.25});
+  }
+  EXPECT_EQ(ReadAll(path_), "x,y\n1,2\n3.5,4.25\n");
+}
+
+TEST_F(CsvWriterTest, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/foo.csv", {"a"}), std::runtime_error);
+}
+
+TEST(CsvEscape, QuotesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::EscapeField("plain"), "plain");
+  EXPECT_EQ(CsvWriter::EscapeField("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::EscapeField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::EscapeField("line\nbreak"), "\"line\nbreak\"");
+}
+
+}  // namespace
+}  // namespace quicksand::util

@@ -1,0 +1,54 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace quicksand::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "count"});
+  t.AddRow({"alpha", "10"});
+  t.AddRow({"b", "2000"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2000"), std::string::npos);
+  EXPECT_EQ(t.RowCount(), 2u);
+}
+
+TEST(Table, NumericColumnsRightAligned) {
+  Table t({"k", "v"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"y", "100"});
+  const std::string out = t.Render();
+  // The value "1" must be padded on the left to align under "100".
+  EXPECT_NE(out.find("  1"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_NO_THROW({ (void)t.Render(); });
+}
+
+TEST(FormatHelpers, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(FormatHelpers, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.203, 1), "20.3%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+TEST(FormatHelpers, PrintBannerContainsTitle) {
+  std::ostringstream os;
+  PrintBanner(os, "Figure 2");
+  EXPECT_NE(os.str().find("== Figure 2 ="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace quicksand::util
