@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_left_concentration.dir/fig2_left_concentration.cpp.o"
+  "CMakeFiles/fig2_left_concentration.dir/fig2_left_concentration.cpp.o.d"
+  "fig2_left_concentration"
+  "fig2_left_concentration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_left_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_right_asymmetric.dir/fig2_right_asymmetric.cpp.o"
+  "CMakeFiles/fig2_right_asymmetric.dir/fig2_right_asymmetric.cpp.o.d"
+  "fig2_right_asymmetric"
+  "fig2_right_asymmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_right_asymmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_left_churn.dir/fig3_left_churn.cpp.o"
+  "CMakeFiles/fig3_left_churn.dir/fig3_left_churn.cpp.o.d"
+  "fig3_left_churn"
+  "fig3_left_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_left_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

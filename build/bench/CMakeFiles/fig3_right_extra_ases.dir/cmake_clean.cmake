@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_right_extra_ases.dir/fig3_right_extra_ases.cpp.o"
+  "CMakeFiles/fig3_right_extra_ases.dir/fig3_right_extra_ases.cpp.o.d"
+  "fig3_right_extra_ases"
+  "fig3_right_extra_ases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_right_extra_ases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

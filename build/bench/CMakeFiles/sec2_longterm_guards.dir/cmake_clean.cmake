@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2_longterm_guards.dir/sec2_longterm_guards.cpp.o"
+  "CMakeFiles/sec2_longterm_guards.dir/sec2_longterm_guards.cpp.o.d"
+  "sec2_longterm_guards"
+  "sec2_longterm_guards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_longterm_guards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sec31_anonymity_model.cpp" "bench/CMakeFiles/sec31_anonymity_model.dir/sec31_anonymity_model.cpp.o" "gcc" "bench/CMakeFiles/sec31_anonymity_model.dir/sec31_anonymity_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quicksand_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quicksand_tor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quicksand_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quicksand_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quicksand_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quicksand_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec31_anonymity_model.dir/sec31_anonymity_model.cpp.o"
+  "CMakeFiles/sec31_anonymity_model.dir/sec31_anonymity_model.cpp.o.d"
+  "sec31_anonymity_model"
+  "sec31_anonymity_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec31_anonymity_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

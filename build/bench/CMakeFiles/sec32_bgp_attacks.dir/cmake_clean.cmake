@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec32_bgp_attacks.dir/sec32_bgp_attacks.cpp.o"
+  "CMakeFiles/sec32_bgp_attacks.dir/sec32_bgp_attacks.cpp.o.d"
+  "sec32_bgp_attacks"
+  "sec32_bgp_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec32_bgp_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

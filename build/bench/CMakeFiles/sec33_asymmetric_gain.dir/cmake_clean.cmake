@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec33_asymmetric_gain.dir/sec33_asymmetric_gain.cpp.o"
+  "CMakeFiles/sec33_asymmetric_gain.dir/sec33_asymmetric_gain.cpp.o.d"
+  "sec33_asymmetric_gain"
+  "sec33_asymmetric_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec33_asymmetric_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

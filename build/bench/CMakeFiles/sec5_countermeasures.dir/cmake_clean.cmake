@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_countermeasures.dir/sec5_countermeasures.cpp.o"
+  "CMakeFiles/sec5_countermeasures.dir/sec5_countermeasures.cpp.o.d"
+  "sec5_countermeasures"
+  "sec5_countermeasures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_countermeasures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

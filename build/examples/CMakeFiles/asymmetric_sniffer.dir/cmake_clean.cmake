@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asymmetric_sniffer.dir/asymmetric_sniffer.cpp.o"
+  "CMakeFiles/asymmetric_sniffer.dir/asymmetric_sniffer.cpp.o.d"
+  "asymmetric_sniffer"
+  "asymmetric_sniffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asymmetric_sniffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interception_campaign.dir/interception_campaign.cpp.o"
+  "CMakeFiles/interception_campaign.dir/interception_campaign.cpp.o.d"
+  "interception_campaign"
+  "interception_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interception_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

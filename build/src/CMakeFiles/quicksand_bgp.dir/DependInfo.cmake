@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/as_graph.cpp" "src/CMakeFiles/quicksand_bgp.dir/bgp/as_graph.cpp.o" "gcc" "src/CMakeFiles/quicksand_bgp.dir/bgp/as_graph.cpp.o.d"
+  "/root/repo/src/bgp/churn.cpp" "src/CMakeFiles/quicksand_bgp.dir/bgp/churn.cpp.o" "gcc" "src/CMakeFiles/quicksand_bgp.dir/bgp/churn.cpp.o.d"
+  "/root/repo/src/bgp/collector.cpp" "src/CMakeFiles/quicksand_bgp.dir/bgp/collector.cpp.o" "gcc" "src/CMakeFiles/quicksand_bgp.dir/bgp/collector.cpp.o.d"
+  "/root/repo/src/bgp/dynamics_gen.cpp" "src/CMakeFiles/quicksand_bgp.dir/bgp/dynamics_gen.cpp.o" "gcc" "src/CMakeFiles/quicksand_bgp.dir/bgp/dynamics_gen.cpp.o.d"
+  "/root/repo/src/bgp/hijack.cpp" "src/CMakeFiles/quicksand_bgp.dir/bgp/hijack.cpp.o" "gcc" "src/CMakeFiles/quicksand_bgp.dir/bgp/hijack.cpp.o.d"
+  "/root/repo/src/bgp/mrt.cpp" "src/CMakeFiles/quicksand_bgp.dir/bgp/mrt.cpp.o" "gcc" "src/CMakeFiles/quicksand_bgp.dir/bgp/mrt.cpp.o.d"
+  "/root/repo/src/bgp/path.cpp" "src/CMakeFiles/quicksand_bgp.dir/bgp/path.cpp.o" "gcc" "src/CMakeFiles/quicksand_bgp.dir/bgp/path.cpp.o.d"
+  "/root/repo/src/bgp/policy.cpp" "src/CMakeFiles/quicksand_bgp.dir/bgp/policy.cpp.o" "gcc" "src/CMakeFiles/quicksand_bgp.dir/bgp/policy.cpp.o.d"
+  "/root/repo/src/bgp/relationship_inference.cpp" "src/CMakeFiles/quicksand_bgp.dir/bgp/relationship_inference.cpp.o" "gcc" "src/CMakeFiles/quicksand_bgp.dir/bgp/relationship_inference.cpp.o.d"
+  "/root/repo/src/bgp/rib.cpp" "src/CMakeFiles/quicksand_bgp.dir/bgp/rib.cpp.o" "gcc" "src/CMakeFiles/quicksand_bgp.dir/bgp/rib.cpp.o.d"
+  "/root/repo/src/bgp/route_computation.cpp" "src/CMakeFiles/quicksand_bgp.dir/bgp/route_computation.cpp.o" "gcc" "src/CMakeFiles/quicksand_bgp.dir/bgp/route_computation.cpp.o.d"
+  "/root/repo/src/bgp/session_reset.cpp" "src/CMakeFiles/quicksand_bgp.dir/bgp/session_reset.cpp.o" "gcc" "src/CMakeFiles/quicksand_bgp.dir/bgp/session_reset.cpp.o.d"
+  "/root/repo/src/bgp/topology_gen.cpp" "src/CMakeFiles/quicksand_bgp.dir/bgp/topology_gen.cpp.o" "gcc" "src/CMakeFiles/quicksand_bgp.dir/bgp/topology_gen.cpp.o.d"
+  "/root/repo/src/bgp/update.cpp" "src/CMakeFiles/quicksand_bgp.dir/bgp/update.cpp.o" "gcc" "src/CMakeFiles/quicksand_bgp.dir/bgp/update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quicksand_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quicksand_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicksand_bgp.dir/bgp/as_graph.cpp.o"
+  "CMakeFiles/quicksand_bgp.dir/bgp/as_graph.cpp.o.d"
+  "CMakeFiles/quicksand_bgp.dir/bgp/churn.cpp.o"
+  "CMakeFiles/quicksand_bgp.dir/bgp/churn.cpp.o.d"
+  "CMakeFiles/quicksand_bgp.dir/bgp/collector.cpp.o"
+  "CMakeFiles/quicksand_bgp.dir/bgp/collector.cpp.o.d"
+  "CMakeFiles/quicksand_bgp.dir/bgp/dynamics_gen.cpp.o"
+  "CMakeFiles/quicksand_bgp.dir/bgp/dynamics_gen.cpp.o.d"
+  "CMakeFiles/quicksand_bgp.dir/bgp/hijack.cpp.o"
+  "CMakeFiles/quicksand_bgp.dir/bgp/hijack.cpp.o.d"
+  "CMakeFiles/quicksand_bgp.dir/bgp/mrt.cpp.o"
+  "CMakeFiles/quicksand_bgp.dir/bgp/mrt.cpp.o.d"
+  "CMakeFiles/quicksand_bgp.dir/bgp/path.cpp.o"
+  "CMakeFiles/quicksand_bgp.dir/bgp/path.cpp.o.d"
+  "CMakeFiles/quicksand_bgp.dir/bgp/policy.cpp.o"
+  "CMakeFiles/quicksand_bgp.dir/bgp/policy.cpp.o.d"
+  "CMakeFiles/quicksand_bgp.dir/bgp/relationship_inference.cpp.o"
+  "CMakeFiles/quicksand_bgp.dir/bgp/relationship_inference.cpp.o.d"
+  "CMakeFiles/quicksand_bgp.dir/bgp/rib.cpp.o"
+  "CMakeFiles/quicksand_bgp.dir/bgp/rib.cpp.o.d"
+  "CMakeFiles/quicksand_bgp.dir/bgp/route_computation.cpp.o"
+  "CMakeFiles/quicksand_bgp.dir/bgp/route_computation.cpp.o.d"
+  "CMakeFiles/quicksand_bgp.dir/bgp/session_reset.cpp.o"
+  "CMakeFiles/quicksand_bgp.dir/bgp/session_reset.cpp.o.d"
+  "CMakeFiles/quicksand_bgp.dir/bgp/topology_gen.cpp.o"
+  "CMakeFiles/quicksand_bgp.dir/bgp/topology_gen.cpp.o.d"
+  "CMakeFiles/quicksand_bgp.dir/bgp/update.cpp.o"
+  "CMakeFiles/quicksand_bgp.dir/bgp/update.cpp.o.d"
+  "libquicksand_bgp.a"
+  "libquicksand_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicksand_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

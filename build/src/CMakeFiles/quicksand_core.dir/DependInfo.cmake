@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adversary.cpp" "src/CMakeFiles/quicksand_core.dir/core/adversary.cpp.o" "gcc" "src/CMakeFiles/quicksand_core.dir/core/adversary.cpp.o.d"
+  "/root/repo/src/core/advisor.cpp" "src/CMakeFiles/quicksand_core.dir/core/advisor.cpp.o" "gcc" "src/CMakeFiles/quicksand_core.dir/core/advisor.cpp.o.d"
+  "/root/repo/src/core/anonymity.cpp" "src/CMakeFiles/quicksand_core.dir/core/anonymity.cpp.o" "gcc" "src/CMakeFiles/quicksand_core.dir/core/anonymity.cpp.o.d"
+  "/root/repo/src/core/attack_analysis.cpp" "src/CMakeFiles/quicksand_core.dir/core/attack_analysis.cpp.o" "gcc" "src/CMakeFiles/quicksand_core.dir/core/attack_analysis.cpp.o.d"
+  "/root/repo/src/core/correlation_attack.cpp" "src/CMakeFiles/quicksand_core.dir/core/correlation_attack.cpp.o" "gcc" "src/CMakeFiles/quicksand_core.dir/core/correlation_attack.cpp.o.d"
+  "/root/repo/src/core/exposure.cpp" "src/CMakeFiles/quicksand_core.dir/core/exposure.cpp.o" "gcc" "src/CMakeFiles/quicksand_core.dir/core/exposure.cpp.o.d"
+  "/root/repo/src/core/longterm.cpp" "src/CMakeFiles/quicksand_core.dir/core/longterm.cpp.o" "gcc" "src/CMakeFiles/quicksand_core.dir/core/longterm.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/CMakeFiles/quicksand_core.dir/core/monitor.cpp.o" "gcc" "src/CMakeFiles/quicksand_core.dir/core/monitor.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/quicksand_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/quicksand_core.dir/core/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quicksand_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quicksand_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quicksand_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quicksand_tor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quicksand_traffic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicksand_core.dir/core/adversary.cpp.o"
+  "CMakeFiles/quicksand_core.dir/core/adversary.cpp.o.d"
+  "CMakeFiles/quicksand_core.dir/core/advisor.cpp.o"
+  "CMakeFiles/quicksand_core.dir/core/advisor.cpp.o.d"
+  "CMakeFiles/quicksand_core.dir/core/anonymity.cpp.o"
+  "CMakeFiles/quicksand_core.dir/core/anonymity.cpp.o.d"
+  "CMakeFiles/quicksand_core.dir/core/attack_analysis.cpp.o"
+  "CMakeFiles/quicksand_core.dir/core/attack_analysis.cpp.o.d"
+  "CMakeFiles/quicksand_core.dir/core/correlation_attack.cpp.o"
+  "CMakeFiles/quicksand_core.dir/core/correlation_attack.cpp.o.d"
+  "CMakeFiles/quicksand_core.dir/core/exposure.cpp.o"
+  "CMakeFiles/quicksand_core.dir/core/exposure.cpp.o.d"
+  "CMakeFiles/quicksand_core.dir/core/longterm.cpp.o"
+  "CMakeFiles/quicksand_core.dir/core/longterm.cpp.o.d"
+  "CMakeFiles/quicksand_core.dir/core/monitor.cpp.o"
+  "CMakeFiles/quicksand_core.dir/core/monitor.cpp.o.d"
+  "CMakeFiles/quicksand_core.dir/core/report.cpp.o"
+  "CMakeFiles/quicksand_core.dir/core/report.cpp.o.d"
+  "libquicksand_core.a"
+  "libquicksand_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicksand_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

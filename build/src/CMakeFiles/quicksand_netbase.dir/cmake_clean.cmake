@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicksand_netbase.dir/netbase/ipv4.cpp.o"
+  "CMakeFiles/quicksand_netbase.dir/netbase/ipv4.cpp.o.d"
+  "CMakeFiles/quicksand_netbase.dir/netbase/prefix.cpp.o"
+  "CMakeFiles/quicksand_netbase.dir/netbase/prefix.cpp.o.d"
+  "libquicksand_netbase.a"
+  "libquicksand_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicksand_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

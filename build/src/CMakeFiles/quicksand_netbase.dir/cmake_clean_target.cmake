@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libquicksand_netbase.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tor/as_aware_selection.cpp" "src/CMakeFiles/quicksand_tor.dir/tor/as_aware_selection.cpp.o" "gcc" "src/CMakeFiles/quicksand_tor.dir/tor/as_aware_selection.cpp.o.d"
+  "/root/repo/src/tor/circuit.cpp" "src/CMakeFiles/quicksand_tor.dir/tor/circuit.cpp.o" "gcc" "src/CMakeFiles/quicksand_tor.dir/tor/circuit.cpp.o.d"
+  "/root/repo/src/tor/client.cpp" "src/CMakeFiles/quicksand_tor.dir/tor/client.cpp.o" "gcc" "src/CMakeFiles/quicksand_tor.dir/tor/client.cpp.o.d"
+  "/root/repo/src/tor/consensus.cpp" "src/CMakeFiles/quicksand_tor.dir/tor/consensus.cpp.o" "gcc" "src/CMakeFiles/quicksand_tor.dir/tor/consensus.cpp.o.d"
+  "/root/repo/src/tor/consensus_gen.cpp" "src/CMakeFiles/quicksand_tor.dir/tor/consensus_gen.cpp.o" "gcc" "src/CMakeFiles/quicksand_tor.dir/tor/consensus_gen.cpp.o.d"
+  "/root/repo/src/tor/path_selection.cpp" "src/CMakeFiles/quicksand_tor.dir/tor/path_selection.cpp.o" "gcc" "src/CMakeFiles/quicksand_tor.dir/tor/path_selection.cpp.o.d"
+  "/root/repo/src/tor/prefix_map.cpp" "src/CMakeFiles/quicksand_tor.dir/tor/prefix_map.cpp.o" "gcc" "src/CMakeFiles/quicksand_tor.dir/tor/prefix_map.cpp.o.d"
+  "/root/repo/src/tor/relay.cpp" "src/CMakeFiles/quicksand_tor.dir/tor/relay.cpp.o" "gcc" "src/CMakeFiles/quicksand_tor.dir/tor/relay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quicksand_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quicksand_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quicksand_bgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicksand_tor.dir/tor/as_aware_selection.cpp.o"
+  "CMakeFiles/quicksand_tor.dir/tor/as_aware_selection.cpp.o.d"
+  "CMakeFiles/quicksand_tor.dir/tor/circuit.cpp.o"
+  "CMakeFiles/quicksand_tor.dir/tor/circuit.cpp.o.d"
+  "CMakeFiles/quicksand_tor.dir/tor/client.cpp.o"
+  "CMakeFiles/quicksand_tor.dir/tor/client.cpp.o.d"
+  "CMakeFiles/quicksand_tor.dir/tor/consensus.cpp.o"
+  "CMakeFiles/quicksand_tor.dir/tor/consensus.cpp.o.d"
+  "CMakeFiles/quicksand_tor.dir/tor/consensus_gen.cpp.o"
+  "CMakeFiles/quicksand_tor.dir/tor/consensus_gen.cpp.o.d"
+  "CMakeFiles/quicksand_tor.dir/tor/path_selection.cpp.o"
+  "CMakeFiles/quicksand_tor.dir/tor/path_selection.cpp.o.d"
+  "CMakeFiles/quicksand_tor.dir/tor/prefix_map.cpp.o"
+  "CMakeFiles/quicksand_tor.dir/tor/prefix_map.cpp.o.d"
+  "CMakeFiles/quicksand_tor.dir/tor/relay.cpp.o"
+  "CMakeFiles/quicksand_tor.dir/tor/relay.cpp.o.d"
+  "libquicksand_tor.a"
+  "libquicksand_tor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicksand_tor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/flow_sim.cpp" "src/CMakeFiles/quicksand_traffic.dir/traffic/flow_sim.cpp.o" "gcc" "src/CMakeFiles/quicksand_traffic.dir/traffic/flow_sim.cpp.o.d"
+  "/root/repo/src/traffic/tcp.cpp" "src/CMakeFiles/quicksand_traffic.dir/traffic/tcp.cpp.o" "gcc" "src/CMakeFiles/quicksand_traffic.dir/traffic/tcp.cpp.o.d"
+  "/root/repo/src/traffic/trace.cpp" "src/CMakeFiles/quicksand_traffic.dir/traffic/trace.cpp.o" "gcc" "src/CMakeFiles/quicksand_traffic.dir/traffic/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quicksand_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quicksand_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicksand_traffic.dir/traffic/flow_sim.cpp.o"
+  "CMakeFiles/quicksand_traffic.dir/traffic/flow_sim.cpp.o.d"
+  "CMakeFiles/quicksand_traffic.dir/traffic/tcp.cpp.o"
+  "CMakeFiles/quicksand_traffic.dir/traffic/tcp.cpp.o.d"
+  "CMakeFiles/quicksand_traffic.dir/traffic/trace.cpp.o"
+  "CMakeFiles/quicksand_traffic.dir/traffic/trace.cpp.o.d"
+  "libquicksand_traffic.a"
+  "libquicksand_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicksand_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicksand_util.dir/util/csv.cpp.o"
+  "CMakeFiles/quicksand_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/quicksand_util.dir/util/stats.cpp.o"
+  "CMakeFiles/quicksand_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/quicksand_util.dir/util/table.cpp.o"
+  "CMakeFiles/quicksand_util.dir/util/table.cpp.o.d"
+  "libquicksand_util.a"
+  "libquicksand_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicksand_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

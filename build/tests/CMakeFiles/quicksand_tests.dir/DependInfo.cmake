@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bgp/as_graph_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/bgp/as_graph_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/bgp/as_graph_test.cpp.o.d"
+  "/root/repo/tests/bgp/churn_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/bgp/churn_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/bgp/churn_test.cpp.o.d"
+  "/root/repo/tests/bgp/collector_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/bgp/collector_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/bgp/collector_test.cpp.o.d"
+  "/root/repo/tests/bgp/dynamics_gen_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/bgp/dynamics_gen_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/bgp/dynamics_gen_test.cpp.o.d"
+  "/root/repo/tests/bgp/hijack_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/bgp/hijack_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/bgp/hijack_test.cpp.o.d"
+  "/root/repo/tests/bgp/path_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/bgp/path_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/bgp/path_test.cpp.o.d"
+  "/root/repo/tests/bgp/relationship_inference_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/bgp/relationship_inference_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/bgp/relationship_inference_test.cpp.o.d"
+  "/root/repo/tests/bgp/rib_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/bgp/rib_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/bgp/rib_test.cpp.o.d"
+  "/root/repo/tests/bgp/route_computation_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/bgp/route_computation_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/bgp/route_computation_test.cpp.o.d"
+  "/root/repo/tests/bgp/route_stability_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/bgp/route_stability_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/bgp/route_stability_test.cpp.o.d"
+  "/root/repo/tests/bgp/session_reset_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/bgp/session_reset_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/bgp/session_reset_test.cpp.o.d"
+  "/root/repo/tests/bgp/topology_gen_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/bgp/topology_gen_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/bgp/topology_gen_test.cpp.o.d"
+  "/root/repo/tests/bgp/update_mrt_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/bgp/update_mrt_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/bgp/update_mrt_test.cpp.o.d"
+  "/root/repo/tests/core/adversary_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/core/adversary_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/core/adversary_test.cpp.o.d"
+  "/root/repo/tests/core/advisor_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/core/advisor_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/core/advisor_test.cpp.o.d"
+  "/root/repo/tests/core/anonymity_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/core/anonymity_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/core/anonymity_test.cpp.o.d"
+  "/root/repo/tests/core/attack_analysis_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/core/attack_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/core/attack_analysis_test.cpp.o.d"
+  "/root/repo/tests/core/correlation_attack_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/core/correlation_attack_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/core/correlation_attack_test.cpp.o.d"
+  "/root/repo/tests/core/exposure_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/core/exposure_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/core/exposure_test.cpp.o.d"
+  "/root/repo/tests/core/longterm_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/core/longterm_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/core/longterm_test.cpp.o.d"
+  "/root/repo/tests/core/monitor_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/core/monitor_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/core/monitor_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/integration/pipeline_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/integration/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/integration/pipeline_test.cpp.o.d"
+  "/root/repo/tests/netbase/ipv4_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/netbase/ipv4_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/netbase/ipv4_test.cpp.o.d"
+  "/root/repo/tests/netbase/prefix_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/netbase/prefix_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/netbase/prefix_test.cpp.o.d"
+  "/root/repo/tests/netbase/prefix_trie_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/netbase/prefix_trie_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/netbase/prefix_trie_test.cpp.o.d"
+  "/root/repo/tests/netbase/rng_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/netbase/rng_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/netbase/rng_test.cpp.o.d"
+  "/root/repo/tests/netbase/sim_time_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/netbase/sim_time_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/netbase/sim_time_test.cpp.o.d"
+  "/root/repo/tests/tor/as_aware_selection_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/tor/as_aware_selection_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/tor/as_aware_selection_test.cpp.o.d"
+  "/root/repo/tests/tor/client_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/tor/client_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/tor/client_test.cpp.o.d"
+  "/root/repo/tests/tor/consensus_gen_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/tor/consensus_gen_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/tor/consensus_gen_test.cpp.o.d"
+  "/root/repo/tests/tor/consensus_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/tor/consensus_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/tor/consensus_test.cpp.o.d"
+  "/root/repo/tests/tor/path_selection_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/tor/path_selection_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/tor/path_selection_test.cpp.o.d"
+  "/root/repo/tests/tor/prefix_map_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/tor/prefix_map_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/tor/prefix_map_test.cpp.o.d"
+  "/root/repo/tests/tor/relay_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/tor/relay_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/tor/relay_test.cpp.o.d"
+  "/root/repo/tests/traffic/flow_sim_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/traffic/flow_sim_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/traffic/flow_sim_test.cpp.o.d"
+  "/root/repo/tests/traffic/tcp_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/traffic/tcp_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/traffic/tcp_test.cpp.o.d"
+  "/root/repo/tests/traffic/trace_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/traffic/trace_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/traffic/trace_test.cpp.o.d"
+  "/root/repo/tests/util/csv_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/util/csv_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/util/csv_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/quicksand_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/quicksand_tests.dir/util/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/quicksand_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quicksand_tor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quicksand_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quicksand_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quicksand_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/quicksand_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
