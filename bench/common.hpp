@@ -8,12 +8,23 @@
 // month of routing dynamics generate it on top. Everything is seeded, so
 // each bench is reproducible in isolation.
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "bgp/collector.hpp"
 #include "bgp/dynamics_gen.hpp"
 #include "bgp/topology_gen.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stopwatch.hpp"
+#include "obs/trace.hpp"
 #include "tor/consensus_gen.hpp"
 #include "tor/prefix_map.hpp"
 #include "util/table.hpp"
@@ -66,5 +77,160 @@ inline void PrintComparison(util::Table& table, const std::string& metric,
                             const std::string& paper, const std::string& measured) {
   table.AddRow({metric, paper, measured});
 }
+
+/// Per-binary bench harness: parses the shared CLI flags, times named
+/// phases, accumulates paper-vs-measured rows and scalar results, and on
+/// Finish() writes the machine-readable summary.
+///
+///   --json <path>    write a "quicksand-bench-v1" JSON summary
+///   --trace <path>   stream pipeline phases as trace_event JSONL
+///
+/// The JSON summary separates wall-clock timing (phases / *_ms
+/// histograms) from the deterministic metric snapshot, so two seeded runs
+/// compare equal outside the timing fields (scripts/check_bench_json.py).
+class BenchContext {
+ public:
+  BenchContext(int argc, char** argv, std::string experiment, std::string claim)
+      : experiment_(std::move(experiment)), claim_(std::move(claim)) {
+    ParseArgs(argc, argv);
+    if (!trace_path_.empty()) {
+      try {
+        trace_ = std::make_unique<obs::TraceSink>(trace_path_);
+      } catch (const std::runtime_error& error) {
+        std::cerr << "cannot open --trace path " << trace_path_ << ": "
+                  << error.what() << "\n";
+        std::exit(2);
+      }
+      obs::SetGlobalTrace(trace_.get());
+    }
+    PrintHeader(experiment_, claim_);
+  }
+
+  BenchContext(const BenchContext&) = delete;
+  BenchContext& operator=(const BenchContext&) = delete;
+
+  ~BenchContext() {
+    if (trace_ != nullptr) obs::SetGlobalTrace(nullptr);
+  }
+
+  /// Runs `fn`, records its wall time as a named phase (and under the
+  /// `bench.phase_ms` histogram), and returns whatever `fn` returns.
+  /// Returning through here lets phases wrap the construction of
+  /// non-default-constructible values (Scenario, CollectorSet, ...).
+  template <typename Fn>
+  auto Timed(const std::string& phase, Fn&& fn) {
+    const obs::ScopedPhase trace_phase(obs::GlobalTrace(), "bench." + phase);
+    obs::Histogram& phase_hist =
+        obs::MetricsRegistry::Global().GetHistogram("bench.phase_ms");
+    const obs::Stopwatch watch;
+    if constexpr (std::is_void_v<std::invoke_result_t<Fn&>>) {
+      fn();
+      const double ms = watch.ElapsedMs();
+      phase_hist.Observe(ms);
+      phases_.emplace_back(phase, ms);
+    } else {
+      auto result = fn();
+      const double ms = watch.ElapsedMs();
+      phase_hist.Observe(ms);
+      phases_.emplace_back(phase, ms);
+      return result;
+    }
+  }
+
+  /// Adds a paper-vs-measured row to both the text table and the JSON
+  /// summary's "comparisons" array.
+  void Comparison(util::Table& table, const std::string& metric,
+                  const std::string& paper, const std::string& measured) {
+    PrintComparison(table, metric, paper, measured);
+    comparisons_.push_back({metric, paper, measured});
+  }
+
+  /// Records a scalar experiment result for the JSON summary's "results"
+  /// object (insertion-ordered).
+  void Result(const std::string& key, obs::JsonValue value) {
+    results_.Set(key, std::move(value));
+  }
+
+  /// Writes the JSON summary (when --json was given). Call once, last.
+  void Finish() {
+    if (json_path_.empty()) return;
+    obs::JsonValue doc = obs::JsonValue::Object();
+    doc.Set("schema", "quicksand-bench-v1");
+    doc.Set("experiment", experiment_);
+    doc.Set("claim", claim_);
+    obs::JsonValue phases = obs::JsonValue::Array();
+    for (const auto& [name, wall_ms] : phases_) {
+      obs::JsonValue phase = obs::JsonValue::Object();
+      phase.Set("name", name);
+      phase.Set("wall_ms", wall_ms);
+      phases.Append(std::move(phase));
+    }
+    doc.Set("phases", std::move(phases));
+    doc.Set("total_wall_ms", total_.ElapsedMs());
+    const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+    obs::JsonValue metrics = snapshot.ToJson();
+    for (auto& [key, value] : metrics.members()) {
+      doc.Set(key, value);
+    }
+    obs::JsonValue comparisons = obs::JsonValue::Array();
+    for (const auto& row : comparisons_) {
+      obs::JsonValue entry = obs::JsonValue::Object();
+      entry.Set("metric", row.metric);
+      entry.Set("paper", row.paper);
+      entry.Set("measured", row.measured);
+      comparisons.Append(std::move(entry));
+    }
+    doc.Set("comparisons", std::move(comparisons));
+    doc.Set("results", results_);
+    std::ofstream out(json_path_);
+    if (!out) {
+      throw std::runtime_error("BenchContext: cannot open " + json_path_);
+    }
+    out << doc.Dump(2) << '\n';
+    std::cout << "\nJSON summary written to " << json_path_ << "\n";
+  }
+
+  [[nodiscard]] const std::string& json_path() const noexcept { return json_path_; }
+
+ private:
+  struct ComparisonRow {
+    std::string metric;
+    std::string paper;
+    std::string measured;
+  };
+
+  void ParseArgs(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        json_path_ = argv[++i];
+        // Fail before the experiment runs, not minutes later in Finish().
+        if (!std::ofstream(json_path_, std::ios::app)) {
+          std::cerr << "cannot open --json path " << json_path_ << "\n";
+          std::exit(2);
+        }
+      } else if (arg == "--trace" && i + 1 < argc) {
+        trace_path_ = argv[++i];
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << "usage: " << argv[0] << " [--json <path>] [--trace <path>]\n";
+        std::exit(0);
+      } else {
+        std::cerr << "unknown argument: " << arg << "\n"
+                  << "usage: " << argv[0] << " [--json <path>] [--trace <path>]\n";
+        std::exit(2);
+      }
+    }
+  }
+
+  std::string experiment_;
+  std::string claim_;
+  std::string json_path_;
+  std::string trace_path_;
+  std::unique_ptr<obs::TraceSink> trace_;
+  obs::Stopwatch total_;
+  std::vector<std::pair<std::string, double>> phases_;
+  std::vector<ComparisonRow> comparisons_;
+  obs::JsonValue results_ = obs::JsonValue::Object();
+};
 
 }  // namespace quicksand::bench

@@ -12,16 +12,20 @@
 #include "core/report.hpp"
 #include "util/csv.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace quicksand;
 
-  bench::PrintHeader("Figure 2 (left) — AS concentration of guard/exit relays",
-                     "5 ASes host ~20% of Tor guards and exit relays");
+  bench::BenchContext ctx(argc, argv,
+                          "Figure 2 (left) — AS concentration of guard/exit relays",
+                          "5 ASes host ~20% of Tor guards and exit relays");
 
-  const bench::Scenario scenario = bench::MakePaperScenario();
-  const auto per_as =
-      scenario.prefix_map.GuardExitRelaysPerAs(scenario.consensus.consensus);
-  const auto curve = core::ConcentrationCurve(per_as);
+  const bench::Scenario scenario =
+      ctx.Timed("scenario", [] { return bench::MakePaperScenario(); });
+  const auto curve = ctx.Timed("concentration", [&] {
+    const auto per_as =
+        scenario.prefix_map.GuardExitRelaysPerAs(scenario.consensus.consensus);
+    return core::ConcentrationCurve(per_as);
+  });
 
   util::PrintBanner(std::cout, "concentration curve (x ASes host y% of relays)");
   util::Table table({"# of ASes", "% of guard/exit relays"});
@@ -35,11 +39,11 @@ int main() {
 
   util::PrintBanner(std::cout, "paper vs measured");
   util::Table comparison({"metric", "paper", "measured"});
-  bench::PrintComparison(comparison, "share hosted by top 5 ASes", "~20%",
-                         util::FormatPercent(core::TopAsShare(curve, 5), 1));
-  bench::PrintComparison(comparison, "distinct host ASes", "650 (of ~47k)",
-                         std::to_string(curve.size()) + " (of " +
-                             std::to_string(scenario.topology.graph.AsCount()) + ")");
+  ctx.Comparison(comparison, "share hosted by top 5 ASes", "~20%",
+                 util::FormatPercent(core::TopAsShare(curve, 5), 1));
+  ctx.Comparison(comparison, "distinct host ASes", "650 (of ~47k)",
+                 std::to_string(curve.size()) + " (of " +
+                     std::to_string(scenario.topology.graph.AsCount()) + ")");
   std::cout << comparison.Render();
 
   util::CsvWriter csv("fig2_left.csv", {"as_rank", "cumulative_fraction"});
@@ -47,5 +51,9 @@ int main() {
     csv.WriteRow({static_cast<double>(point.as_count), point.fraction});
   }
   std::cout << "\nwrote fig2_left.csv (" << curve.size() << " points)\n";
+
+  ctx.Result("top5_share", core::TopAsShare(curve, 5));
+  ctx.Result("distinct_host_ases", static_cast<std::uint64_t>(curve.size()));
+  ctx.Finish();
   return 0;
 }

@@ -16,15 +16,16 @@
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace quicksand;
 
-  bench::PrintHeader(
-      "Figure 2 (right) — MB sent/acknowledged on all four segments",
+  bench::BenchContext ctx(
+      argc, argv, "Figure 2 (right) — MB sent/acknowledged on all four segments",
       "series at both ends, in either direction, are nearly identical over time");
 
   traffic::FlowSimParams flow;  // defaults: 40 MB download, ~1.5 MB/s bottleneck
-  const traffic::FlowTraces traces = traffic::SimulateTransfer(flow);
+  const traffic::FlowTraces traces =
+      ctx.Timed("flow_sim", [&] { return traffic::SimulateTransfer(flow); });
   const double duration = traces.completion_time_s + 1.0;
   std::cout << "  transfer: " << (flow.file_bytes >> 20) << " MB download, completed in "
             << util::FormatDouble(traces.completion_time_s, 1) << " s\n";
@@ -57,12 +58,14 @@ int main() {
   const std::vector<std::vector<double>> binned = {guard_to_client, client_to_guard,
                                                    server_to_exit, exit_to_server};
   util::Table corr_table({"segment A", "segment B", "Pearson r"});
-  for (std::size_t i = 0; i < binned.size(); ++i) {
-    for (std::size_t j = i + 1; j < binned.size(); ++j) {
-      corr_table.AddRow({names[i], names[j],
-                         util::FormatDouble(core::MaxLagCorrelation(binned[i], binned[j], 2), 4)});
+  ctx.Timed("correlations", [&] {
+    for (std::size_t i = 0; i < binned.size(); ++i) {
+      for (std::size_t j = i + 1; j < binned.size(); ++j) {
+        corr_table.AddRow({names[i], names[j],
+                           util::FormatDouble(core::MaxLagCorrelation(binned[i], binned[j], 2), 4)});
+      }
     }
-  }
+  });
   std::cout << corr_table.Render();
 
   util::PrintBanner(std::cout, "bin-width ablation (entry acks vs exit data)");
@@ -75,16 +78,15 @@ int main() {
   }
   std::cout << ablation.Render();
 
+  const double cross_end_r = core::MaxLagCorrelation(binned[1], binned[2], 2);
+
   util::PrintBanner(std::cout, "paper vs measured");
   util::Table comparison({"metric", "paper", "measured"});
-  bench::PrintComparison(
-      comparison, "transfer duration", "~30 s for ~40 MB",
-      util::FormatDouble(traces.completion_time_s, 0) + " s for " +
-          std::to_string(flow.file_bytes >> 20) + " MB");
-  bench::PrintComparison(
-      comparison, "series agreement", "\"nearly identical\"",
-      "min pairwise r = " +
-          util::FormatDouble(core::MaxLagCorrelation(binned[1], binned[2], 2), 3));
+  ctx.Comparison(comparison, "transfer duration", "~30 s for ~40 MB",
+                 util::FormatDouble(traces.completion_time_s, 0) + " s for " +
+                     std::to_string(flow.file_bytes >> 20) + " MB");
+  ctx.Comparison(comparison, "series agreement", "\"nearly identical\"",
+                 "min pairwise r = " + util::FormatDouble(cross_end_r, 3));
   std::cout << comparison.Render();
 
   util::CsvWriter csv("fig2_right.csv",
@@ -95,5 +97,9 @@ int main() {
                   cumulative[2][t], cumulative[3][t]});
   }
   std::cout << "\nwrote fig2_right.csv (" << cumulative[0].size() << " rows)\n";
+
+  ctx.Result("completion_time_s", traces.completion_time_s);
+  ctx.Result("cross_end_correlation", cross_end_r);
+  ctx.Finish();
   return 0;
 }

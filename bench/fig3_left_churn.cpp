@@ -35,26 +35,33 @@ std::vector<double> RatiosFromStream(const bench::Scenario& scenario,
 
 }  // namespace
 
-int main() {
-  bench::PrintHeader(
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(
+      argc, argv,
       "Figure 3 (left) — Tor-prefix path changes relative to the session median",
       ">50% of Tor prefixes see more changes than the per-session median; "
       "heavy tail up to ~2000x");
 
-  const bench::Scenario scenario = bench::MakePaperScenario();
-  const bgp::GeneratedDynamics dynamics = bench::MakeMonthOfDynamics(scenario);
+  const bench::Scenario scenario =
+      ctx.Timed("scenario", [] { return bench::MakePaperScenario(); });
+  const bgp::GeneratedDynamics dynamics =
+      ctx.Timed("dynamics", [&] { return bench::MakeMonthOfDynamics(scenario); });
   std::cout << "  dataset: " << dynamics.updates.size() << " updates on "
             << scenario.collectors.SessionCount() << " sessions over one month\n";
 
-  const auto filtered =
-      bgp::FilterSessionResets(dynamics.initial_rib, dynamics.updates);
+  const auto filtered = ctx.Timed("reset_filter", [&] {
+    return bgp::FilterSessionResets(dynamics.initial_rib, dynamics.updates);
+  });
   std::cout << "  reset filter: " << filtered.stats.bursts_detected << " bursts, "
             << filtered.stats.burst_updates_removed << " burst updates and "
             << filtered.stats.duplicates_removed << " duplicates removed\n";
 
-  const auto ratios = RatiosFromStream(scenario, dynamics.initial_rib, filtered.updates);
-  const auto raw_ratios =
-      RatiosFromStream(scenario, dynamics.initial_rib, dynamics.updates);
+  const auto ratios = ctx.Timed("churn_filtered", [&] {
+    return RatiosFromStream(scenario, dynamics.initial_rib, filtered.updates);
+  });
+  const auto raw_ratios = ctx.Timed("churn_unfiltered", [&] {
+    return RatiosFromStream(scenario, dynamics.initial_rib, dynamics.updates);
+  });
 
   util::PrintBanner(std::cout, "CCDF of ratio (filtered stream)");
   core::PrintCcdf(std::cout, util::Ccdf(ratios), "changes / session median", 18);
@@ -71,15 +78,17 @@ int main() {
   }
   std::cout << ablation.Render();
 
+  const double fraction_above_one = util::FractionAtLeast(ratios, 1.0 + 1e-9);
+  const double max_ratio = *std::max_element(ratios.begin(), ratios.end());
+
   util::PrintBanner(std::cout, "paper vs measured (filtered)");
   util::Table comparison({"metric", "paper", "measured"});
-  bench::PrintComparison(comparison, "Tor (session,prefix) pairs with ratio > 1",
-                         ">50%",
-                         util::FormatPercent(util::FractionAtLeast(ratios, 1.0 + 1e-9), 1));
-  bench::PrintComparison(
-      comparison, "worst Tor prefix vs median", "~2000x (178.239.176.0/20)",
-      util::FormatDouble(*std::max_element(ratios.begin(), ratios.end()), 0) + "x");
-  bench::PrintComparison(
+  ctx.Comparison(comparison, "Tor (session,prefix) pairs with ratio > 1", ">50%",
+                 util::FormatPercent(fraction_above_one, 1));
+  ctx.Comparison(comparison, "worst Tor prefix vs median",
+                 "~2000x (178.239.176.0/20)",
+                 util::FormatDouble(max_ratio, 0) + "x");
+  ctx.Comparison(
       comparison, "Tor prefixes above median on >=1 session", "90%", [&] {
         // Group ratios per prefix across sessions via a second pass.
         bgp::ChurnAnalyzer analyzer;
@@ -118,5 +127,11 @@ int main() {
     csv.WriteRow({point.value, point.fraction});
   }
   std::cout << "\nwrote fig3_left.csv\n";
+
+  ctx.Result("updates_generated", static_cast<std::uint64_t>(dynamics.updates.size()));
+  ctx.Result("fraction_ratio_above_one", fraction_above_one);
+  ctx.Result("max_ratio", max_ratio);
+  ctx.Result("median_ratio_filtered", util::Median(ratios));
+  ctx.Finish();
   return 0;
 }

@@ -61,18 +61,23 @@ ExtraSeries ExtraAsCounts(const bench::Scenario& scenario,
 
 }  // namespace
 
-int main() {
-  bench::PrintHeader(
-      "Figure 3 (right) — extra ASes (>=5 min dwell) seeing Tor traffic",
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(
+      argc, argv, "Figure 3 (right) — extra ASes (>=5 min dwell) seeing Tor traffic",
       "50% of cases gain >=2 extra on-path ASes over a month; 8% gain more than 5");
 
-  const bench::Scenario scenario = bench::MakePaperScenario();
-  const bgp::GeneratedDynamics dynamics = bench::MakeMonthOfDynamics(scenario);
-  const auto filtered =
-      bgp::FilterSessionResets(dynamics.initial_rib, dynamics.updates);
+  const bench::Scenario scenario =
+      ctx.Timed("scenario", [] { return bench::MakePaperScenario(); });
+  const bgp::GeneratedDynamics dynamics =
+      ctx.Timed("dynamics", [&] { return bench::MakeMonthOfDynamics(scenario); });
+  const auto filtered = ctx.Timed("reset_filter", [&] {
+    return bgp::FilterSessionResets(dynamics.initial_rib, dynamics.updates);
+  });
 
-  const ExtraSeries counts = ExtraAsCounts(scenario, dynamics, filtered.updates,
-                                           netbase::duration::kAttackDwellThreshold);
+  const ExtraSeries counts = ctx.Timed("churn_5min", [&] {
+    return ExtraAsCounts(scenario, dynamics, filtered.updates,
+                         netbase::duration::kAttackDwellThreshold);
+  });
 
   util::PrintBanner(std::cout,
                     "CCDF, one case per (session, prefix) vantage — 5-minute dwell");
@@ -107,16 +112,18 @@ int main() {
 
   util::PrintBanner(std::cout, "dwell-threshold ablation (per-vantage cases)");
   util::Table ablation({"dwell threshold", "P(>=2 extra)", "P(>5 extra)", "median"});
-  for (const auto& [label, threshold] :
-       {std::pair{"1 minute", netbase::duration::kMinute},
-        std::pair{"5 minutes (paper)", netbase::duration::kAttackDwellThreshold},
-        std::pair{"15 minutes", 15 * netbase::duration::kMinute}}) {
-    const auto series =
-        ExtraAsCounts(scenario, dynamics, filtered.updates, threshold).per_pair;
-    ablation.AddRow({label, util::FormatPercent(util::FractionAtLeast(series, 2), 1),
-                     util::FormatPercent(util::FractionAtLeast(series, 6), 1),
-                     util::FormatDouble(util::Median(series), 1)});
-  }
+  ctx.Timed("dwell_ablation", [&] {
+    for (const auto& [label, threshold] :
+         {std::pair{"1 minute", netbase::duration::kMinute},
+          std::pair{"5 minutes (paper)", netbase::duration::kAttackDwellThreshold},
+          std::pair{"15 minutes", 15 * netbase::duration::kMinute}}) {
+      const auto series =
+          ExtraAsCounts(scenario, dynamics, filtered.updates, threshold).per_pair;
+      ablation.AddRow({label, util::FormatPercent(util::FractionAtLeast(series, 2), 1),
+                       util::FormatPercent(util::FractionAtLeast(series, 6), 1),
+                       util::FormatDouble(util::Median(series), 1)});
+    }
+  });
   std::cout << ablation.Render();
 
   util::PrintBanner(std::cout, "paper vs measured (5-minute dwell)");
@@ -161,5 +168,19 @@ int main() {
                   util::FormatDouble(point.fraction, 6)});
   }
   std::cout << "\nwrote fig3_right.csv\n";
+
+  // The comparison table above has 4 columns, so the JSON rows mirror the
+  // per-vantage unit (the paper's likeliest reading).
+  util::Table json_rows({"metric", "paper", "measured"});
+  ctx.Comparison(json_rows, "cases gaining >=2 extra ASes", "~50%",
+                 util::FormatPercent(util::FractionAtLeast(counts.per_pair, 2), 1));
+  ctx.Comparison(json_rows, "cases gaining >5 extra ASes", "~8%",
+                 util::FormatPercent(util::FractionAtLeast(counts.per_pair, 6), 1));
+  ctx.Result("p_at_least_2_extra_per_vantage",
+             util::FractionAtLeast(counts.per_pair, 2));
+  ctx.Result("p_more_than_5_extra_per_vantage",
+             util::FractionAtLeast(counts.per_pair, 6));
+  ctx.Result("median_extra_ases_per_vantage", util::Median(counts.per_pair));
+  ctx.Finish();
   return 0;
 }

@@ -6,7 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
 #include "bgp/hijack.hpp"
+#include "common.hpp"
 #include "bgp/mrt.hpp"
 #include "bgp/route_computation.hpp"
 #include "bgp/topology_gen.hpp"
@@ -136,4 +140,30 @@ BENCHMARK(BM_FlowSimulation)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the shared --json/--trace flags
+// are split off for BenchContext, everything else goes to google-benchmark.
+int main(int argc, char** argv) {
+  std::vector<char*> ours = {argv[0]};
+  std::vector<char*> gbench = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if ((arg == "--json" || arg == "--trace") && i + 1 < argc) {
+      ours.push_back(argv[i]);
+      ours.push_back(argv[++i]);
+    } else {
+      gbench.push_back(argv[i]);
+    }
+  }
+  quicksand::bench::BenchContext ctx(
+      static_cast<int>(ours.size()), ours.data(),
+      "micro-benchmarks — performance-critical substrates",
+      "cost model behind the month-scale experiment benches (trie, routing, "
+      "hijack, correlation, parsing, flow simulation)");
+  int gbench_argc = static_cast<int>(gbench.size());
+  benchmark::Initialize(&gbench_argc, gbench.data());
+  if (benchmark::ReportUnrecognizedArguments(gbench_argc, gbench.data())) return 1;
+  ctx.Timed("benchmarks", [] { benchmark::RunSpecifiedBenchmarks(); });
+  benchmark::Shutdown();
+  ctx.Finish();
+  return 0;
+}

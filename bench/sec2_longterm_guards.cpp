@@ -16,15 +16,16 @@
 #include "core/report.hpp"
 #include "util/csv.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace quicksand;
 
-  bench::PrintHeader(
-      "Section 2 — guard relays vs long-term relay-level adversaries",
+  bench::BenchContext ctx(
+      argc, argv, "Section 2 — guard relays vs long-term relay-level adversaries",
       "without guards P(compromise) -> 1 over time; guards pin fate to a few "
       "relays; more/faster-rotating guards weaken the defence");
 
-  const bench::Scenario scenario = bench::MakePaperScenario();
+  const bench::Scenario scenario =
+      ctx.Timed("scenario", [] { return bench::MakePaperScenario(); });
   const tor::Consensus& consensus = scenario.consensus.consensus;
 
   core::LongTermParams base;
@@ -54,23 +55,27 @@ int main() {
       {"3 guards, 9-month rotation (proposal)", 3, 270},
       {"9 guards, 30-day rotation", 9, 30},
   };
-  for (const PolicyCase& policy : cases) {
-    core::LongTermParams params = base;
-    params.guard_set_size = policy.guards;
-    params.guard_lifetime_s = policy.lifetime_days * netbase::duration::kDay;
-    const core::LongTermResult result =
-        core::SimulateLongTermExposure(consensus, params);
-    table.AddRow({policy.name,
-                  util::FormatPercent(result.cumulative_compromised[89], 1),
-                  util::FormatPercent(result.cumulative_compromised[179], 1),
-                  util::FormatPercent(result.cumulative_compromised[359], 1)});
-    for (std::size_t i = 0; i < result.cumulative_compromised.size(); i += 10) {
-      csv.WriteRow({policy.name, std::to_string(i),
-                    util::FormatDouble(result.cumulative_compromised[i], 5)});
+  ctx.Timed("policy_sweep", [&] {
+    for (const PolicyCase& policy : cases) {
+      core::LongTermParams params = base;
+      params.guard_set_size = policy.guards;
+      params.guard_lifetime_s = policy.lifetime_days * netbase::duration::kDay;
+      const core::LongTermResult result =
+          core::SimulateLongTermExposure(consensus, params);
+      table.AddRow({policy.name,
+                    util::FormatPercent(result.cumulative_compromised[89], 1),
+                    util::FormatPercent(result.cumulative_compromised[179], 1),
+                    util::FormatPercent(result.cumulative_compromised[359], 1)});
+      for (std::size_t i = 0; i < result.cumulative_compromised.size(); i += 10) {
+        csv.WriteRow({policy.name, std::to_string(i),
+                      util::FormatDouble(result.cumulative_compromised[i], 5)});
+      }
+      ctx.Result("compromised_360d[" + policy.name + "]",
+                 result.cumulative_compromised[359]);
+      curves.push_back(result.cumulative_compromised);
+      names.push_back(policy.name);
     }
-    curves.push_back(result.cumulative_compromised);
-    names.push_back(policy.name);
-  }
+  });
   std::cout << table.Render();
 
   util::PrintBanner(std::cout, "cumulative compromise over time");
@@ -78,15 +83,16 @@ int main() {
 
   util::PrintBanner(std::cout, "paper vs measured");
   util::Table comparison({"claim", "paper", "measured"});
-  bench::PrintComparison(comparison, "no guards: P -> 1 over time",
-                         "\"approaches 1\"", "top row, 360-day column");
-  bench::PrintComparison(comparison, "honest guards protect for their lifetime",
-                         "\"cannot be deanonymized for the lifetime\"",
-                         "never-rotated row stays flat after initial split");
-  bench::PrintComparison(comparison, "more guards raise exposure",
-                         "\"limit the number of guard relays\"",
-                         "9-guard row vs 3-guard row");
+  ctx.Comparison(comparison, "no guards: P -> 1 over time",
+                 "\"approaches 1\"", "top row, 360-day column");
+  ctx.Comparison(comparison, "honest guards protect for their lifetime",
+                 "\"cannot be deanonymized for the lifetime\"",
+                 "never-rotated row stays flat after initial split");
+  ctx.Comparison(comparison, "more guards raise exposure",
+                 "\"limit the number of guard relays\"",
+                 "9-guard row vs 3-guard row");
   std::cout << comparison.Render();
   std::cout << "\nwrote sec2_longterm.csv\n";
+  ctx.Finish();
   return 0;
 }

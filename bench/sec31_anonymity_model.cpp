@@ -15,11 +15,11 @@
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace quicksand;
 
-  bench::PrintHeader(
-      "Section 3.1 — compromise probability vs AS exposure",
+  bench::BenchContext ctx(
+      argc, argv, "Section 3.1 — compromise probability vs AS exposure",
       "P = 1-(1-f)^(l*x); guard multiplicity and BGP churn amplify exposure");
 
   util::PrintBanner(std::cout, "closed-form sweep: P(compromise) for l = 3 guards");
@@ -45,19 +45,22 @@ int main() {
 
   // Empirical x: distinct ASes on client<->guard paths, static vs a month
   // of routing variants.
-  const bench::Scenario scenario = bench::MakePaperScenario();
+  const bench::Scenario scenario =
+      ctx.Timed("scenario", [] { return bench::MakePaperScenario(); });
   core::ExposureAnalyzer analyzer(scenario.topology.graph, scenario.topology.policy_salts);
   std::vector<double> x_static, x_monthly;
-  std::size_t sample = 0;
-  for (std::size_t i = 0; i < scenario.topology.eyeballs.size() && i < 24; ++i) {
-    for (std::size_t j = 0; j < scenario.topology.hostings.size() && j < 8; ++j) {
-      const std::uint64_t seed = 9000 + sample++;
-      x_static.push_back(static_cast<double>(analyzer.DistinctEntryAses(
-          scenario.topology.eyeballs[i], scenario.topology.hostings[j], 0, seed)));
-      x_monthly.push_back(static_cast<double>(analyzer.DistinctEntryAses(
-          scenario.topology.eyeballs[i], scenario.topology.hostings[j], 15, seed)));
+  ctx.Timed("empirical_exposure", [&] {
+    std::size_t sample = 0;
+    for (std::size_t i = 0; i < scenario.topology.eyeballs.size() && i < 24; ++i) {
+      for (std::size_t j = 0; j < scenario.topology.hostings.size() && j < 8; ++j) {
+        const std::uint64_t seed = 9000 + sample++;
+        x_static.push_back(static_cast<double>(analyzer.DistinctEntryAses(
+            scenario.topology.eyeballs[i], scenario.topology.hostings[j], 0, seed)));
+        x_monthly.push_back(static_cast<double>(analyzer.DistinctEntryAses(
+            scenario.topology.eyeballs[i], scenario.topology.hostings[j], 15, seed)));
+      }
     }
-  }
+  });
 
   util::PrintBanner(std::cout, "empirical exposure x of client-guard pairs");
   util::Table empirical(
@@ -83,11 +86,11 @@ int main() {
 
   util::PrintBanner(std::cout, "paper vs measured");
   util::Table comparison({"metric", "paper", "measured"});
-  bench::PrintComparison(comparison, "dynamics increase exposure",
-                         "x grows over time; P -> 1",
-                         "mean x: " + util::FormatDouble(s_static.mean, 1) + " -> " +
-                             util::FormatDouble(s_monthly.mean, 1));
-  bench::PrintComparison(
+  ctx.Comparison(comparison, "dynamics increase exposure",
+                 "x grows over time; P -> 1",
+                 "mean x: " + util::FormatDouble(s_static.mean, 1) + " -> " +
+                     util::FormatDouble(s_monthly.mean, 1));
+  ctx.Comparison(
       comparison, "exposure needed for 50% compromise (f=0.01, l=3)", "(model)",
       util::FormatDouble(core::ExposureNeededForProbability(0.01, 3, 0.5), 1) +
           " ASes");
@@ -102,5 +105,9 @@ int main() {
     }
   }
   std::cout << "\nwrote sec31_model.csv\n";
+
+  ctx.Result("mean_x_static", s_static.mean);
+  ctx.Result("mean_x_monthly", s_monthly.mean);
+  ctx.Finish();
   return 0;
 }

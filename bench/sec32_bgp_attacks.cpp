@@ -53,13 +53,15 @@ double ShortestPathCaptureFraction(const bgp::AsGraph& graph, bgp::AsNumber atta
 
 }  // namespace
 
-int main() {
-  bench::PrintHeader(
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(
+      argc, argv,
       "Section 3.2 — prefix hijack and interception against guard prefixes",
       "hijacks narrow the anonymity set; interception keeps connections alive "
       "for exact deanonymization; community scoping trades reach for stealth");
 
-  const bench::Scenario scenario = bench::MakePaperScenario();
+  const bench::Scenario scenario =
+      ctx.Timed("scenario", [] { return bench::MakePaperScenario(); });
   const bgp::AsGraph& graph = scenario.topology.graph;
 
   // Victims: origin ASes of the busiest guard prefixes. Attackers: a
@@ -103,6 +105,7 @@ int main() {
                        "delivered"});
   util::Table table({"attack variant", "mean capture", "mean anonymity-set share",
                      "interception success"});
+  ctx.Timed("attack_matrix", [&] {
   for (const Variant& variant : variants) {
     std::vector<double> captures, anonymity;
     std::size_t delivered = 0, keepalive_runs = 0, runs = 0;
@@ -138,7 +141,10 @@ int main() {
                                                 static_cast<double>(keepalive_runs),
                                             1)
                       : "n/a (blackhole)"});
+    ctx.Result("mean_capture[" + std::string(variant.name) + "]",
+               util::Mean(captures));
   }
+  });
 
   util::PrintBanner(std::cout, "attack matrix over " + std::to_string(victims.size()) +
                                    " guard prefixes x " +
@@ -148,6 +154,7 @@ int main() {
   // Interception forwarding-mode ablation.
   util::PrintBanner(std::cout, "interception forwarding ablation (same-prefix)");
   util::Table forwarding({"forwarding", "delivery success"});
+  ctx.Timed("forwarding_ablation", [&] {
   for (const auto mode :
        {bgp::ForwardingMode::kHopByHop, bgp::ForwardingMode::kTunnel}) {
     std::size_t ok = 0, runs = 0;
@@ -172,24 +179,27 @@ int main() {
                                                static_cast<double>(runs),
                                            1)});
   }
+  });
   std::cout << forwarding.Render();
 
   // Routing-model ablation: policy routing vs shortest path.
   util::PrintBanner(std::cout, "routing-model ablation (same-prefix hijack capture)");
   util::Table routing({"routing model", "mean capture fraction"});
   std::vector<double> policy_captures, spf_captures;
-  for (const auto& [prefix, victim] : victims) {
-    for (bgp::AsNumber attacker : attackers) {
-      if (attacker == victim) continue;
-      bgp::AttackSpec spec;
-      spec.attacker = attacker;
-      spec.victim = victim;
-      spec.victim_prefix = prefix;
-      const bgp::HijackSimulator sim(graph);
-      policy_captures.push_back(sim.Execute(spec).capture_fraction);
-      spf_captures.push_back(ShortestPathCaptureFraction(graph, attacker, victim));
+  ctx.Timed("routing_ablation", [&] {
+    for (const auto& [prefix, victim] : victims) {
+      for (bgp::AsNumber attacker : attackers) {
+        if (attacker == victim) continue;
+        bgp::AttackSpec spec;
+        spec.attacker = attacker;
+        spec.victim = victim;
+        spec.victim_prefix = prefix;
+        const bgp::HijackSimulator sim(graph);
+        policy_captures.push_back(sim.Execute(spec).capture_fraction);
+        spf_captures.push_back(ShortestPathCaptureFraction(graph, attacker, victim));
+      }
     }
-  }
+  });
   routing.AddRow({"Gao-Rexford policies (this work)",
                   util::FormatPercent(util::Mean(policy_captures), 1)});
   routing.AddRow({"shortest path (policy-free baseline)",
@@ -198,15 +208,21 @@ int main() {
 
   util::PrintBanner(std::cout, "paper vs measured");
   util::Table comparison({"claim", "paper", "measured"});
-  bench::PrintComparison(comparison, "hijack blackholes the connection",
-                         "connection dropped; anonymity set only",
-                         "interception success n/a for blackhole variants");
-  bench::PrintComparison(comparison, "interception enables exact deanonymization",
-                         "connection kept alive", "see interception success above");
-  bench::PrintComparison(comparison, "scoping limits reach (stealth)",
-                         "hard to detect, fewer captures",
-                         "scoped capture < unlimited capture (rows above)");
+  ctx.Comparison(comparison, "hijack blackholes the connection",
+                 "connection dropped; anonymity set only",
+                 "interception success n/a for blackhole variants");
+  ctx.Comparison(comparison, "interception enables exact deanonymization",
+                 "connection kept alive", "see interception success above");
+  ctx.Comparison(comparison, "scoping limits reach (stealth)",
+                 "hard to detect, fewer captures",
+                 "scoped capture < unlimited capture (rows above)");
   std::cout << comparison.Render();
   std::cout << "\nwrote sec32_attacks.csv\n";
+
+  ctx.Result("victims", static_cast<std::uint64_t>(victims.size()));
+  ctx.Result("attackers", static_cast<std::uint64_t>(attackers.size()));
+  ctx.Result("mean_capture_policy_routing", util::Mean(policy_captures));
+  ctx.Result("mean_capture_shortest_path", util::Mean(spf_captures));
+  ctx.Finish();
   return 0;
 }

@@ -11,15 +11,16 @@
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace quicksand;
 
-  bench::PrintHeader(
-      "Section 3.3 — asymmetric traffic analysis",
+  bench::BenchContext ctx(
+      argc, argv, "Section 3.3 — asymmetric traffic analysis",
       "asymmetric routing increases the fraction of ASes able to analyze "
       "traffic; correlation works on any direction at each end");
 
-  const bench::Scenario scenario = bench::MakePaperScenario();
+  const bench::Scenario scenario =
+      ctx.Timed("scenario", [] { return bench::MakePaperScenario(); });
   core::ExposureAnalyzer analyzer(scenario.topology.graph, scenario.topology.policy_salts);
 
   // Guard/exit AS pools from the actual consensus placement.
@@ -30,9 +31,11 @@ int main() {
     if (relay.IsExit()) exit_ases.push_back(entry.origin);
   }
 
-  const auto gain = core::ComputeAsymmetricGain(
-      analyzer, scenario.topology.graph.AsCount(), scenario.topology.eyeballs,
-      guard_ases, exit_ases, scenario.topology.contents, 400, 20140627);
+  const auto gain = ctx.Timed("structural_gain", [&] {
+    return core::ComputeAsymmetricGain(
+        analyzer, scenario.topology.graph.AsCount(), scenario.topology.eyeballs,
+        guard_ases, exit_ases, scenario.topology.contents, 400, 20140627);
+  });
 
   util::PrintBanner(std::cout, "observation-model comparison (400 sampled circuits)");
   util::Table structural({"observation model", "mean observers/circuit",
@@ -55,6 +58,7 @@ int main() {
   util::CsvWriter csv("sec33_deanon.csv",
                       {"entry_view", "exit_view", "trial", "success", "target_r",
                        "runner_up_r"});
+  ctx.Timed("correlation_trials", [&] {
   for (core::SegmentView entry :
        {core::SegmentView::kDataBytes, core::SegmentView::kAckedBytes}) {
     for (core::SegmentView exit :
@@ -84,19 +88,28 @@ int main() {
                      util::FormatPercent(static_cast<double>(successes) / trials, 0),
                      util::FormatDouble(util::Mean(target_r), 3),
                      util::FormatDouble(util::Mean(runner_r), 3)});
+      ctx.Result("success_rate[" + std::string(ToString(entry)) + "/" +
+                     std::string(ToString(exit)) + "]",
+                 static_cast<double>(successes) / trials);
     }
   }
+  });
   std::cout << attack.Render();
 
   util::PrintBanner(std::cout, "paper vs measured");
   util::Table comparison({"claim", "paper", "measured"});
-  bench::PrintComparison(comparison, "asymmetry increases observer set",
-                         "\"only increases the security risk\"",
-                         util::FormatDouble(gain.mean_gain, 2) + "x more observers");
-  bench::PrintComparison(comparison, "acks-only observation suffices",
-                         "\"suffices ... in any direction\"",
-                         "acks/acks row above");
+  ctx.Comparison(comparison, "asymmetry increases observer set",
+                 "\"only increases the security risk\"",
+                 util::FormatDouble(gain.mean_gain, 2) + "x more observers");
+  ctx.Comparison(comparison, "acks-only observation suffices",
+                 "\"suffices ... in any direction\"",
+                 "acks/acks row above");
   std::cout << comparison.Render();
   std::cout << "\nwrote sec33_deanon.csv\n";
+
+  ctx.Result("mean_gain", gain.mean_gain);
+  ctx.Result("mean_observers_symmetric", gain.mean_count_symmetric);
+  ctx.Result("mean_observers_any_direction", gain.mean_count_any_direction);
+  ctx.Finish();
   return 0;
 }

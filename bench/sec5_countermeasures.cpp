@@ -55,13 +55,14 @@ bool Intersects(const std::vector<bgp::AsNumber>& sorted_a,
 
 }  // namespace
 
-int main() {
-  bench::PrintHeader(
-      "Section 5 — countermeasures",
+int main(int argc, char** argv) {
+  bench::BenchContext ctx(
+      argc, argv, "Section 5 — countermeasures",
       "dynamics-aware AS-avoiding relay selection; aggressive control-plane "
       "monitoring (false positives acceptable); short AS-PATH preference");
 
-  const bench::Scenario scenario = bench::MakePaperScenario();
+  const bench::Scenario scenario =
+      ctx.Timed("scenario", [] { return bench::MakePaperScenario(); });
   const tor::Consensus& consensus = scenario.consensus.consensus;
   const tor::PathSelector selector(consensus);
   core::ExposureAnalyzer analyzer(scenario.topology.graph, scenario.topology.policy_salts);
@@ -69,7 +70,8 @@ int main() {
   // Advisory weights from a measured month (the paper's proposed relay-
   // published AS-list service): churn + monitor findings -> per-guard
   // weight multipliers.
-  const bgp::GeneratedDynamics advisory_dynamics = bench::MakeMonthOfDynamics(scenario);
+  const bgp::GeneratedDynamics advisory_dynamics =
+      ctx.Timed("advisory_dynamics", [&] { return bench::MakeMonthOfDynamics(scenario); });
   const auto advisory_filtered =
       bgp::FilterSessionResets(advisory_dynamics.initial_rib, advisory_dynamics.updates);
   bgp::ChurnAnalyzer advisory_churn;
@@ -105,6 +107,7 @@ int main() {
   };
   std::map<std::string, PolicyStats> stats;
 
+  ctx.Timed("policy_eval", [&] {
   for (std::size_t pair = 0; pair < kPairs; ++pair) {
     const bgp::AsNumber client =
         scenario.topology.eyeballs[pair * 7 % scenario.topology.eyeballs.size()];
@@ -212,6 +215,7 @@ int main() {
                     util::FormatDouble(mean_observers, 3)});
     }
   }
+  });
 
   for (const auto& name :
        {"vanilla Tor (bandwidth only)", "static AS-aware (prior work)",
@@ -221,6 +225,8 @@ int main() {
     if (it == stats.end()) continue;
     policy_table.AddRow({name, util::FormatPercent(util::Mean(it->second.compromised), 1),
                          util::FormatDouble(util::Mean(it->second.observers), 2)});
+    ctx.Result("compromised_fraction[" + std::string(name) + "]",
+               util::Mean(it->second.compromised));
   }
   util::PrintBanner(std::cout, "relay-selection policies (evaluated against a month "
                                "of routing dynamics)");
@@ -228,18 +234,22 @@ int main() {
 
   // ---------- Part 2: control-plane monitor ----------
   const auto tor_prefixes = scenario.prefix_map.TorPrefixes(consensus);
-  const bgp::GeneratedDynamics dynamics = bench::MakeMonthOfDynamics(scenario);
+  const bgp::GeneratedDynamics dynamics =
+      ctx.Timed("monitor_dynamics", [&] { return bench::MakeMonthOfDynamics(scenario); });
 
   // False-alarm cost on a benign month.
   core::RelayMonitor benign_monitor(tor_prefixes);
-  benign_monitor.LearnBaseline(dynamics.initial_rib);
-  for (const bgp::BgpUpdate& update : dynamics.updates) {
-    (void)benign_monitor.Consume(update);
-  }
+  ctx.Timed("benign_month", [&] {
+    benign_monitor.LearnBaseline(dynamics.initial_rib);
+    for (const bgp::BgpUpdate& update : dynamics.updates) {
+      (void)benign_monitor.Consume(update);
+    }
+  });
+  const core::AlertCountSummary& benign_counts = benign_monitor.AlertCounts();
   const double false_alarms_per_prefix =
       tor_prefixes.empty()
           ? 0
-          : static_cast<double>(benign_monitor.alerts().size()) /
+          : static_cast<double>(benign_counts.total()) /
                 static_cast<double>(tor_prefixes.size());
 
   // Detection per attack variant: inject what the collectors would observe.
@@ -267,10 +277,11 @@ int main() {
   victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
   if (victims.size() > 20) victims.resize(20);
 
+  ctx.Timed("detection_matrix", [&] {
   for (const AttackCase& attack_case : cases) {
     std::size_t detected_full = 0, detected_sparse = 0, runs = 0;
     double visible_sessions = 0;
-    std::map<std::string, std::size_t> signatures;
+    core::AlertCountSummary signatures;
     for (std::size_t v = 0; v < victims.size(); ++v) {
       const auto& [prefix, victim] = victims[v];
       const bgp::AsNumber attacker =
@@ -300,11 +311,12 @@ int main() {
                                        bgp::UpdateType::kAnnounce,
                                        outcome.announced_prefix, *observed};
         for (const core::Alert& alert : monitor.Consume(update)) {
+          (void)alert;
           hit_full = true;
           if (session.id % 24 == (v % 24)) hit_sparse = true;
-          ++signatures[std::string(ToString(alert.kind))];
         }
       }
+      signatures += monitor.AlertCounts();
       if (hit_full) ++detected_full;
       if (hit_sparse) ++detected_sparse;
       visible_sessions += static_cast<double>(seen_on) /
@@ -312,9 +324,12 @@ int main() {
       ++runs;
     }
     std::string signature_summary;
-    for (const auto& [kind, count] : signatures) {
+    for (const core::AlertKind kind :
+         {core::AlertKind::kOriginChange, core::AlertKind::kMoreSpecific,
+          core::AlertKind::kNewUpstream}) {
+      if (signatures.Of(kind) == 0) continue;
       if (!signature_summary.empty()) signature_summary += ", ";
-      signature_summary += kind;
+      signature_summary += std::string(ToString(kind));
     }
     if (signature_summary.empty()) signature_summary = "(none)";
     auto rate = [&](std::size_t detected) {
@@ -324,25 +339,43 @@ int main() {
     detect_table.AddRow({attack_case.name, rate(detected_full), rate(detected_sparse),
                          util::FormatPercent(visible_sessions / std::max<double>(1, runs), 1),
                          signature_summary});
+    ctx.Result("detection_rate[" + std::string(attack_case.name) + "]",
+               runs == 0 ? 0.0
+                         : static_cast<double>(detected_full) / static_cast<double>(runs));
   }
+  });
 
   util::PrintBanner(std::cout, "control-plane monitor");
   std::cout << detect_table.Render();
   std::cout << "false alarms on a benign month: "
             << util::FormatDouble(false_alarms_per_prefix, 2)
             << " alerts per monitored prefix (aggressive by design; the paper "
-               "accepts false positives)\n";
+               "accepts false positives)\n"
+            << "  benign alert breakdown: "
+            << benign_counts.origin_change << " origin-change, "
+            << benign_counts.more_specific << " more-specific, "
+            << benign_counts.new_upstream << " new-upstream ("
+            << benign_counts.total() << " total)\n";
 
   util::PrintBanner(std::cout, "paper vs measured");
   util::Table comparison({"claim", "paper", "measured"});
-  bench::PrintComparison(comparison, "dynamics-aware selection beats static",
-                         "\"after taking path dynamics into account\"",
-                         "see policy table (compromised circuits)");
-  bench::PrintComparison(comparison, "monitoring catches more-specific attacks",
-                         "\"particularly effective\"", "see detection table");
-  bench::PrintComparison(comparison, "stealthy attacks are harder to detect",
-                         "same-prefix / community attacks", "lower detection rows");
+  ctx.Comparison(comparison, "dynamics-aware selection beats static",
+                 "\"after taking path dynamics into account\"",
+                 "see policy table (compromised circuits)");
+  ctx.Comparison(comparison, "monitoring catches more-specific attacks",
+                 "\"particularly effective\"", "see detection table");
+  ctx.Comparison(comparison, "stealthy attacks are harder to detect",
+                 "same-prefix / community attacks", "lower detection rows");
   std::cout << comparison.Render();
   std::cout << "\nwrote sec5_policies.csv\n";
+
+  ctx.Result("false_alarms_per_prefix", false_alarms_per_prefix);
+  ctx.Result("benign_alerts_origin_change",
+             static_cast<std::uint64_t>(benign_counts.origin_change));
+  ctx.Result("benign_alerts_more_specific",
+             static_cast<std::uint64_t>(benign_counts.more_specific));
+  ctx.Result("benign_alerts_new_upstream",
+             static_cast<std::uint64_t>(benign_counts.new_upstream));
+  ctx.Finish();
   return 0;
 }

@@ -4,6 +4,7 @@
 // visibility. Absolute counts scale with our ~600-AS topology (vs the real
 // ~47k-AS Internet); the distributional shape is the reproduction target.
 
+#include <fstream>
 #include <iostream>
 
 #include "bgp/churn.hpp"
@@ -11,14 +12,16 @@
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace quicksand;
 
-  bench::PrintHeader("Section 4 dataset statistics (Table 1 equivalent)",
-                     "4586 relays; 1251 Tor prefixes from 650 ASes; relays/prefix "
-                     "median 1, p75 2, max 33; prefixes seen on ~40% of sessions");
+  bench::BenchContext ctx(
+      argc, argv, "Section 4 dataset statistics (Table 1 equivalent)",
+      "4586 relays; 1251 Tor prefixes from 650 ASes; relays/prefix "
+      "median 1, p75 2, max 33; prefixes seen on ~40% of sessions");
 
-  const bench::Scenario scenario = bench::MakePaperScenario();
+  const bench::Scenario scenario =
+      ctx.Timed("scenario", [] { return bench::MakePaperScenario(); });
   const tor::Consensus& consensus = scenario.consensus.consensus;
   const auto tor_prefixes = scenario.prefix_map.TorPrefixes(consensus);
   const auto per_prefix = scenario.prefix_map.GuardExitRelaysPerPrefix(consensus);
@@ -38,7 +41,8 @@ int main() {
 
   // Visibility: for each Tor prefix, the fraction of sessions observing it
   // at t=0; and per session, the number of Tor prefixes learned.
-  const bgp::GeneratedDynamics dynamics = bench::MakeMonthOfDynamics(scenario);
+  const bgp::GeneratedDynamics dynamics =
+      ctx.Timed("dynamics", [&] { return bench::MakeMonthOfDynamics(scenario); });
   bgp::ChurnAnalyzer analyzer;
   analyzer.ConsumeInitialRib(dynamics.initial_rib);
   analyzer.Finish();
@@ -64,35 +68,42 @@ int main() {
 
   util::PrintBanner(std::cout, "paper vs measured");
   util::Table t({"metric", "paper (May/July 2014)", "measured (synthetic)"});
-  t.AddRow({"relays", "4586", std::to_string(consensus.size())});
-  t.AddRow({"guards", "1918", std::to_string(consensus.Guards().size())});
-  t.AddRow({"exits", "891", std::to_string(consensus.Exits().size())});
-  t.AddRow({"guard+exit", "442", std::to_string(consensus.GuardExits().size())});
-  t.AddRow({"Tor prefixes", "1251", std::to_string(tor_prefixes.size())});
-  t.AddRow({"origin ASes of Tor prefixes", "650", std::to_string(per_as.size())});
-  t.AddRow({"relays/prefix median", "1", util::FormatDouble(skew.median, 0)});
-  t.AddRow({"relays/prefix p75", "2", util::FormatDouble(skew.p75, 0)});
-  t.AddRow({"relays/prefix max", "33 (78.46.0.0/15)",
-            std::to_string(max_relays) + " (" + max_prefix.ToString() + ")"});
-  t.AddRow({"avg sessions seeing a Tor prefix", "40%",
-            util::FormatPercent(util::Mean(sessions_per_tor_prefix), 1)});
-  t.AddRow({"max sessions seeing a Tor prefix", "60%",
-            util::FormatPercent(*std::max_element(sessions_per_tor_prefix.begin(),
-                                                  sessions_per_tor_prefix.end()),
-                                1)});
-  t.AddRow({"median Tor prefixes learned per session", "438 (35%)",
-            util::FormatDouble(util::Median(learned), 0) + " (" +
-                util::FormatPercent(util::Median(learned) / tor_prefix_total, 0) + ")"});
-  t.AddRow({"max Tor prefixes learned per session", "1242 (99%)",
-            util::FormatDouble(*std::max_element(learned.begin(), learned.end()), 0) +
-                " (" +
-                util::FormatPercent(
-                    *std::max_element(learned.begin(), learned.end()) / tor_prefix_total,
-                    0) +
-                ")"});
-  t.AddRow({"collector sessions", "70+ (4 collectors)",
-            std::to_string(scenario.collectors.SessionCount()) + " (4 collectors)"});
+  ctx.Comparison(t, "relays", "4586", std::to_string(consensus.size()));
+  ctx.Comparison(t, "guards", "1918", std::to_string(consensus.Guards().size()));
+  ctx.Comparison(t, "exits", "891", std::to_string(consensus.Exits().size()));
+  ctx.Comparison(t, "guard+exit", "442", std::to_string(consensus.GuardExits().size()));
+  ctx.Comparison(t, "Tor prefixes", "1251", std::to_string(tor_prefixes.size()));
+  ctx.Comparison(t, "origin ASes of Tor prefixes", "650", std::to_string(per_as.size()));
+  ctx.Comparison(t, "relays/prefix median", "1", util::FormatDouble(skew.median, 0));
+  ctx.Comparison(t, "relays/prefix p75", "2", util::FormatDouble(skew.p75, 0));
+  ctx.Comparison(t, "relays/prefix max", "33 (78.46.0.0/15)",
+                 std::to_string(max_relays) + " (" + max_prefix.ToString() + ")");
+  ctx.Comparison(t, "avg sessions seeing a Tor prefix", "40%",
+                 util::FormatPercent(util::Mean(sessions_per_tor_prefix), 1));
+  ctx.Comparison(t, "max sessions seeing a Tor prefix", "60%",
+                 util::FormatPercent(*std::max_element(sessions_per_tor_prefix.begin(),
+                                                       sessions_per_tor_prefix.end()),
+                                     1));
+  ctx.Comparison(t, "median Tor prefixes learned per session", "438 (35%)",
+                 util::FormatDouble(util::Median(learned), 0) + " (" +
+                     util::FormatPercent(util::Median(learned) / tor_prefix_total, 0) +
+                     ")");
+  ctx.Comparison(
+      t, "max Tor prefixes learned per session", "1242 (99%)",
+      util::FormatDouble(*std::max_element(learned.begin(), learned.end()), 0) + " (" +
+          util::FormatPercent(
+              *std::max_element(learned.begin(), learned.end()) / tor_prefix_total, 0) +
+          ")");
+  ctx.Comparison(t, "collector sessions", "70+ (4 collectors)",
+                 std::to_string(scenario.collectors.SessionCount()) + " (4 collectors)");
   std::cout << t.Render();
+
+  // Machine-readable copy of the comparison table itself.
+  {
+    std::ofstream table_csv("table1_dataset_stats.csv");
+    table_csv << t.ToCsv();
+  }
+  std::cout << "\nwrote table1_dataset_stats.csv (" << t.RowCount() << " rows)\n";
 
   util::CsvWriter csv("table1_relays_per_prefix.csv", {"relays_per_prefix", "count"});
   std::map<std::size_t, std::size_t> histogram;
@@ -101,5 +112,11 @@ int main() {
     csv.WriteRow({static_cast<double>(relays), static_cast<double>(count)});
   }
   std::cout << "\nwrote table1_relays_per_prefix.csv\n";
+
+  ctx.Result("relays", static_cast<std::uint64_t>(consensus.size()));
+  ctx.Result("tor_prefixes", static_cast<std::uint64_t>(tor_prefixes.size()));
+  ctx.Result("origin_ases", static_cast<std::uint64_t>(per_as.size()));
+  ctx.Result("avg_sessions_seeing_tor_prefix", util::Mean(sessions_per_tor_prefix));
+  ctx.Finish();
   return 0;
 }

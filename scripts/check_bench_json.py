@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Validate quicksand-bench-v1 JSON documents, or compare two for determinism.
+
+Usage:
+  check_bench_json.py FILE [FILE...]          validate each document
+  check_bench_json.py --compare A.json B.json assert the deterministic parts
+                                              of two runs are identical
+
+Validation checks the schema tag, the presence and types of every
+top-level field, and the internal shape of phases, metric maps,
+histograms, and comparison rows.
+
+Comparison ignores everything that is allowed to vary between runs of
+the same seed: per-phase wall times, total_wall_ms, and any histogram
+whose name ends in "_ms" (the reserved wall-clock namespace — see
+docs/OBSERVABILITY.md). Everything else, including every counter, gauge,
+non-timing histogram, comparison row, and result value, must match
+exactly.
+"""
+
+import json
+import math
+import sys
+
+SCHEMA = "quicksand-bench-v1"
+
+REQUIRED = {
+    "schema": str,
+    "experiment": str,
+    "claim": str,
+    "phases": list,
+    "total_wall_ms": (int, float),
+    "counters": dict,
+    "gauges": dict,
+    "histograms": dict,
+    "comparisons": list,
+    "results": dict,
+}
+
+
+class CheckError(Exception):
+    pass
+
+
+def fail(msg):
+    raise CheckError(msg)
+
+
+def is_number(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def validate(doc, origin):
+    if not isinstance(doc, dict):
+        fail(f"{origin}: top level is not an object")
+    for key, kind in REQUIRED.items():
+        if key not in doc:
+            fail(f"{origin}: missing required key '{key}'")
+        if not isinstance(doc[key], kind) or isinstance(doc[key], bool):
+            fail(f"{origin}: '{key}' has wrong type {type(doc[key]).__name__}")
+    if doc["schema"] != SCHEMA:
+        fail(f"{origin}: schema is '{doc['schema']}', expected '{SCHEMA}'")
+
+    for i, phase in enumerate(doc["phases"]):
+        if not isinstance(phase, dict):
+            fail(f"{origin}: phases[{i}] is not an object")
+        if not isinstance(phase.get("name"), str):
+            fail(f"{origin}: phases[{i}].name is not a string")
+        if not is_number(phase.get("wall_ms")):
+            fail(f"{origin}: phases[{i}].wall_ms is not a number")
+
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            fail(f"{origin}: counter '{name}' is not a non-negative integer")
+    for name, value in doc["gauges"].items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(f"{origin}: gauge '{name}' is not an integer")
+
+    for name, hist in doc["histograms"].items():
+        if not isinstance(hist, dict):
+            fail(f"{origin}: histogram '{name}' is not an object")
+        for key in ("count", "sum", "buckets"):
+            if key not in hist:
+                fail(f"{origin}: histogram '{name}' missing '{key}'")
+        if not isinstance(hist["count"], int) or hist["count"] < 0:
+            fail(f"{origin}: histogram '{name}'.count is not a non-negative integer")
+        if not is_number(hist["sum"]):
+            fail(f"{origin}: histogram '{name}'.sum is not a number")
+        if not isinstance(hist["buckets"], list) or not hist["buckets"]:
+            fail(f"{origin}: histogram '{name}'.buckets is not a non-empty array")
+        total = 0
+        for j, bucket in enumerate(hist["buckets"]):
+            # le is a finite upper bound, or null for the +inf overflow bucket.
+            if bucket.get("le") is not None and not is_number(bucket["le"]):
+                fail(f"{origin}: histogram '{name}'.buckets[{j}].le is invalid")
+            if not isinstance(bucket.get("count"), int) or bucket["count"] < 0:
+                fail(f"{origin}: histogram '{name}'.buckets[{j}].count is invalid")
+            total += bucket["count"]
+        if hist["buckets"][-1]["le"] is not None:
+            fail(f"{origin}: histogram '{name}' last bucket is not the overflow bucket")
+        if total != hist["count"]:
+            fail(f"{origin}: histogram '{name}' bucket counts sum to {total}, "
+                 f"count says {hist['count']}")
+
+    for i, row in enumerate(doc["comparisons"]):
+        if not isinstance(row, dict):
+            fail(f"{origin}: comparisons[{i}] is not an object")
+        for key in ("metric", "paper", "measured"):
+            if not isinstance(row.get(key), str):
+                fail(f"{origin}: comparisons[{i}].{key} is not a string")
+
+
+def deterministic_view(doc):
+    """The subset of a document that must be identical across same-seed runs."""
+    return {
+        "experiment": doc["experiment"],
+        "claim": doc["claim"],
+        "phase_names": [p["name"] for p in doc["phases"]],
+        "counters": doc["counters"],
+        "gauges": doc["gauges"],
+        "histograms": {
+            name: hist
+            for name, hist in doc["histograms"].items()
+            if not name.endswith("_ms")
+        },
+        "comparisons": doc["comparisons"],
+        "results": doc["results"],
+    }
+
+
+def diff(a, b, path=""):
+    """Yield human-readable differences between two deterministic views."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            sub = f"{path}.{key}" if path else key
+            if key not in a:
+                yield f"{sub}: only in second run"
+            elif key not in b:
+                yield f"{sub}: only in first run"
+            else:
+                yield from diff(a[key], b[key], sub)
+    elif isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            yield f"{path}: length {len(a)} vs {len(b)}"
+        else:
+            for i, (x, y) in enumerate(zip(a, b)):
+                yield from diff(x, y, f"{path}[{i}]")
+    else:
+        equal = (
+            math.isclose(a, b, rel_tol=0.0, abs_tol=0.0)
+            if is_number(a) and is_number(b)
+            else a == b
+        )
+        if not equal:
+            yield f"{path}: {a!r} vs {b!r}"
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckError(f"{path}: {exc}") from exc
+
+
+def main(argv):
+    if len(argv) >= 1 and argv[0] == "--compare":
+        if len(argv) != 3:
+            print("usage: check_bench_json.py --compare A.json B.json",
+                  file=sys.stderr)
+            return 2
+        a_path, b_path = argv[1], argv[2]
+        a, b = load(a_path), load(b_path)
+        validate(a, a_path)
+        validate(b, b_path)
+        differences = list(diff(deterministic_view(a), deterministic_view(b)))
+        if differences:
+            print(f"NONDETERMINISTIC: {a_path} vs {b_path}", file=sys.stderr)
+            for line in differences[:50]:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"OK: {a_path} and {b_path} agree on all deterministic fields")
+        return 0
+
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv:
+        validate(load(path), path)
+        print(f"OK: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except CheckError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        sys.exit(1)

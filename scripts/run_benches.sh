@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Run every bench binary with --json telemetry into bench_out/ and
+# validate each document against the quicksand-bench-v1 schema.
+#
+# Usage: scripts/run_benches.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  defaults to "build"
+#   OUT_DIR    defaults to "bench_out"
+#
+# Pass QUICKSAND_BENCH_TRACE=1 to also write a .jsonl phase trace per bench.
+# micro_substrates runs with --benchmark_min_time=0.01 to keep the sweep
+# fast; drop that override for real performance numbers.
+
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+out_dir=${2:-"$repo_root/bench_out"}
+checker="$repo_root/scripts/check_bench_json.py"
+
+if [[ ! -d "$build_dir/bench" ]]; then
+  echo "error: $build_dir/bench not found — build first:" >&2
+  echo "  cmake -B build -S $repo_root && cmake --build build -j" >&2
+  exit 1
+fi
+
+mkdir -p "$out_dir"
+cd "$out_dir"   # benches write auxiliary CSVs into their cwd
+
+benches=()
+for bin in "$build_dir"/bench/*; do
+  [[ -f "$bin" && -x "$bin" ]] && benches+=("$bin")
+done
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "error: no bench binaries in $build_dir/bench" >&2
+  exit 1
+fi
+
+json_files=()
+for bin in "${benches[@]}"; do
+  name=$(basename "$bin")
+  json="$out_dir/$name.json"
+  args=(--json "$json")
+  if [[ "${QUICKSAND_BENCH_TRACE:-0}" == "1" ]]; then
+    args+=(--trace "$out_dir/$name.jsonl")
+  fi
+  if [[ "$name" == "micro_substrates" ]]; then
+    args+=(--benchmark_min_time=0.01)
+  fi
+  echo "==> $name"
+  "$bin" "${args[@]}" > "$out_dir/$name.log"
+  json_files+=("$json")
+done
+
+echo
+python3 "$checker" "${json_files[@]}"
+echo
+echo "All ${#json_files[@]} bench documents written to $out_dir and validated."

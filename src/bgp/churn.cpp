@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace quicksand::bgp {
@@ -32,6 +33,9 @@ void ChurnAnalyzer::ConsumeInitialRib(std::span<const BgpUpdate> rib) {
 
 void ChurnAnalyzer::Consume(const BgpUpdate& update) {
   if (finished_) throw std::logic_error("ChurnAnalyzer: Consume after Finish");
+  static obs::Counter& consumed =
+      obs::MetricsRegistry::Global().GetCounter("bgp.churn.updates_consumed");
+  consumed.Increment();
   State& state = states_[SessionPrefixKey{update.session, update.prefix}];
   if (update.type == UpdateType::kAnnounce) {
     Announce(state, update);

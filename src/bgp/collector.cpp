@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+
 namespace quicksand::bgp {
 
 CollectorSet CollectorSet::Create(const Topology& topology, const CollectorParams& params) {
@@ -59,6 +61,9 @@ CollectorSet CollectorSet::Create(const Topology& topology, const CollectorParam
                                                params.partial_visibility_max)});
     }
   }
+  obs::MetricsRegistry::Global()
+      .GetGauge("bgp.collector.session_count")
+      .Set(static_cast<std::int64_t>(set.sessions_.size()));
   return set;
 }
 

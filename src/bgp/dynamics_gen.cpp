@@ -8,6 +8,9 @@
 
 #include "bgp/route_computation.hpp"
 #include "netbase/rng.hpp"
+#include "obs/logger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace quicksand::bgp {
 
@@ -111,6 +114,7 @@ std::optional<ObservationTable> MakeAlternate(
 
 GeneratedDynamics GenerateDynamics(const Topology& topology, const CollectorSet& collectors,
                                    const DynamicsParams& params) {
+  const obs::ScopedPhase trace_phase(obs::GlobalTrace(), "bgp.generate_dynamics");
   const AsGraph& graph = topology.graph;
   Rng rng(params.seed);
   GeneratedDynamics out;
@@ -320,6 +324,15 @@ GeneratedDynamics GenerateDynamics(const Topology& topology, const CollectorSet&
     SortUpdates(out.updates);
   }
 
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("bgp.dynamics.updates_generated").Increment(out.updates.size());
+  registry.GetCounter("bgp.dynamics.initial_rib_routes").Increment(out.initial_rib.size());
+  registry.GetCounter("bgp.dynamics.prefixes_tracked").Increment(out.truth.size());
+  if (obs::LogEnabled(obs::LogLevel::kInfo)) {
+    obs::LogInfo("bgp.dynamics",
+                 "generated " + std::to_string(out.updates.size()) + " updates over " +
+                     std::to_string(out.truth.size()) + " prefixes");
+  }
   return out;
 }
 

@@ -1,15 +1,46 @@
 #include "bgp/rib.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace quicksand::bgp {
 
+namespace {
+
+// Resolved once; afterwards each Apply costs three relaxed atomic adds on
+// top of the trie work.
+struct RibMetrics {
+  obs::Counter& applied =
+      obs::MetricsRegistry::Global().GetCounter("bgp.rib.updates_applied");
+  obs::Counter& announces =
+      obs::MetricsRegistry::Global().GetCounter("bgp.rib.announcements");
+  obs::Counter& withdraws =
+      obs::MetricsRegistry::Global().GetCounter("bgp.rib.withdrawals");
+  obs::Counter& changes =
+      obs::MetricsRegistry::Global().GetCounter("bgp.rib.route_changes");
+
+  static RibMetrics& Get() {
+    static RibMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
 bool SessionRib::Apply(const BgpUpdate& update) {
+  RibMetrics& metrics = RibMetrics::Get();
+  metrics.applied.Increment();
   if (update.type == UpdateType::kAnnounce) {
+    metrics.announces.Increment();
     const AsPath* existing = trie_.Find(update.prefix);
     if (existing != nullptr && *existing == update.path) return false;
     trie_.Insert(update.prefix, update.path);
+    metrics.changes.Increment();
     return true;
   }
-  return trie_.Erase(update.prefix);
+  metrics.withdraws.Increment();
+  const bool changed = trie_.Erase(update.prefix);
+  if (changed) metrics.changes.Increment();
+  return changed;
 }
 
 std::optional<std::pair<netbase::Prefix, AsPath>> SessionRib::Lookup(

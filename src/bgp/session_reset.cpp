@@ -1,6 +1,9 @@
 #include "bgp/session_reset.hpp"
 
 #include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include <map>
 #include <optional>
 #include <stdexcept>
@@ -166,6 +169,24 @@ FilteredUpdates FilterSessionResets(const std::vector<BgpUpdate>& initial_rib,
   }
   SortUpdates(result.updates);
   result.stats.output_updates = result.updates.size();
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("bgp.reset_filter.input_updates")
+      .Increment(result.stats.input_updates);
+  registry.GetCounter("bgp.reset_filter.duplicates_removed")
+      .Increment(result.stats.duplicates_removed);
+  registry.GetCounter("bgp.reset_filter.burst_updates_removed")
+      .Increment(result.stats.burst_updates_removed);
+  registry.GetCounter("bgp.reset_filter.bursts_detected")
+      .Increment(result.stats.bursts_detected);
+  registry.GetCounter("bgp.reset_filter.output_updates")
+      .Increment(result.stats.output_updates);
+  if (obs::TraceSink* trace = obs::GlobalTrace()) {
+    trace->Instant("bgp.reset_filter",
+                   {{"input", std::to_string(result.stats.input_updates)},
+                    {"output", std::to_string(result.stats.output_updates)},
+                    {"bursts", std::to_string(result.stats.bursts_detected)}});
+  }
   return result;
 }
 

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace quicksand::bgp {
 
 using netbase::Ipv4Address;
@@ -97,6 +100,7 @@ std::vector<Prefix> AllocatePrefixes(std::uint32_t& cursor, std::size_t count, R
 }  // namespace
 
 Topology GenerateTopology(const TopologyParams& params) {
+  const obs::ScopedPhase trace_phase(obs::GlobalTrace(), "bgp.generate_topology");
   if (params.tier1_count == 0) {
     throw std::invalid_argument("GenerateTopology: need at least one tier-1 AS");
   }
@@ -219,6 +223,14 @@ Topology GenerateTopology(const TopologyParams& params) {
     topo.policy_salts[i] = rng() | 1;
   }
 
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("bgp.topology.generated").Increment();
+  registry.GetGauge("bgp.topology.as_count")
+      .Set(static_cast<std::int64_t>(topo.graph.AsCount()));
+  registry.GetGauge("bgp.topology.link_count")
+      .Set(static_cast<std::int64_t>(topo.graph.LinkCount()));
+  registry.GetGauge("bgp.topology.prefix_count")
+      .Set(static_cast<std::int64_t>(topo.prefix_origins.size()));
   return topo;
 }
 

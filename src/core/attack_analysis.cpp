@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "netbase/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace quicksand::core {
 
@@ -12,6 +14,12 @@ using bgp::AsNumber;
 
 HijackAnalysisResult AnalyzeHijack(const bgp::AsGraph& graph, const bgp::AttackSpec& spec,
                                    std::span<const AsNumber> client_ases) {
+  static obs::Counter& hijacks =
+      obs::MetricsRegistry::Global().GetCounter("core.attack.hijacks_analyzed");
+  static obs::Counter& clients =
+      obs::MetricsRegistry::Global().GetCounter("core.attack.clients_evaluated");
+  hijacks.Increment();
+  clients.Increment(client_ases.size());
   const bgp::HijackSimulator simulator(graph);
   HijackAnalysisResult result{0, 0, 0, false, simulator.Execute(spec)};
   result.connection_survives = result.outcome.traffic_delivered;
@@ -37,6 +45,10 @@ HijackAnalysisResult AnalyzeHijack(const bgp::AsGraph& graph, const bgp::AttackS
 }
 
 DeanonResult RunCorrelationDeanonymization(const DeanonExperimentParams& params) {
+  const obs::ScopedPhase trace_phase(obs::GlobalTrace(), "core.correlation_deanon");
+  static obs::Counter& experiments =
+      obs::MetricsRegistry::Global().GetCounter("core.attack.deanon_experiments");
+  experiments.Increment();
   if (params.candidate_clients == 0) {
     throw std::invalid_argument("RunCorrelationDeanonymization: no candidates");
   }

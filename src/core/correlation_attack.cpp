@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace quicksand::core {
@@ -54,6 +55,12 @@ MatchResult MatchFlows(std::span<const std::vector<double>> candidate_series,
   if (candidate_series.empty()) {
     throw std::invalid_argument("MatchFlows: no candidates");
   }
+  static obs::Counter& matches =
+      obs::MetricsRegistry::Global().GetCounter("core.correlation.matches");
+  static obs::Counter& comparisons =
+      obs::MetricsRegistry::Global().GetCounter("core.correlation.comparisons");
+  matches.Increment();
+  comparisons.Increment(candidate_series.size());
   // Correlate over the target flow's *active* period only. Trailing
   // all-zero bins otherwise dominate the statistic with an on/off "box"
   // signature that any similar-duration flow shares; within the active

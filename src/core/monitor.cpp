@@ -1,6 +1,28 @@
 #include "core/monitor.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace quicksand::core {
+
+namespace {
+
+struct MonitorMetrics {
+  obs::Counter& consumed =
+      obs::MetricsRegistry::Global().GetCounter("core.monitor.updates_consumed");
+  obs::Counter& origin_change =
+      obs::MetricsRegistry::Global().GetCounter("core.monitor.alerts.origin_change");
+  obs::Counter& more_specific =
+      obs::MetricsRegistry::Global().GetCounter("core.monitor.alerts.more_specific");
+  obs::Counter& new_upstream =
+      obs::MetricsRegistry::Global().GetCounter("core.monitor.alerts.new_upstream");
+
+  static MonitorMetrics& Get() {
+    static MonitorMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 std::string_view ToString(AlertKind kind) noexcept {
   switch (kind) {
@@ -9,6 +31,22 @@ std::string_view ToString(AlertKind kind) noexcept {
     case AlertKind::kNewUpstream: return "new-upstream";
   }
   return "?";
+}
+
+std::size_t AlertCountSummary::Of(AlertKind kind) const noexcept {
+  switch (kind) {
+    case AlertKind::kOriginChange: return origin_change;
+    case AlertKind::kMoreSpecific: return more_specific;
+    case AlertKind::kNewUpstream: return new_upstream;
+  }
+  return 0;
+}
+
+AlertCountSummary& AlertCountSummary::operator+=(const AlertCountSummary& other) noexcept {
+  origin_change += other.origin_change;
+  more_specific += other.more_specific;
+  new_upstream += other.new_upstream;
+  return *this;
 }
 
 RelayMonitor::RelayMonitor(std::unordered_set<netbase::Prefix> monitored,
@@ -36,6 +74,8 @@ void RelayMonitor::LearnBaseline(std::span<const bgp::BgpUpdate> initial_rib) {
 }
 
 std::vector<Alert> RelayMonitor::Consume(const bgp::BgpUpdate& update) {
+  MonitorMetrics& metrics = MonitorMetrics::Get();
+  metrics.consumed.Increment();
   std::vector<Alert> raised;
   if (update.type != bgp::UpdateType::kAnnounce || update.path.empty()) return raised;
   const bgp::AsNumber origin = update.path.origin();
@@ -77,6 +117,22 @@ std::vector<Alert> RelayMonitor::Consume(const bgp::BgpUpdate& update) {
     }
   }
 
+  for (const Alert& alert : raised) {
+    switch (alert.kind) {
+      case AlertKind::kOriginChange:
+        ++counts_.origin_change;
+        metrics.origin_change.Increment();
+        break;
+      case AlertKind::kMoreSpecific:
+        ++counts_.more_specific;
+        metrics.more_specific.Increment();
+        break;
+      case AlertKind::kNewUpstream:
+        ++counts_.new_upstream;
+        metrics.new_upstream.Increment();
+        break;
+    }
+  }
   alerts_.insert(alerts_.end(), raised.begin(), raised.end());
   return raised;
 }

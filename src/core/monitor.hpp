@@ -56,6 +56,20 @@ struct MonitorParams {
   bool alert_on_new_upstream = true;
 };
 
+/// Per-kind alert totals for one monitor instance. Mirrored into the
+/// global metrics registry as `core.monitor.alerts.<kind>` counters.
+struct AlertCountSummary {
+  std::size_t origin_change = 0;
+  std::size_t more_specific = 0;
+  std::size_t new_upstream = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return origin_change + more_specific + new_upstream;
+  }
+  [[nodiscard]] std::size_t Of(AlertKind kind) const noexcept;
+  AlertCountSummary& operator+=(const AlertCountSummary& other) noexcept;
+};
+
 /// Streaming hijack/interception detector over Tor prefixes.
 class RelayMonitor {
  public:
@@ -71,6 +85,11 @@ class RelayMonitor {
 
   /// All alerts raised so far, in arrival order.
   [[nodiscard]] const std::vector<Alert>& alerts() const noexcept { return alerts_; }
+
+  /// "How many alerts per kind" without scanning alerts(); O(1).
+  [[nodiscard]] const AlertCountSummary& AlertCounts() const noexcept {
+    return counts_;
+  }
 
   /// Prefixes currently advised against (any unresolved alert).
   [[nodiscard]] std::set<netbase::Prefix> FlaggedPrefixes() const;
@@ -89,6 +108,7 @@ class RelayMonitor {
   std::unordered_map<netbase::Prefix, std::unordered_set<bgp::AsNumber>> legit_origins_;
   std::unordered_map<netbase::Prefix, std::unordered_set<bgp::AsNumber>> known_upstreams_;
   std::vector<Alert> alerts_;
+  AlertCountSummary counts_;
 };
 
 }  // namespace quicksand::core

@@ -1,0 +1,127 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace quicksand::obs {
+
+namespace {
+
+void AppendDouble(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no inf/nan; serialize as null so consumers fail loudly
+    // rather than on a parse error.
+    out += "null";
+    return;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.12g", value);
+  out += buffer;
+  // Keep doubles visually distinct from integers ("1" -> "1.0") so a
+  // re-run diff never flips a field's JSON type.
+  if (out.find_first_of(".eE", out.size() - std::char_traits<char>::length(buffer)) ==
+      std::string::npos) {
+    out += ".0";
+  }
+}
+
+void Indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+}
+
+}  // namespace
+
+JsonValue& JsonValue::Set(std::string key, JsonValue value) {
+  kind_ = Kind::kObject;
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::Append(JsonValue value) {
+  kind_ = Kind::kArray;
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+std::string JsonValue::Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+void JsonValue::DumpTo(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kUint: out += std::to_string(uint_); break;
+    case Kind::kDouble: AppendDouble(out, double_); break;
+    case Kind::kString:
+      out += '"';
+      out += Escape(string_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        if (i > 0) out += ',';
+        Indent(out, indent, depth + 1);
+        elements_[i].DumpTo(out, indent, depth + 1);
+      }
+      Indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ',';
+        Indent(out, indent, depth + 1);
+        out += '"';
+        out += Escape(members_[i].first);
+        out += "\":";
+        if (indent > 0) out += ' ';
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      Indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace quicksand::obs

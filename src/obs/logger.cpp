@@ -1,0 +1,55 @@
+#include "obs/logger.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace quicksand::obs {
+
+namespace {
+
+LogLevel ParseEnvLevel() {
+  const char* raw = std::getenv("QUICKSAND_LOG");
+  if (raw == nullptr) return LogLevel::kOff;
+  const std::string value(raw);
+  if (value == "debug") return LogLevel::kDebug;
+  if (value == "info") return LogLevel::kInfo;
+  if (value == "warn") return LogLevel::kWarn;
+  return LogLevel::kOff;
+}
+
+std::atomic<int>& LevelStore() {
+  static std::atomic<int> level{static_cast<int>(ParseEnvLevel())};
+  return level;
+}
+
+}  // namespace
+
+std::string_view ToString(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel GlobalLogLevel() noexcept {
+  return static_cast<LogLevel>(LevelStore().load(std::memory_order_relaxed));
+}
+
+void SetGlobalLogLevel(LogLevel level) noexcept {
+  LevelStore().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void Log(LogLevel level, std::string_view component, std::string_view message) {
+  if (!LogEnabled(level) || level == LogLevel::kOff) return;
+  std::fprintf(stderr, "[quicksand %.*s] %.*s: %.*s\n",
+               static_cast<int>(ToString(level).size()), ToString(level).data(),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace quicksand::obs

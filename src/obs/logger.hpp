@@ -1,0 +1,50 @@
+#pragma once
+
+// Leveled diagnostic logging, off by default so test and bench stdout
+// stays clean. Enable with the QUICKSAND_LOG environment variable
+// ("debug", "info", or "warn"); output goes to stderr.
+//
+// Guard expensive message construction at the callsite:
+//   if (obs::LogEnabled(obs::LogLevel::kDebug))
+//     obs::Log(obs::LogLevel::kDebug, "bgp.dynamics", "emitted " + ...);
+
+#include <string_view>
+
+namespace quicksand::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kOff = 3,
+};
+
+[[nodiscard]] std::string_view ToString(LogLevel level) noexcept;
+
+/// The active threshold: messages below it are dropped. Initialized once
+/// from QUICKSAND_LOG (unset / unrecognized -> kOff).
+[[nodiscard]] LogLevel GlobalLogLevel() noexcept;
+
+/// Overrides the threshold (tests, harnesses).
+void SetGlobalLogLevel(LogLevel level) noexcept;
+
+/// True iff a message at `level` would be emitted.
+[[nodiscard]] inline bool LogEnabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= static_cast<int>(GlobalLogLevel());
+}
+
+/// Writes "[quicksand <level>] <component>: <message>" to stderr if the
+/// level passes the threshold.
+void Log(LogLevel level, std::string_view component, std::string_view message);
+
+inline void LogDebug(std::string_view component, std::string_view message) {
+  Log(LogLevel::kDebug, component, message);
+}
+inline void LogInfo(std::string_view component, std::string_view message) {
+  Log(LogLevel::kInfo, component, message);
+}
+inline void LogWarn(std::string_view component, std::string_view message) {
+  Log(LogLevel::kWarn, component, message);
+}
+
+}  // namespace quicksand::obs

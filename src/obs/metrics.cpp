@@ -1,0 +1,145 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace quicksand::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: at least one bucket bound required");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("Histogram: bounds must be strictly ascending");
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::Observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<Histogram::Bucket> Histogram::Buckets() const {
+  std::vector<Bucket> out;
+  out.reserve(bounds_.size() + 1);
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    out.push_back({bounds_[i], counts_[i].load(std::memory_order_relaxed)});
+  }
+  out.push_back({std::numeric_limits<double>::infinity(),
+                 counts_[bounds_.size()].load(std::memory_order_relaxed)});
+  return out;
+}
+
+void Histogram::Reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+JsonValue MetricsSnapshot::ToJson() const {
+  JsonValue root = JsonValue::Object();
+  JsonValue counters_json = JsonValue::Object();
+  for (const auto& [name, value] : counters) counters_json.Set(name, value);
+  JsonValue gauges_json = JsonValue::Object();
+  for (const auto& [name, value] : gauges) gauges_json.Set(name, value);
+  JsonValue histograms_json = JsonValue::Object();
+  for (const HistogramData& histogram : histograms) {
+    JsonValue h = JsonValue::Object();
+    h.Set("count", histogram.count);
+    h.Set("sum", histogram.sum);
+    JsonValue buckets = JsonValue::Array();
+    for (const Histogram::Bucket& bucket : histogram.buckets) {
+      JsonValue b = JsonValue::Object();
+      b.Set("le", bucket.upper_bound);  // +inf serializes as null
+      b.Set("count", bucket.count);
+      buckets.Append(std::move(b));
+    }
+    h.Set("buckets", std::move(buckets));
+    histograms_json.Set(histogram.name, std::move(h));
+  }
+  root.Set("counters", std::move(counters_json));
+  root.Set("gauges", std::move(gauges_json));
+  root.Set("histograms", std::move(histograms_json));
+  return root;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::vector<double> MetricsRegistry::DefaultLatencyBucketsMs() {
+  return {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+          1000, 2500, 5000, 10000, 30000, 60000};
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (upper_bounds.empty()) upper_bounds = DefaultLatencyBucketsMs();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.push_back(
+        {name, histogram->count(), histogram->sum(), histogram->Buckets()});
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : counters_) entry.second->Reset();
+  for (const auto& entry : gauges_) entry.second->Reset();
+  for (const auto& entry : histograms_) entry.second->Reset();
+}
+
+}  // namespace quicksand::obs

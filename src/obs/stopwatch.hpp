@@ -1,0 +1,53 @@
+#pragma once
+
+// Wall-clock timing primitives on std::chrono::steady_clock.
+//
+// Timing results are intentionally kept OUT of the deterministic metrics
+// namespace: when a ScopedTimer feeds a registry histogram, name it with
+// an `_ms` suffix so snapshot consumers (scripts/check_bench_json.py) can
+// exclude it from run-to-run determinism comparisons.
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace quicksand::obs {
+
+/// Monotonic wall-clock stopwatch, started on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  [[nodiscard]] double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     start_)
+        .count();
+  }
+
+  [[nodiscard]] std::int64_t ElapsedUs() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII timer: observes the elapsed wall time (milliseconds) into a
+/// histogram when the scope ends.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram) : histogram_(&histogram) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { histogram_->Observe(watch_.ElapsedMs()); }
+
+ private:
+  Histogram* histogram_;
+  Stopwatch watch_;
+};
+
+}  // namespace quicksand::obs

@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "netbase/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace quicksand::tor {
 
@@ -16,6 +18,7 @@ using netbase::ZipfSampler;
 
 GeneratedConsensus GenerateConsensus(const bgp::Topology& topology,
                                      const ConsensusGenParams& params) {
+  const obs::ScopedPhase trace_phase(obs::GlobalTrace(), "tor.generate_consensus");
   if (params.guard_only + params.exit_only + params.guard_exit > params.total_relays) {
     throw std::invalid_argument("GenerateConsensus: flag counts exceed total relays");
   }
@@ -130,6 +133,15 @@ GeneratedConsensus GenerateConsensus(const bgp::Topology& topology,
   }
 
   out.consensus = Consensus(netbase::SimTime{0}, std::move(relays));
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("tor.consensus.generated").Increment();
+  registry.GetGauge("tor.consensus.relay_count")
+      .Set(static_cast<std::int64_t>(out.consensus.size()));
+  registry.GetGauge("tor.consensus.guard_count")
+      .Set(static_cast<std::int64_t>(out.consensus.Guards().size()));
+  registry.GetGauge("tor.consensus.exit_count")
+      .Set(static_cast<std::int64_t>(out.consensus.Exits().size()));
   return out;
 }
 

@@ -3,7 +3,29 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace quicksand::tor {
+
+namespace {
+
+struct PathMetrics {
+  obs::Counter& guard_sets_picked =
+      obs::MetricsRegistry::Global().GetCounter("tor.path.guard_sets_picked");
+  obs::Counter& circuits_built =
+      obs::MetricsRegistry::Global().GetCounter("tor.path.circuits_built");
+  obs::Counter& circuit_attempts =
+      obs::MetricsRegistry::Global().GetCounter("tor.path.circuit_attempts");
+  obs::Counter& build_failures =
+      obs::MetricsRegistry::Global().GetCounter("tor.path.build_failures");
+
+  static PathMetrics& Get() {
+    static PathMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 PathSelector::PathSelector(const Consensus& consensus, PathSelectionConfig config)
     : consensus_(&consensus), config_(config) {
@@ -77,6 +99,7 @@ std::vector<std::size_t> PathSelector::PickGuardSet(
     }
     chosen.push_back(*pick);
   }
+  PathMetrics::Get().guard_sets_picked.Increment();
   return chosen;
 }
 
@@ -84,8 +107,10 @@ Circuit PathSelector::BuildCircuit(std::span<const std::size_t> guard_set,
                                    netbase::Rng& rng,
                                    const CircuitConstraint* constraint) const {
   if (guard_set.empty()) throw std::invalid_argument("BuildCircuit: empty guard set");
+  PathMetrics& metrics = PathMetrics::Get();
   constexpr int kMaxAttempts = 64;
   for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    metrics.circuit_attempts.Increment();
     // Guard: uniform among the client's guards (Tor rotates across the
     // small set for availability).
     const std::size_t guard = guard_set[rng.UniformInt(0, guard_set.size() - 1)];
@@ -104,8 +129,10 @@ Circuit PathSelector::BuildCircuit(std::span<const std::size_t> guard_set,
 
     Circuit circuit{guard, *middle, *exit};
     ValidateCircuit(circuit, *consensus_);
+    metrics.circuits_built.Increment();
     return circuit;
   }
+  metrics.build_failures.Increment();
   throw std::runtime_error("BuildCircuit: no valid circuit after bounded retries");
 }
 

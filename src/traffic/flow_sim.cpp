@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "netbase/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace quicksand::traffic {
 
@@ -47,6 +48,9 @@ struct Connection {
 }  // namespace
 
 FlowTraces SimulateTransfer(const FlowSimParams& params) {
+  static obs::Counter& transfers =
+      obs::MetricsRegistry::Global().GetCounter("traffic.flow.transfers_simulated");
+  transfers.Increment();
   if (params.file_bytes == 0) {
     throw std::invalid_argument("SimulateTransfer: file_bytes must be positive");
   }

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "util/csv.hpp"
+
 namespace quicksand::util {
 
 namespace {
@@ -72,6 +74,20 @@ std::string Table::Render() const {
   for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c > 0 ? 2 : 0);
   out.append(total, '-');
   out += '\n';
+  for (const auto& row : rows_) emit_row(out, row);
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  auto emit_row = [](std::string& out, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += CsvWriter::EscapeField(row[c]);
+    }
+    out += '\n';
+  };
+  std::string out;
+  emit_row(out, headers_);
   for (const auto& row : rows_) emit_row(out, row);
   return out;
 }

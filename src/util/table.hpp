@@ -31,6 +31,20 @@ class Table {
   /// Numeric-looking cells are right-aligned, text left-aligned.
   [[nodiscard]] std::string Render() const;
 
+  /// Renders the same data as RFC 4180 CSV (header row first), for
+  /// machine-readable export alongside the aligned text rendering.
+  [[nodiscard]] std::string ToCsv() const;
+
+  /// Column headers, in order.
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+
+  /// Data rows, in insertion order. Every row has headers().size() cells.
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

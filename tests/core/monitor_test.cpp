@@ -123,6 +123,34 @@ TEST(RelayMonitor, MonitoredCount) {
   EXPECT_EQ(MonitorWithBaseline().MonitoredCount(), 2u);
 }
 
+TEST(RelayMonitor, AlertCountsTrackPerKindTotals) {
+  RelayMonitor monitor = MonitorWithBaseline();
+  EXPECT_EQ(monitor.AlertCounts().total(), 0u);
+  (void)monitor.Consume(Announce(100, 0, "78.46.0.0/15", "701 666"));      // origin change
+  (void)monitor.Consume(Announce(200, 0, "10.9.128.0/17", "701 666"));     // more specific
+  (void)monitor.Consume(Announce(300, 0, "10.9.0.0/16", "701 9002 16276"));  // new upstream
+  (void)monitor.Consume(Announce(400, 1, "78.46.0.0/15", "1299 667"));     // origin change
+  const AlertCountSummary& counts = monitor.AlertCounts();
+  EXPECT_EQ(counts.origin_change, 2u);
+  EXPECT_EQ(counts.more_specific, 1u);
+  EXPECT_EQ(counts.new_upstream, 1u);
+  EXPECT_EQ(counts.total(), 4u);
+  EXPECT_EQ(counts.total(), monitor.alerts().size());
+  EXPECT_EQ(counts.Of(AlertKind::kOriginChange), 2u);
+  EXPECT_EQ(counts.Of(AlertKind::kMoreSpecific), 1u);
+  EXPECT_EQ(counts.Of(AlertKind::kNewUpstream), 1u);
+}
+
+TEST(AlertCountSummary, Accumulates) {
+  AlertCountSummary a{1, 2, 3};
+  const AlertCountSummary b{10, 20, 30};
+  a += b;
+  EXPECT_EQ(a.origin_change, 11u);
+  EXPECT_EQ(a.more_specific, 22u);
+  EXPECT_EQ(a.new_upstream, 33u);
+  EXPECT_EQ(a.total(), 66u);
+}
+
 TEST(AlertKindNames, Readable) {
   EXPECT_EQ(ToString(AlertKind::kOriginChange), "origin-change");
   EXPECT_EQ(ToString(AlertKind::kMoreSpecific), "more-specific");

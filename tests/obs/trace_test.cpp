@@ -1,0 +1,131 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace quicksand::obs {
+namespace {
+
+/// Temp-file path helper; removes the file on destruction.
+struct TempPath {
+  std::string path;
+  explicit TempPath(const std::string& name) {
+    path = std::string(::testing::TempDir()) + name;
+  }
+  ~TempPath() { std::remove(path.c_str()); }
+};
+
+TEST(TraceSink, RecordsPhaseNesting) {
+  TraceSink sink;
+  sink.Begin("outer");
+  EXPECT_EQ(sink.depth(), 1);
+  sink.Begin("inner", {{"k", "v"}});
+  EXPECT_EQ(sink.depth(), 2);
+  sink.Instant("tick");
+  sink.End();
+  sink.End();
+  EXPECT_EQ(sink.depth(), 0);
+
+  const auto& events = sink.events();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].phase, 'i');
+  EXPECT_EQ(events[2].depth, 2);
+  // End events close the innermost open phase, by name.
+  EXPECT_EQ(events[3].name, "inner");
+  EXPECT_EQ(events[3].phase, 'E');
+  EXPECT_EQ(events[4].name, "outer");
+  EXPECT_EQ(events[4].phase, 'E');
+}
+
+TEST(TraceSink, EndWithoutBeginIsNoOp) {
+  TraceSink sink;
+  sink.End();
+  EXPECT_TRUE(sink.events().empty());
+  EXPECT_EQ(sink.depth(), 0);
+}
+
+TEST(TraceSink, JsonlRoundTrip) {
+  TraceSink sink;
+  sink.Begin("phase \"quoted\"", {{"key", "line1\nline2"}, {"n", "42"}});
+  sink.Instant("point");
+  sink.End();
+
+  std::string jsonl;
+  for (const TraceEvent& event : sink.events()) {
+    jsonl += TraceSink::ToJsonl(event);
+    jsonl += '\n';
+  }
+  std::istringstream in(jsonl);
+  const std::vector<TraceEvent> parsed = TraceSink::ParseJsonl(in);
+  ASSERT_EQ(parsed.size(), sink.events().size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i], sink.events()[i]) << "event " << i;
+  }
+}
+
+TEST(TraceSink, ParseRejectsMalformedInput) {
+  std::istringstream bad("not json\n");
+  EXPECT_THROW((void)TraceSink::ParseJsonl(bad), std::runtime_error);
+}
+
+TEST(TraceSink, StreamsJsonlToFile) {
+  TempPath tmp("quicksand_trace_test.jsonl");
+  {
+    TraceSink sink(tmp.path);
+    sink.Begin("write");
+    sink.End();
+  }
+  std::ifstream in(tmp.path);
+  ASSERT_TRUE(in.good());
+  const std::vector<TraceEvent> parsed = TraceSink::ParseJsonl(in);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].name, "write");
+  EXPECT_EQ(parsed[1].phase, 'E');
+}
+
+TEST(TraceSink, WritesChromeTraceArray) {
+  TempPath tmp("quicksand_trace_test_chrome.json");
+  TraceSink sink;
+  sink.Begin("p");
+  sink.End();
+  sink.WriteChromeTrace(tmp.path);
+  std::ifstream in(tmp.path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(content.find("\"ph\": \"B\""), std::string::npos);
+}
+
+TEST(GlobalTraceSink, InstallAndClear) {
+  EXPECT_EQ(GlobalTrace(), nullptr);
+  {
+    TraceSink sink;
+    SetGlobalTrace(&sink);
+    EXPECT_EQ(GlobalTrace(), &sink);
+    {
+      const ScopedPhase phase(GlobalTrace(), "scoped");
+      EXPECT_EQ(sink.depth(), 1);
+    }
+    EXPECT_EQ(sink.depth(), 0);
+    // The sink's destructor clears the global pointer it owns.
+  }
+  EXPECT_EQ(GlobalTrace(), nullptr);
+}
+
+TEST(ScopedPhase, InertOnNullSink) {
+  const ScopedPhase phase(nullptr, "nothing");  // must not crash
+  EXPECT_EQ(GlobalTrace(), nullptr);
+}
+
+}  // namespace
+}  // namespace quicksand::obs

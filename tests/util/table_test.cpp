@@ -33,6 +33,31 @@ TEST(Table, ShortRowsArePadded) {
   EXPECT_NO_THROW({ (void)t.Render(); });
 }
 
+TEST(Table, ToCsvEmitsHeaderAndEscapedRows) {
+  Table t({"metric", "value"});
+  t.AddRow({"plain", "1"});
+  t.AddRow({"comma, quoted \"x\"", "2"});
+  EXPECT_EQ(t.ToCsv(),
+            "metric,value\n"
+            "plain,1\n"
+            "\"comma, quoted \"\"x\"\"\",2\n");
+}
+
+TEST(Table, ToCsvPadsShortRows) {
+  Table t({"a", "b"});
+  t.AddRow({"only"});
+  EXPECT_EQ(t.ToCsv(), "a,b\nonly,\n");
+}
+
+TEST(Table, AccessorsExposeHeadersAndRows) {
+  Table t({"h1", "h2"});
+  t.AddRow({"x", "y"});
+  ASSERT_EQ(t.headers().size(), 2u);
+  EXPECT_EQ(t.headers()[1], "h2");
+  ASSERT_EQ(t.rows().size(), 1u);
+  EXPECT_EQ(t.rows()[0][0], "x");
+}
+
 TEST(FormatHelpers, FormatDouble) {
   EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
   EXPECT_EQ(FormatDouble(2.0, 0), "2");
