@@ -21,6 +21,7 @@
 #include "bgp/collector.hpp"
 #include "bgp/dynamics_gen.hpp"
 #include "bgp/topology_gen.hpp"
+#include "exec/thread_pool.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stopwatch.hpp"
@@ -59,9 +60,11 @@ inline Scenario MakePaperScenario(std::uint64_t seed = 20140501) {
 }
 
 inline bgp::GeneratedDynamics MakeMonthOfDynamics(const Scenario& scenario,
+                                                  std::size_t threads = 1,
                                                   std::uint64_t seed = 20140502) {
   bgp::DynamicsParams dp;  // defaults: one month, paper-calibrated churn
   dp.seed = seed;
+  dp.threads = threads;
   return bgp::GenerateDynamics(scenario.topology, scenario.collectors, dp);
 }
 
@@ -84,6 +87,10 @@ inline void PrintComparison(util::Table& table, const std::string& metric,
 ///
 ///   --json <path>    write a "quicksand-bench-v1" JSON summary
 ///   --trace <path>   stream pipeline phases as trace_event JSONL
+///   --threads <n>    worker threads for parallel phases (0 = hardware
+///                    concurrency, the default). Output is byte-identical
+///                    for every value — only wall time changes (see
+///                    docs/PERFORMANCE.md).
 ///
 /// The JSON summary separates wall-clock timing (phases / *_ms
 /// histograms) from the deterministic metric snapshot, so two seeded runs
@@ -167,6 +174,9 @@ class BenchContext {
     }
     doc.Set("phases", std::move(phases));
     doc.Set("total_wall_ms", total_.ElapsedMs());
+    // Outside the deterministic view: a run's thread count, like its wall
+    // times, is allowed to differ between compared runs.
+    doc.Set("threads", static_cast<std::int64_t>(threads()));
     const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
     obs::JsonValue metrics = snapshot.ToJson();
     for (auto& [key, value] : metrics.members()) {
@@ -192,6 +202,12 @@ class BenchContext {
 
   [[nodiscard]] const std::string& json_path() const noexcept { return json_path_; }
 
+  /// Resolved worker-thread count from --threads (0 = hardware
+  /// concurrency). Pass this to every `threads` knob the bench exercises.
+  [[nodiscard]] std::size_t threads() const noexcept {
+    return exec::ResolveThreads(threads_);
+  }
+
  private:
   struct ComparisonRow {
     std::string metric;
@@ -211,12 +227,22 @@ class BenchContext {
         }
       } else if (arg == "--trace" && i + 1 < argc) {
         trace_path_ = argv[++i];
+      } else if (arg == "--threads" && i + 1 < argc) {
+        char* end = nullptr;
+        const unsigned long value = std::strtoul(argv[++i], &end, 10);
+        if (end == nullptr || *end != '\0') {
+          std::cerr << "invalid --threads value: " << argv[i] << "\n";
+          std::exit(2);
+        }
+        threads_ = static_cast<std::size_t>(value);
       } else if (arg == "--help" || arg == "-h") {
-        std::cout << "usage: " << argv[0] << " [--json <path>] [--trace <path>]\n";
+        std::cout << "usage: " << argv[0]
+                  << " [--json <path>] [--trace <path>] [--threads <n>]\n";
         std::exit(0);
       } else {
         std::cerr << "unknown argument: " << arg << "\n"
-                  << "usage: " << argv[0] << " [--json <path>] [--trace <path>]\n";
+                  << "usage: " << argv[0]
+                  << " [--json <path>] [--trace <path>] [--threads <n>]\n";
         std::exit(2);
       }
     }
@@ -226,6 +252,7 @@ class BenchContext {
   std::string claim_;
   std::string json_path_;
   std::string trace_path_;
+  std::size_t threads_ = 0;  // 0 = hardware concurrency
   std::unique_ptr<obs::TraceSink> trace_;
   obs::Stopwatch total_;
   std::vector<std::pair<std::string, double>> phases_;

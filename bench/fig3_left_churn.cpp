@@ -24,11 +24,10 @@ using namespace quicksand;
 
 std::vector<double> RatiosFromStream(const bench::Scenario& scenario,
                                      const std::vector<bgp::BgpUpdate>& initial_rib,
-                                     const std::vector<bgp::BgpUpdate>& updates) {
-  bgp::ChurnAnalyzer analyzer;
-  analyzer.ConsumeInitialRib(initial_rib);
-  for (const bgp::BgpUpdate& update : updates) analyzer.Consume(update);
-  analyzer.Finish();
+                                     const std::vector<bgp::BgpUpdate>& updates,
+                                     std::size_t threads) {
+  const bgp::ChurnAnalyzer analyzer =
+      bgp::AnalyzeChurn(initial_rib, updates, {}, threads);
   return analyzer.RatioToSessionMedian(
       scenario.prefix_map.TorPrefixes(scenario.consensus.consensus));
 }
@@ -45,7 +44,7 @@ int main(int argc, char** argv) {
   const bench::Scenario scenario =
       ctx.Timed("scenario", [] { return bench::MakePaperScenario(); });
   const bgp::GeneratedDynamics dynamics =
-      ctx.Timed("dynamics", [&] { return bench::MakeMonthOfDynamics(scenario); });
+      ctx.Timed("dynamics", [&] { return bench::MakeMonthOfDynamics(scenario, ctx.threads()); });
   std::cout << "  dataset: " << dynamics.updates.size() << " updates on "
             << scenario.collectors.SessionCount() << " sessions over one month\n";
 
@@ -57,10 +56,12 @@ int main(int argc, char** argv) {
             << filtered.stats.duplicates_removed << " duplicates removed\n";
 
   const auto ratios = ctx.Timed("churn_filtered", [&] {
-    return RatiosFromStream(scenario, dynamics.initial_rib, filtered.updates);
+    return RatiosFromStream(scenario, dynamics.initial_rib, filtered.updates,
+                            ctx.threads());
   });
   const auto raw_ratios = ctx.Timed("churn_unfiltered", [&] {
-    return RatiosFromStream(scenario, dynamics.initial_rib, dynamics.updates);
+    return RatiosFromStream(scenario, dynamics.initial_rib, dynamics.updates,
+                            ctx.threads());
   });
 
   util::PrintBanner(std::cout, "CCDF of ratio (filtered stream)");
@@ -91,10 +92,8 @@ int main(int argc, char** argv) {
   ctx.Comparison(
       comparison, "Tor prefixes above median on >=1 session", "90%", [&] {
         // Group ratios per prefix across sessions via a second pass.
-        bgp::ChurnAnalyzer analyzer;
-        analyzer.ConsumeInitialRib(dynamics.initial_rib);
-        for (const bgp::BgpUpdate& u : filtered.updates) analyzer.Consume(u);
-        analyzer.Finish();
+        const bgp::ChurnAnalyzer analyzer = bgp::AnalyzeChurn(
+            dynamics.initial_rib, filtered.updates, {}, ctx.threads());
         const auto tor_prefixes =
             scenario.prefix_map.TorPrefixes(scenario.consensus.consensus);
         std::map<bgp::SessionId, double> medians;

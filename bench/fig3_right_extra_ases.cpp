@@ -31,13 +31,11 @@ struct ExtraSeries {
 ExtraSeries ExtraAsCounts(const bench::Scenario& scenario,
                           const bgp::GeneratedDynamics& dynamics,
                           const std::vector<bgp::BgpUpdate>& updates,
-                          std::int64_t dwell_threshold_s) {
+                          std::int64_t dwell_threshold_s, std::size_t threads) {
   bgp::ChurnParams params;
   params.dwell_threshold_s = dwell_threshold_s;
-  bgp::ChurnAnalyzer analyzer(params);
-  analyzer.ConsumeInitialRib(dynamics.initial_rib);
-  for (const bgp::BgpUpdate& update : updates) analyzer.Consume(update);
-  analyzer.Finish();
+  const bgp::ChurnAnalyzer analyzer =
+      bgp::AnalyzeChurn(dynamics.initial_rib, updates, params, threads);
 
   const auto tor_prefixes =
       scenario.prefix_map.TorPrefixes(scenario.consensus.consensus);
@@ -69,14 +67,14 @@ int main(int argc, char** argv) {
   const bench::Scenario scenario =
       ctx.Timed("scenario", [] { return bench::MakePaperScenario(); });
   const bgp::GeneratedDynamics dynamics =
-      ctx.Timed("dynamics", [&] { return bench::MakeMonthOfDynamics(scenario); });
+      ctx.Timed("dynamics", [&] { return bench::MakeMonthOfDynamics(scenario, ctx.threads()); });
   const auto filtered = ctx.Timed("reset_filter", [&] {
     return bgp::FilterSessionResets(dynamics.initial_rib, dynamics.updates);
   });
 
   const ExtraSeries counts = ctx.Timed("churn_5min", [&] {
     return ExtraAsCounts(scenario, dynamics, filtered.updates,
-                         netbase::duration::kAttackDwellThreshold);
+                         netbase::duration::kAttackDwellThreshold, ctx.threads());
   });
 
   util::PrintBanner(std::cout,
@@ -91,11 +89,8 @@ int main(int argc, char** argv) {
   // below the 5-minute threshold — no timing analysis, but they learn the
   // prefix carries Tor traffic.
   {
-    bgp::ChurnParams params;
-    bgp::ChurnAnalyzer analyzer(params);
-    analyzer.ConsumeInitialRib(dynamics.initial_rib);
-    for (const bgp::BgpUpdate& update : filtered.updates) analyzer.Consume(update);
-    analyzer.Finish();
+    const bgp::ChurnAnalyzer analyzer = bgp::AnalyzeChurn(
+        dynamics.initial_rib, filtered.updates, {}, ctx.threads());
     const auto tor_prefixes =
         scenario.prefix_map.TorPrefixes(scenario.consensus.consensus);
     std::vector<double> glimpses;
@@ -118,7 +113,9 @@ int main(int argc, char** argv) {
           std::pair{"5 minutes (paper)", netbase::duration::kAttackDwellThreshold},
           std::pair{"15 minutes", 15 * netbase::duration::kMinute}}) {
       const auto series =
-          ExtraAsCounts(scenario, dynamics, filtered.updates, threshold).per_pair;
+          ExtraAsCounts(scenario, dynamics, filtered.updates, threshold,
+                        ctx.threads())
+              .per_pair;
       ablation.AddRow({label, util::FormatPercent(util::FractionAtLeast(series, 2), 1),
                        util::FormatPercent(util::FractionAtLeast(series, 6), 1),
                        util::FormatDouble(util::Median(series), 1)});

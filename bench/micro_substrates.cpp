@@ -6,15 +6,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstddef>
 #include <string_view>
 #include <vector>
 
 #include "bgp/hijack.hpp"
 #include "common.hpp"
 #include "bgp/mrt.hpp"
+#include "bgp/route_cache.hpp"
 #include "bgp/route_computation.hpp"
 #include "bgp/topology_gen.hpp"
 #include "core/correlation_attack.hpp"
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
 #include "netbase/prefix_trie.hpp"
 #include "netbase/rng.hpp"
 #include "traffic/flow_sim.hpp"
@@ -127,6 +132,71 @@ void BM_MrtParseLine(benchmark::State& state) {
 }
 BENCHMARK(BM_MrtParseLine);
 
+// --- quicksand::exec substrates -------------------------------------------
+// These bound the overhead the execution layer adds on top of serial code:
+// a ParallelFor dispatch must amortize against per-item work, and a pool
+// Submit must stay cheap enough for grain-1 task farms.
+
+void BM_ThreadPoolSubmit(benchmark::State& state) {
+  exec::ThreadPool& pool = exec::ThreadPool::Shared();
+  pool.EnsureWorkers(1);
+  for (auto _ : state) {
+    std::atomic<bool> done{false};
+    pool.Submit([&done] { done.store(true, std::memory_order_release); });
+    while (!done.load(std::memory_order_acquire)) {
+    }
+  }
+  state.SetLabel("submit + wait roundtrip");
+}
+BENCHMARK(BM_ThreadPoolSubmit);
+
+void BM_ParallelForDispatch(benchmark::State& state) {
+  // Empty-body loop: measures pure chunking/scheduling overhead.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t threads = static_cast<std::size_t>(state.range(1));
+  std::vector<std::uint64_t> sink(n, 0);
+  for (auto _ : state) {
+    exec::ParallelFor(threads, n, [&](std::size_t i) { sink[i] += i; });
+    benchmark::DoNotOptimize(sink.data());
+  }
+  state.SetLabel(std::to_string(threads) + " thread(s)");
+}
+BENCHMARK(BM_ParallelForDispatch)
+    ->Args({1 << 10, 1})
+    ->Args({1 << 10, 4})
+    ->Args({1 << 16, 1})
+    ->Args({1 << 16, 4});
+
+void BM_ParallelReduceSum(benchmark::State& state) {
+  // Chunked deterministic sum vs the same loop serially (threads == 1
+  // exercises the identical chunk structure without the pool).
+  const std::size_t n = 1 << 16;
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  std::vector<double> values(n);
+  netbase::Rng rng(8);
+  for (double& v : values) v = rng.UniformDouble();
+  for (auto _ : state) {
+    const double sum = exec::ParallelReduce(
+        threads, n, 0.0, [&](std::size_t i) { return values[i]; },
+        [](double a, double b) { return a + b; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetLabel(std::to_string(threads) + " thread(s), 64k doubles");
+}
+BENCHMARK(BM_ParallelReduceSum)->Arg(1)->Arg(4);
+
+void BM_RouteCacheHit(benchmark::State& state) {
+  const bgp::Topology& topo = SharedTopology();
+  bgp::RouteCache cache;
+  const bgp::AsNumber origin = topo.hostings.front();
+  (void)cache.GetOrCompute(topo.graph, origin);  // warm the entry
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.GetOrCompute(topo.graph, origin));
+  }
+  state.SetLabel("vs BM_ComputeRoutes (the miss cost)");
+}
+BENCHMARK(BM_RouteCacheHit);
+
 void BM_FlowSimulation(benchmark::State& state) {
   traffic::FlowSimParams params;
   params.file_bytes = static_cast<std::uint64_t>(state.range(0)) << 20;
@@ -140,14 +210,16 @@ BENCHMARK(BM_FlowSimulation)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-// Custom main instead of BENCHMARK_MAIN(): the shared --json/--trace flags
-// are split off for BenchContext, everything else goes to google-benchmark.
+// Custom main instead of BENCHMARK_MAIN(): the shared --json/--trace/--threads
+// flags are split off for BenchContext, everything else goes to
+// google-benchmark.
 int main(int argc, char** argv) {
   std::vector<char*> ours = {argv[0]};
   std::vector<char*> gbench = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if ((arg == "--json" || arg == "--trace") && i + 1 < argc) {
+    if ((arg == "--json" || arg == "--trace" || arg == "--threads") &&
+        i + 1 < argc) {
       ours.push_back(argv[i]);
       ours.push_back(argv[++i]);
     } else {

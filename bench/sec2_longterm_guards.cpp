@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   base.instances = 360;  // daily connections for a year
   base.malicious_bandwidth_fraction = 0.10;
   base.seed = 20140701;
+  base.threads = ctx.threads();
 
   // --- Guard-set size sweep (0 = no guard persistence, pre-2006 Tor).
   util::PrintBanner(std::cout, "compromised clients after one year of daily use "

@@ -8,6 +8,7 @@
 
 #include "common.hpp"
 #include "core/attack_analysis.hpp"
+#include "exec/parallel.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
@@ -34,7 +35,8 @@ int main(int argc, char** argv) {
   const auto gain = ctx.Timed("structural_gain", [&] {
     return core::ComputeAsymmetricGain(
         analyzer, scenario.topology.graph.AsCount(), scenario.topology.eyeballs,
-        guard_ases, exit_ases, scenario.topology.contents, 400, 20140627);
+        guard_ases, exit_ases, scenario.topology.contents, 400, 20140627,
+        ctx.threads());
   });
 
   util::PrintBanner(std::cout, "observation-model comparison (400 sampled circuits)");
@@ -58,42 +60,64 @@ int main(int argc, char** argv) {
   util::CsvWriter csv("sec33_deanon.csv",
                       {"entry_view", "exit_view", "trial", "success", "target_r",
                        "runner_up_r"});
-  ctx.Timed("correlation_trials", [&] {
-  for (core::SegmentView entry :
-       {core::SegmentView::kDataBytes, core::SegmentView::kAckedBytes}) {
-    for (core::SegmentView exit :
-         {core::SegmentView::kDataBytes, core::SegmentView::kAckedBytes}) {
-      std::size_t successes = 0;
-      std::vector<double> target_r, runner_r;
-      const int trials = 12;
+  // Every (entry view, exit view, trial) task is an independent seeded
+  // experiment: run all 48 in parallel, then report in the original order.
+  const core::SegmentView views[] = {core::SegmentView::kDataBytes,
+                                     core::SegmentView::kAckedBytes};
+  const int trials = 12;
+  struct TrialCase {
+    core::SegmentView entry;
+    core::SegmentView exit;
+    int trial;
+  };
+  std::vector<TrialCase> trial_cases;
+  for (core::SegmentView entry : views) {
+    for (core::SegmentView exit : views) {
       for (int trial = 0; trial < trials; ++trial) {
-        core::DeanonExperimentParams params;
-        params.candidate_clients = 10;
-        params.entry_view = entry;
-        params.exit_view = exit;
-        params.base_flow.file_bytes = 12 << 20;
-        params.correlation.bin_s = 0.5;
-        params.correlation.duration_s = 16.0;
-        params.seed = 5000 + static_cast<std::uint64_t>(trial) * 37;
-        const auto result = core::RunCorrelationDeanonymization(params);
-        if (result.success) ++successes;
-        target_r.push_back(result.target_correlation);
-        runner_r.push_back(result.runner_up_correlation);
-        csv.WriteRow({std::string(ToString(entry)), std::string(ToString(exit)),
-                      std::to_string(trial), result.success ? "1" : "0",
-                      util::FormatDouble(result.target_correlation, 4),
-                      util::FormatDouble(result.runner_up_correlation, 4)});
+        trial_cases.push_back({entry, exit, trial});
       }
-      attack.AddRow({std::string(ToString(entry)), std::string(ToString(exit)),
-                     util::FormatPercent(static_cast<double>(successes) / trials, 0),
-                     util::FormatDouble(util::Mean(target_r), 3),
-                     util::FormatDouble(util::Mean(runner_r), 3)});
-      ctx.Result("success_rate[" + std::string(ToString(entry)) + "/" +
-                     std::string(ToString(exit)) + "]",
-                 static_cast<double>(successes) / trials);
     }
   }
-  });
+  const std::vector<core::DeanonResult> trial_results =
+      ctx.Timed("correlation_trials", [&] {
+        return exec::ParallelMap(
+            ctx.threads(), trial_cases.size(),
+            [&](std::size_t i) {
+              core::DeanonExperimentParams params;
+              params.candidate_clients = 10;
+              params.entry_view = trial_cases[i].entry;
+              params.exit_view = trial_cases[i].exit;
+              params.base_flow.file_bytes = 12 << 20;
+              params.correlation.bin_s = 0.5;
+              params.correlation.duration_s = 16.0;
+              params.seed = 5000 + static_cast<std::uint64_t>(trial_cases[i].trial) * 37;
+              return core::RunCorrelationDeanonymization(params);
+            },
+            /*grain=*/1);
+      });
+  for (std::size_t i = 0; i < trial_cases.size(); i += trials) {
+    const core::SegmentView entry = trial_cases[i].entry;
+    const core::SegmentView exit = trial_cases[i].exit;
+    std::size_t successes = 0;
+    std::vector<double> target_r, runner_r;
+    for (int trial = 0; trial < trials; ++trial) {
+      const core::DeanonResult& result = trial_results[i + trial];
+      if (result.success) ++successes;
+      target_r.push_back(result.target_correlation);
+      runner_r.push_back(result.runner_up_correlation);
+      csv.WriteRow({std::string(ToString(entry)), std::string(ToString(exit)),
+                    std::to_string(trial), result.success ? "1" : "0",
+                    util::FormatDouble(result.target_correlation, 4),
+                    util::FormatDouble(result.runner_up_correlation, 4)});
+    }
+    attack.AddRow({std::string(ToString(entry)), std::string(ToString(exit)),
+                   util::FormatPercent(static_cast<double>(successes) / trials, 0),
+                   util::FormatDouble(util::Mean(target_r), 3),
+                   util::FormatDouble(util::Mean(runner_r), 3)});
+    ctx.Result("success_rate[" + std::string(ToString(entry)) + "/" +
+                   std::string(ToString(exit)) + "]",
+               static_cast<double>(successes) / trials);
+  }
   std::cout << attack.Render();
 
   util::PrintBanner(std::cout, "paper vs measured");

@@ -17,6 +17,7 @@
 #include "core/attack_analysis.hpp"
 #include "core/exposure.hpp"
 #include "core/monitor.hpp"
+#include "exec/parallel.hpp"
 #include "tor/as_aware_selection.hpp"
 #include "tor/path_selection.hpp"
 #include "util/csv.hpp"
@@ -71,7 +72,7 @@ int main(int argc, char** argv) {
   // published AS-list service): churn + monitor findings -> per-guard
   // weight multipliers.
   const bgp::GeneratedDynamics advisory_dynamics =
-      ctx.Timed("advisory_dynamics", [&] { return bench::MakeMonthOfDynamics(scenario); });
+      ctx.Timed("advisory_dynamics", [&] { return bench::MakeMonthOfDynamics(scenario, ctx.threads()); });
   const auto advisory_filtered =
       bgp::FilterSessionResets(advisory_dynamics.initial_rib, advisory_dynamics.updates);
   bgp::ChurnAnalyzer advisory_churn;
@@ -107,8 +108,20 @@ int main(int argc, char** argv) {
   };
   std::map<std::string, PolicyStats> stats;
 
-  ctx.Timed("policy_eval", [&] {
-  for (std::size_t pair = 0; pair < kPairs; ++pair) {
+  // One task per (client, destination) pair: pairs share only the
+  // thread-safe exposure analyzer and their own seeded Rng, so they run
+  // concurrently; rows are merged in pair order afterwards.
+  struct PairRow {
+    std::string policy;
+    double fraction = 0;
+    double mean_observers = 0;
+  };
+  const std::vector<std::vector<PairRow>> pair_rows =
+      ctx.Timed("policy_eval", [&] {
+        return exec::ParallelMap(
+            ctx.threads(), kPairs,
+            [&](std::size_t pair) {
+              std::vector<PairRow> rows;
     const bgp::AsNumber client =
         scenario.topology.eyeballs[pair * 7 % scenario.topology.eyeballs.size()];
     const bgp::AsNumber dest =
@@ -209,13 +222,21 @@ int main(int argc, char** argv) {
       if (built == 0) continue;
       const double fraction = static_cast<double>(compromised) / static_cast<double>(built);
       const double mean_observers = observers / static_cast<double>(built);
-      stats[policy.name].compromised.push_back(fraction);
-      stats[policy.name].observers.push_back(mean_observers);
-      csv.WriteRow({policy.name, std::to_string(pair), util::FormatDouble(fraction, 4),
-                    util::FormatDouble(mean_observers, 3)});
+      rows.push_back({policy.name, fraction, mean_observers});
+    }
+              return rows;
+            },
+            /*grain=*/1);
+      });
+  for (std::size_t pair = 0; pair < pair_rows.size(); ++pair) {
+    for (const PairRow& row : pair_rows[pair]) {
+      stats[row.policy].compromised.push_back(row.fraction);
+      stats[row.policy].observers.push_back(row.mean_observers);
+      csv.WriteRow({row.policy, std::to_string(pair),
+                    util::FormatDouble(row.fraction, 4),
+                    util::FormatDouble(row.mean_observers, 3)});
     }
   }
-  });
 
   for (const auto& name :
        {"vanilla Tor (bandwidth only)", "static AS-aware (prior work)",
@@ -235,7 +256,7 @@ int main(int argc, char** argv) {
   // ---------- Part 2: control-plane monitor ----------
   const auto tor_prefixes = scenario.prefix_map.TorPrefixes(consensus);
   const bgp::GeneratedDynamics dynamics =
-      ctx.Timed("monitor_dynamics", [&] { return bench::MakeMonthOfDynamics(scenario); });
+      ctx.Timed("monitor_dynamics", [&] { return bench::MakeMonthOfDynamics(scenario, ctx.threads()); });
 
   // False-alarm cost on a benign month.
   core::RelayMonitor benign_monitor(tor_prefixes);

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   // Visibility: for each Tor prefix, the fraction of sessions observing it
   // at t=0; and per session, the number of Tor prefixes learned.
   const bgp::GeneratedDynamics dynamics =
-      ctx.Timed("dynamics", [&] { return bench::MakeMonthOfDynamics(scenario); });
+      ctx.Timed("dynamics", [&] { return bench::MakeMonthOfDynamics(scenario, ctx.threads()); });
   bgp::ChurnAnalyzer analyzer;
   analyzer.ConsumeInitialRib(dynamics.initial_rib);
   analyzer.Finish();

@@ -11,11 +11,14 @@ top-level field, and the internal shape of phases, metric maps,
 histograms, and comparison rows.
 
 Comparison ignores everything that is allowed to vary between runs of
-the same seed: per-phase wall times, total_wall_ms, and any histogram
-whose name ends in "_ms" (the reserved wall-clock namespace — see
-docs/OBSERVABILITY.md). Everything else, including every counter, gauge,
-non-timing histogram, comparison row, and result value, must match
-exactly.
+the same seed: per-phase wall times, total_wall_ms, the top-level
+"threads" field, any histogram whose name ends in "_ms" (the reserved
+wall-clock namespace), and any metric whose name starts with "exec."
+(the reserved execution-telemetry namespace: thread-pool and cache
+counters legitimately depend on thread count and scheduling — see
+docs/OBSERVABILITY.md). Everything else, including every counter,
+gauge, non-timing histogram, comparison row, and result value, must
+match exactly.
 """
 
 import json
@@ -110,18 +113,32 @@ def validate(doc, origin):
                 fail(f"{origin}: comparisons[{i}].{key} is not a string")
 
 
+def scheduling_dependent(name):
+    """True for metrics in the reserved "exec." namespace, whose values may
+    vary with thread count and scheduling (pool telemetry, cache hits)."""
+    return name.startswith("exec.")
+
+
 def deterministic_view(doc):
     """The subset of a document that must be identical across same-seed runs."""
     return {
         "experiment": doc["experiment"],
         "claim": doc["claim"],
         "phase_names": [p["name"] for p in doc["phases"]],
-        "counters": doc["counters"],
-        "gauges": doc["gauges"],
+        "counters": {
+            name: value
+            for name, value in doc["counters"].items()
+            if not scheduling_dependent(name)
+        },
+        "gauges": {
+            name: value
+            for name, value in doc["gauges"].items()
+            if not scheduling_dependent(name)
+        },
         "histograms": {
             name: hist
             for name, hist in doc["histograms"].items()
-            if not name.endswith("_ms")
+            if not name.endswith("_ms") and not scheduling_dependent(name)
         },
         "comparisons": doc["comparisons"],
         "results": doc["results"],

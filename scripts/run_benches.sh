@@ -7,6 +7,9 @@
 #   OUT_DIR    defaults to "bench_out"
 #
 # Pass QUICKSAND_BENCH_TRACE=1 to also write a .jsonl phase trace per bench.
+# Pass QUICKSAND_BENCH_THREADS=<n> to forward --threads <n> to every bench
+# (0 = hardware concurrency; output is byte-identical for any value — see
+# docs/PERFORMANCE.md).
 # micro_substrates runs with --benchmark_min_time=0.01 to keep the sweep
 # fast; drop that override for real performance numbers.
 
@@ -42,6 +45,9 @@ for bin in "${benches[@]}"; do
   args=(--json "$json")
   if [[ "${QUICKSAND_BENCH_TRACE:-0}" == "1" ]]; then
     args+=(--trace "$out_dir/$name.jsonl")
+  fi
+  if [[ -n "${QUICKSAND_BENCH_THREADS:-}" ]]; then
+    args+=(--threads "$QUICKSAND_BENCH_THREADS")
   fi
   if [[ "$name" == "micro_substrates" ]]; then
     args+=(--benchmark_min_time=0.01)

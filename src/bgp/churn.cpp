@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "exec/parallel.hpp"
 #include "obs/metrics.hpp"
 #include "util/stats.hpp"
 
@@ -194,6 +195,45 @@ std::map<netbase::Prefix, std::size_t> ChurnAnalyzer::SessionsPerPrefix() const 
     ++out[key.prefix];
   }
   return out;
+}
+
+ChurnAnalyzer AnalyzeChurn(std::span<const BgpUpdate> initial_rib,
+                           std::span<const BgpUpdate> updates, ChurnParams params,
+                           std::size_t threads) {
+  // Partition both streams by session, preserving each session's relative
+  // (time) order. A (session, prefix) state only ever sees its own
+  // session's updates, so per-session analysis is exactly equivalent to
+  // serial consumption of the interleaved stream.
+  std::map<SessionId, std::pair<std::vector<const BgpUpdate*>,
+                                std::vector<const BgpUpdate*>>>
+      by_session;
+  for (const BgpUpdate& u : initial_rib) by_session[u.session].first.push_back(&u);
+  for (const BgpUpdate& u : updates) by_session[u.session].second.push_back(&u);
+
+  std::vector<const std::pair<std::vector<const BgpUpdate*>,
+                              std::vector<const BgpUpdate*>>*>
+      partitions;
+  partitions.reserve(by_session.size());
+  for (const auto& [session, streams] : by_session) partitions.push_back(&streams);
+
+  std::vector<ChurnAnalyzer> analyzed = exec::ParallelMap(
+      threads, partitions.size(),
+      [&](std::size_t i) {
+        ChurnAnalyzer analyzer(params);
+        for (const BgpUpdate* u : partitions[i]->first) analyzer.Consume(*u);
+        for (const BgpUpdate* u : partitions[i]->second) analyzer.Consume(*u);
+        analyzer.Finish();
+        return analyzer;
+      },
+      /*grain=*/1);
+
+  // Merge in ascending session order; key spaces are disjoint.
+  ChurnAnalyzer merged(params);
+  merged.finished_ = true;
+  for (ChurnAnalyzer& partial : analyzed) {
+    merged.results_.merge(partial.results_);
+  }
+  return merged;
 }
 
 std::map<SessionId, std::size_t> ChurnAnalyzer::PrefixesPerSession() const {

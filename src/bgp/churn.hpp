@@ -57,6 +57,19 @@ struct SessionPrefixKey {
   friend auto operator<=>(const SessionPrefixKey&, const SessionPrefixKey&) = default;
 };
 
+class ChurnAnalyzer;
+
+/// Runs a whole dataset (initial RIB + time-ordered updates) through the
+/// analyzer on `threads` threads (0 = hardware concurrency) and returns it
+/// finished. Sessions are independent key spaces, so the stream is
+/// partitioned by session, analyzed per partition, and merged in session
+/// order — the result is identical to serial consumption for every thread
+/// count.
+[[nodiscard]] ChurnAnalyzer AnalyzeChurn(std::span<const BgpUpdate> initial_rib,
+                                         std::span<const BgpUpdate> updates,
+                                         ChurnParams params = {},
+                                         std::size_t threads = 1);
+
 /// Streaming churn analyzer.
 class ChurnAnalyzer {
  public:
@@ -105,6 +118,10 @@ class ChurnAnalyzer {
   [[nodiscard]] std::map<SessionId, std::size_t> PrefixesPerSession() const;
 
  private:
+  friend ChurnAnalyzer AnalyzeChurn(std::span<const BgpUpdate>,
+                                    std::span<const BgpUpdate>, ChurnParams,
+                                    std::size_t);
+
   struct State {
     bool has_baseline = false;
     std::vector<AsNumber> baseline;       // sorted distinct AS set

@@ -6,7 +6,9 @@
 #include <optional>
 #include <unordered_map>
 
+#include "bgp/route_cache.hpp"
 #include "bgp/route_computation.hpp"
+#include "exec/parallel.hpp"
 #include "netbase/rng.hpp"
 #include "obs/logger.hpp"
 #include "obs/metrics.hpp"
@@ -54,7 +56,7 @@ std::size_t PoissonDraw(Rng& rng, double lambda) {
 /// Returns nullopt if the variant duplicates an existing tree.
 std::optional<ObservationTable> MakeAlternate(
     const Topology& topology, const CollectorSet& collectors, AsIndex origin_index,
-    const std::vector<ObservationTable>& existing_trees, Rng& rng) {
+    const std::vector<ObservationTable>& existing_trees, Rng& rng, RouteCache& cache) {
   const AsGraph& graph = topology.graph;
   const ObservationTable& reference =
       existing_trees[rng.UniformInt(0, existing_trees.size() - 1)];
@@ -101,9 +103,20 @@ std::optional<ObservationTable> MakeAlternate(
     options.tie_break_salts = salts;
   }
 
-  const RoutingState state =
-      ComputeRoutes(graph, std::span<const OriginSpec>(&spec, 1), options);
-  ObservationTable table = ObserveAll(collectors, graph, state);
+  ObservationTable table;
+  if (salts.empty()) {
+    // Link-failure variants recur across attempts and across prefixes of
+    // the same origin — the cache turns those repeats into lookups.
+    const auto state = cache.GetOrCompute(
+        graph, std::span<const OriginSpec>(&spec, 1), options);
+    table = ObserveAll(collectors, graph, *state);
+  } else {
+    // Salt variants draw fresh 64-bit salts, so they never repeat; compute
+    // directly rather than pollute the cache with one-shot keys.
+    const RoutingState state =
+        ComputeRoutes(graph, std::span<const OriginSpec>(&spec, 1), options);
+    table = ObserveAll(collectors, graph, state);
+  }
   for (const ObservationTable& tree : existing_trees) {
     if (table == tree) return std::nullopt;
   }
@@ -116,134 +129,182 @@ GeneratedDynamics GenerateDynamics(const Topology& topology, const CollectorSet&
                                    const DynamicsParams& params) {
   const obs::ScopedPhase trace_phase(obs::GlobalTrace(), "bgp.generate_dynamics");
   const AsGraph& graph = topology.graph;
-  Rng rng(params.seed);
+  const std::size_t prefix_count = topology.prefix_origins.size();
   GeneratedDynamics out;
-  out.truth.reserve(topology.prefix_origins.size());
+  out.truth.reserve(prefix_count);
 
-  // Baseline routing states are per *origin AS*; cache them across the
-  // origin's prefixes.
-  std::unordered_map<AsNumber, ObservationTable> baseline_cache;
+  // Substreams are forked serially, in a fixed order, before any parallel
+  // work begins: one per prefix, then one for the session-reset replay.
+  // Every draw a task makes comes from its own substream, so the dataset
+  // is byte-identical for any value of params.threads.
+  Rng root(params.seed);
+  std::vector<Rng> prefix_rngs;
+  prefix_rngs.reserve(prefix_count);
+  for (std::size_t i = 0; i < prefix_count; ++i) prefix_rngs.push_back(root.Fork());
+  Rng reset_rng = root.Fork();
+
+  // Baseline routing states are per *origin AS*: compute each distinct
+  // origin once (in parallel, through the route cache), then share the
+  // observation table across that origin's prefixes.
+  RouteCache cache;
+  std::vector<AsNumber> distinct_origins;
+  std::unordered_map<AsNumber, std::size_t> baseline_slot;
+  for (const PrefixOrigin& po : topology.prefix_origins) {
+    if (baseline_slot.emplace(po.origin, distinct_origins.size()).second) {
+      distinct_origins.push_back(po.origin);
+    }
+  }
+  const std::vector<ObservationTable> baselines = exec::ParallelMap(
+      params.threads, distinct_origins.size(), [&](std::size_t i) {
+        const auto state = cache.GetOrCompute(graph, distinct_origins[i]);
+        return ObserveAll(collectors, graph, *state);
+      });
+
+  // Per-prefix generation. Each task reads shared immutable state plus its
+  // own Rng substream and returns its slice of the dataset; slices are
+  // concatenated in prefix order below, so scheduling never reorders them.
+  struct PrefixSlice {
+    std::vector<BgpUpdate> initial_rib;
+    std::vector<BgpUpdate> updates;
+    PrefixDynamicsTruth truth;
+    std::vector<ObservationTable> trees;  // kept for the reset replay below
+  };
+  std::vector<PrefixSlice> slices = exec::ParallelMap(
+      params.threads, prefix_count,
+      [&](std::size_t slot) {
+        const PrefixOrigin& po = topology.prefix_origins[slot];
+        Rng rng = prefix_rngs[slot];
+        PrefixSlice slice;
+        const ObservationTable& baseline = baselines[baseline_slot.at(po.origin)];
+
+        // --- Event intensity first: unstable prefixes explore more paths,
+        // so the alternate count below scales with it.
+        const AsRole role = topology.RoleOf(po.origin);
+        const bool hosting = role == AsRole::kHosting;
+        double intensity =
+            rng.Pareto(params.event_pareto_xmin, params.event_pareto_alpha) - 1.0;
+        if (hosting) {
+          intensity *= params.hosting_churn_multiplier;
+        } else if (role == AsRole::kTier1 || role == AsRole::kTransit) {
+          intensity *= params.core_churn_multiplier;
+        }
+        const auto scheduled = std::min<std::size_t>(
+            static_cast<std::size_t>(std::llround(std::max(0.0, intensity))),
+            params.max_events_per_prefix);
+
+        std::vector<ObservationTable>& trees = slice.trees;
+        trees.push_back(baseline);
+        const AsIndex origin_index = graph.MustIndexOf(po.origin);
+        const std::size_t alternates =
+            std::min(params.alternates_per_prefix + scheduled / 10,
+                     params.max_alternates_per_prefix);
+        for (std::size_t j = 0; j < alternates; ++j) {
+          for (int attempt = 0; attempt < 3; ++attempt) {
+            auto alt =
+                MakeAlternate(topology, collectors, origin_index, trees, rng, cache);
+            if (alt) {
+              trees.push_back(std::move(*alt));
+              break;
+            }
+          }
+        }
+
+        // --- Initial RIB at t=0.
+        for (SessionId s = 0; s < baseline.size(); ++s) {
+          if (baseline[s]) {
+            slice.initial_rib.push_back(
+                {SimTime{0}, s, UpdateType::kAnnounce, po.prefix, *baseline[s]});
+          }
+        }
+
+        slice.truth = {po.prefix, po.origin, hosting, scheduled, 0};
+
+        if (trees.size() > 1 && scheduled > 0) {
+          std::vector<std::int64_t> times;
+          times.reserve(scheduled);
+          for (std::size_t e = 0; e < scheduled; ++e) {
+            times.push_back(
+                static_cast<std::int64_t>(rng.UniformInt(60, params.window - 60)));
+          }
+          std::sort(times.begin(), times.end());
+
+          std::size_t current = 0;  // index into trees
+          std::int64_t busy_until = 0;
+
+          auto emit_transition = [&](std::int64_t at, std::size_t from,
+                                     std::size_t to) {
+            for (SessionId s = 0; s < collectors.SessionCount(); ++s) {
+              const auto& pa = trees[from][s];
+              const auto& pb = trees[to][s];
+              if (pa == pb) continue;
+              ++slice.truth.emitted_transitions;
+              if (!pb) {
+                slice.updates.push_back(
+                    {SimTime{at}, s, UpdateType::kWithdraw, po.prefix, {}});
+                continue;
+              }
+              // Convergence exploration: briefly show a third tree's path.
+              if (trees.size() > 2 && rng.Bernoulli(params.convergence_prob)) {
+                std::size_t k = rng.UniformInt(0, trees.size() - 1);
+                if (k != from && k != to && trees[k][s] && trees[k][s] != pa &&
+                    trees[k][s] != pb) {
+                  slice.updates.push_back(
+                      {SimTime{at}, s, UpdateType::kAnnounce, po.prefix, *trees[k][s]});
+                  const std::int64_t settle = std::min<std::int64_t>(
+                      at + 5 + static_cast<std::int64_t>(rng.UniformInt(0, 55)),
+                      params.window);
+                  slice.updates.push_back(
+                      {SimTime{settle}, s, UpdateType::kAnnounce, po.prefix, *pb});
+                  continue;
+                }
+              }
+              slice.updates.push_back(
+                  {SimTime{at}, s, UpdateType::kAnnounce, po.prefix, *pb});
+            }
+          };
+
+          for (std::int64_t t : times) {
+            std::int64_t at = std::max(t, busy_until + 60);
+            if (at >= params.window - 60) break;
+            std::size_t target = rng.UniformInt(1, trees.size() - 1);
+            if (target == current) target = 0;
+
+            if (rng.Bernoulli(params.permanent_shift_prob)) {
+              emit_transition(at, current, target);
+              current = target;
+              busy_until = at + 90;
+              continue;
+            }
+            // Transient: out and back.
+            const double mean = rng.Bernoulli(params.short_dwell_prob)
+                                    ? params.short_dwell_mean_s
+                                    : params.long_dwell_mean_s;
+            auto dwell =
+                static_cast<std::int64_t>(std::max(10.0, rng.Exponential(mean)));
+            const std::int64_t back = std::min(at + dwell, params.window - 30);
+            emit_transition(at, current, target);
+            emit_transition(back, target, current);
+            busy_until = back + 90;
+          }
+        }
+        return slice;
+      },
+      /*grain=*/1);
 
   // Per (session, prefix-slot) alternates kept for the reset replay below.
   std::vector<std::vector<ObservationTable>> trees_per_prefix;
-  trees_per_prefix.reserve(topology.prefix_origins.size());
-
-  for (const PrefixOrigin& po : topology.prefix_origins) {
-    auto it = baseline_cache.find(po.origin);
-    if (it == baseline_cache.end()) {
-      const RoutingState state = ComputeRoutes(graph, po.origin);
-      it = baseline_cache.emplace(po.origin, ObserveAll(collectors, graph, state)).first;
-    }
-    const ObservationTable& baseline = it->second;
-
-    // --- Event intensity first: unstable prefixes explore more paths, so
-    // the alternate count below scales with it.
-    const AsRole role = topology.RoleOf(po.origin);
-    const bool hosting = role == AsRole::kHosting;
-    double intensity = rng.Pareto(params.event_pareto_xmin, params.event_pareto_alpha) - 1.0;
-    if (hosting) {
-      intensity *= params.hosting_churn_multiplier;
-    } else if (role == AsRole::kTier1 || role == AsRole::kTransit) {
-      intensity *= params.core_churn_multiplier;
-    }
-    const auto scheduled = std::min<std::size_t>(
-        static_cast<std::size_t>(std::llround(std::max(0.0, intensity))),
-        params.max_events_per_prefix);
-
-    std::vector<ObservationTable> trees;
-    trees.push_back(baseline);
-    const AsIndex origin_index = graph.MustIndexOf(po.origin);
-    const std::size_t alternates = std::min(
-        params.alternates_per_prefix + scheduled / 10, params.max_alternates_per_prefix);
-    for (std::size_t j = 0; j < alternates; ++j) {
-      for (int attempt = 0; attempt < 3; ++attempt) {
-        auto alt = MakeAlternate(topology, collectors, origin_index, trees, rng);
-        if (alt) {
-          trees.push_back(std::move(*alt));
-          break;
-        }
-      }
-    }
-
-    // --- Initial RIB at t=0.
-    for (SessionId s = 0; s < baseline.size(); ++s) {
-      if (baseline[s]) {
-        out.initial_rib.push_back(
-            {SimTime{0}, s, UpdateType::kAnnounce, po.prefix, *baseline[s]});
-      }
-    }
-
-    PrefixDynamicsTruth truth{po.prefix, po.origin, hosting, scheduled, 0};
-
-    if (trees.size() > 1 && scheduled > 0) {
-      std::vector<std::int64_t> times;
-      times.reserve(scheduled);
-      for (std::size_t e = 0; e < scheduled; ++e) {
-        times.push_back(
-            static_cast<std::int64_t>(rng.UniformInt(60, params.window - 60)));
-      }
-      std::sort(times.begin(), times.end());
-
-      std::size_t current = 0;  // index into trees
-      std::int64_t busy_until = 0;
-
-      auto emit_transition = [&](std::int64_t at, std::size_t from, std::size_t to) {
-        for (SessionId s = 0; s < collectors.SessionCount(); ++s) {
-          const auto& pa = trees[from][s];
-          const auto& pb = trees[to][s];
-          if (pa == pb) continue;
-          ++truth.emitted_transitions;
-          if (!pb) {
-            out.updates.push_back({SimTime{at}, s, UpdateType::kWithdraw, po.prefix, {}});
-            continue;
-          }
-          // Convergence exploration: briefly show a third tree's path.
-          if (trees.size() > 2 && rng.Bernoulli(params.convergence_prob)) {
-            std::size_t k = rng.UniformInt(0, trees.size() - 1);
-            if (k != from && k != to && trees[k][s] && trees[k][s] != pa &&
-                trees[k][s] != pb) {
-              out.updates.push_back(
-                  {SimTime{at}, s, UpdateType::kAnnounce, po.prefix, *trees[k][s]});
-              const std::int64_t settle =
-                  std::min<std::int64_t>(at + 5 + static_cast<std::int64_t>(
-                                                      rng.UniformInt(0, 55)),
-                                         params.window);
-              out.updates.push_back(
-                  {SimTime{settle}, s, UpdateType::kAnnounce, po.prefix, *pb});
-              continue;
-            }
-          }
-          out.updates.push_back({SimTime{at}, s, UpdateType::kAnnounce, po.prefix, *pb});
-        }
-      };
-
-      for (std::int64_t t : times) {
-        std::int64_t at = std::max(t, busy_until + 60);
-        if (at >= params.window - 60) break;
-        std::size_t target = rng.UniformInt(1, trees.size() - 1);
-        if (target == current) target = 0;
-
-        if (rng.Bernoulli(params.permanent_shift_prob)) {
-          emit_transition(at, current, target);
-          current = target;
-          busy_until = at + 90;
-          continue;
-        }
-        // Transient: out and back.
-        const double mean = rng.Bernoulli(params.short_dwell_prob)
-                                ? params.short_dwell_mean_s
-                                : params.long_dwell_mean_s;
-        auto dwell = static_cast<std::int64_t>(std::max(10.0, rng.Exponential(mean)));
-        const std::int64_t back = std::min(at + dwell, params.window - 30);
-        emit_transition(at, current, target);
-        emit_transition(back, target, current);
-        busy_until = back + 90;
-      }
-    }
-
-    out.truth.push_back(std::move(truth));
-    trees_per_prefix.push_back(std::move(trees));
+  trees_per_prefix.reserve(prefix_count);
+  for (PrefixSlice& slice : slices) {
+    out.initial_rib.insert(out.initial_rib.end(),
+                           std::make_move_iterator(slice.initial_rib.begin()),
+                           std::make_move_iterator(slice.initial_rib.end()));
+    out.updates.insert(out.updates.end(),
+                       std::make_move_iterator(slice.updates.begin()),
+                       std::make_move_iterator(slice.updates.end()));
+    out.truth.push_back(std::move(slice.truth));
+    trees_per_prefix.push_back(std::move(slice.trees));
   }
+  slices.clear();
 
   SortUpdates(out.updates);
 
@@ -256,10 +317,10 @@ GeneratedDynamics GenerateDynamics(const Topology& topology, const CollectorSet&
   };
   std::vector<ResetEvent> resets;
   for (SessionId s = 0; s < collectors.SessionCount(); ++s) {
-    const std::size_t count = PoissonDraw(rng, params.session_resets_per_month);
+    const std::size_t count = PoissonDraw(reset_rng, params.session_resets_per_month);
     for (std::size_t r = 0; r < count; ++r) {
       resets.push_back({static_cast<std::int64_t>(
-                            rng.UniformInt(3600, params.window - 3600)),
+                            reset_rng.UniformInt(3600, params.window - 3600)),
                         s});
     }
   }
@@ -291,8 +352,8 @@ GeneratedDynamics GenerateDynamics(const Topology& topology, const CollectorSet&
       }
       for (const auto& [prefix, path] : table[reset.session]) {
         const std::int64_t jitter =
-            static_cast<std::int64_t>(rng.UniformInt(1, 90));
-        if (rng.Bernoulli(params.reset_backup_flap_prob)) {
+            static_cast<std::int64_t>(reset_rng.UniformInt(1, 90));
+        if (reset_rng.Bernoulli(params.reset_backup_flap_prob)) {
           // Withdraw, transient backup path, then the real path again.
           const auto slot = slot_of.find(prefix);
           const AsPath* backup = nullptr;

@@ -65,6 +65,11 @@ struct DynamicsParams {
   /// Fraction of a resetting session's table that flaps via a backup path.
   double reset_backup_flap_prob = 0.25;
   std::uint64_t seed = 1234;
+  /// Worker threads for the per-prefix generation loop (0 = hardware
+  /// concurrency). Output is byte-identical for every value: each prefix
+  /// draws from its own pre-forked Rng substream and results merge in
+  /// prefix order (see src/exec/parallel.hpp).
+  std::size_t threads = 1;
 };
 
 /// Ground truth per prefix, for calibration checks and tests.

@@ -40,6 +40,8 @@ struct OriginSpec {
   /// beyond this many hops — models community-scoped, limited-propagation
   /// announcements ("stealth" hijacks). 0 means unlimited.
   int propagation_radius = 0;
+
+  friend bool operator==(const OriginSpec&, const OriginSpec&) = default;
 };
 
 /// Options shared by a route computation.

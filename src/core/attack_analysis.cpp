@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "exec/parallel.hpp"
 #include "netbase/rng.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -54,9 +55,12 @@ DeanonResult RunCorrelationDeanonymization(const DeanonExperimentParams& params)
   }
   netbase::Rng rng(params.seed);
 
-  // Simulate every candidate's transfer with individual size and delays.
-  std::vector<traffic::FlowTraces> traces;
-  traces.reserve(params.candidate_clients);
+  // Draw every candidate's flow parameters serially — SimulateTransfer
+  // itself never touches `rng` (flows carry their own seed), so the draw
+  // order here is the whole of the experiment's shared randomness and the
+  // simulations below can run on any number of threads.
+  std::vector<traffic::FlowSimParams> flows;
+  flows.reserve(params.candidate_clients);
   for (std::size_t i = 0; i < params.candidate_clients; ++i) {
     traffic::FlowSimParams flow = params.base_flow;
     flow.seed = rng();
@@ -74,23 +78,39 @@ DeanonResult RunCorrelationDeanonymization(const DeanonExperimentParams& params)
       link.delay_rev_s *= delay_mult;
       link.rate_bytes_per_s *= rate_mult;
     }
-    traces.push_back(traffic::SimulateTransfer(flow));
+    flows.push_back(std::move(flow));
   }
 
   const bool data_b_to_a = params.base_flow.direction ==
                            traffic::TransferDirection::kDownload;
 
-  // Entry-side series of every candidate, exit-side series of the target.
+  // Simulate every candidate's transfer and extract its entry-side series
+  // in parallel; slot i always holds candidate i.
+  struct CandidateFlow {
+    traffic::FlowTraces traces;
+    std::vector<double> entry_series;
+  };
+  std::vector<CandidateFlow> candidates = exec::ParallelMap(
+      params.threads, flows.size(),
+      [&](std::size_t i) {
+        CandidateFlow candidate{traffic::SimulateTransfer(flows[i]), {}};
+        candidate.entry_series =
+            ExtractSeries(candidate.traces.client_guard, data_b_to_a, params.entry_view,
+                          params.correlation);
+        return candidate;
+      },
+      /*grain=*/1);
+
   std::vector<std::vector<double>> entry_series;
-  entry_series.reserve(traces.size());
-  for (const auto& t : traces) {
-    entry_series.push_back(ExtractSeries(t.client_guard, data_b_to_a, params.entry_view,
-                                         params.correlation));
+  entry_series.reserve(candidates.size());
+  for (auto& candidate : candidates) {
+    entry_series.push_back(std::move(candidate.entry_series));
   }
   DeanonResult result;
-  result.target = rng.UniformInt(0, traces.size() - 1);
-  const auto target_series = ExtractSeries(traces[result.target].exit_server, data_b_to_a,
-                                           params.exit_view, params.correlation);
+  result.target = rng.UniformInt(0, candidates.size() - 1);
+  const auto target_series =
+      ExtractSeries(candidates[result.target].traces.exit_server, data_b_to_a,
+                    params.exit_view, params.correlation);
 
   const MatchResult match = MatchFlows(entry_series, target_series, params.correlation);
   result.matched = match.best_candidate;
@@ -105,36 +125,58 @@ AsymmetricGainResult ComputeAsymmetricGain(
     ExposureAnalyzer& analyzer, std::size_t total_as_count,
     std::span<const AsNumber> client_ases, std::span<const AsNumber> guard_ases,
     std::span<const AsNumber> exit_ases, std::span<const AsNumber> dest_ases,
-    std::size_t samples, std::uint64_t seed) {
+    std::size_t samples, std::uint64_t seed, std::size_t threads) {
   if (client_ases.empty() || guard_ases.empty() || exit_ases.empty() ||
       dest_ases.empty()) {
     throw std::invalid_argument("ComputeAsymmetricGain: empty AS pools");
   }
   netbase::Rng rng(seed);
+
+  // Draw the sampled tuples serially, then score them in parallel (the
+  // analyzer's route cache is thread-safe); the per-sample counts are
+  // accumulated in sample order below, so the floating-point sums are
+  // byte-identical for every thread count.
+  struct SampleTuple {
+    AsNumber client, guard, exit, dest;
+  };
+  std::vector<SampleTuple> tuples;
+  tuples.reserve(samples);
+  for (std::size_t s = 0; s < samples; ++s) {
+    tuples.push_back({client_ases[rng.UniformInt(0, client_ases.size() - 1)],
+                      guard_ases[rng.UniformInt(0, guard_ases.size() - 1)],
+                      exit_ases[rng.UniformInt(0, exit_ases.size() - 1)],
+                      dest_ases[rng.UniformInt(0, dest_ases.size() - 1)]});
+  }
+  struct SampleCounts {
+    std::size_t symmetric = 0, any = 0;
+  };
+  const std::vector<SampleCounts> counts = exec::ParallelMap(
+      threads, samples, [&](std::size_t s) {
+        const SampleTuple& t = tuples[s];
+        const SegmentExposure exposure =
+            analyzer.InstantExposure(t.client, t.guard, t.exit, t.dest);
+        return SampleCounts{
+            CompromisingAses(exposure, ObservationModel::kSymmetric).size(),
+            CompromisingAses(exposure, ObservationModel::kAnyDirection).size()};
+      });
+
   AsymmetricGainResult result;
   double sum_sym = 0, sum_any = 0, sum_gain = 0;
   double count_sym = 0, count_any = 0;
   std::size_t observed_sym = 0, observed_any = 0;
   std::size_t gain_samples = 0;
-  for (std::size_t s = 0; s < samples; ++s) {
-    const AsNumber client = client_ases[rng.UniformInt(0, client_ases.size() - 1)];
-    const AsNumber guard = guard_ases[rng.UniformInt(0, guard_ases.size() - 1)];
-    const AsNumber exit = exit_ases[rng.UniformInt(0, exit_ases.size() - 1)];
-    const AsNumber dest = dest_ases[rng.UniformInt(0, dest_ases.size() - 1)];
-    const SegmentExposure exposure = analyzer.InstantExposure(client, guard, exit, dest);
-    const auto symmetric = CompromisingAses(exposure, ObservationModel::kSymmetric);
-    const auto any = CompromisingAses(exposure, ObservationModel::kAnyDirection);
-    sum_sym += static_cast<double>(symmetric.size()) / static_cast<double>(total_as_count);
-    sum_any += static_cast<double>(any.size()) / static_cast<double>(total_as_count);
-    count_sym += static_cast<double>(symmetric.size());
-    count_any += static_cast<double>(any.size());
-    if (!symmetric.empty()) ++observed_sym;
-    if (!any.empty()) ++observed_any;
+  for (const SampleCounts& c : counts) {
+    sum_sym += static_cast<double>(c.symmetric) / static_cast<double>(total_as_count);
+    sum_any += static_cast<double>(c.any) / static_cast<double>(total_as_count);
+    count_sym += static_cast<double>(c.symmetric);
+    count_any += static_cast<double>(c.any);
+    if (c.symmetric != 0) ++observed_sym;
+    if (c.any != 0) ++observed_any;
     // Gain is only meaningful where someone can observe at all; samples
     // where even the broad model finds nobody are excluded.
-    if (!any.empty()) {
-      sum_gain += static_cast<double>(any.size()) /
-                  std::max<double>(1.0, static_cast<double>(symmetric.size()));
+    if (c.any != 0) {
+      sum_gain += static_cast<double>(c.any) /
+                  std::max<double>(1.0, static_cast<double>(c.symmetric));
       ++gain_samples;
     }
   }

@@ -67,6 +67,10 @@ struct DeanonExperimentParams {
   /// candidate flows are not synchronized.
   double start_spread_s = 4.0;
   std::uint64_t seed = 7;
+  /// Worker threads for the candidate-flow simulations (0 = hardware
+  /// concurrency). Per-candidate draws happen serially up front, so the
+  /// result is byte-identical for every value.
+  std::size_t threads = 1;
 };
 
 struct DeanonResult {
@@ -101,11 +105,16 @@ struct AsymmetricGainResult {
   std::size_t samples = 0;
 };
 
+/// `threads` (0 = hardware concurrency) parallelizes the per-sample
+/// exposure computations; tuples are drawn serially up front and the means
+/// accumulate in sample order, so the result is byte-identical for every
+/// value.
 [[nodiscard]] AsymmetricGainResult ComputeAsymmetricGain(
     ExposureAnalyzer& analyzer, std::size_t total_as_count,
     std::span<const bgp::AsNumber> client_ases,
     std::span<const bgp::AsNumber> guard_ases,
     std::span<const bgp::AsNumber> exit_ases,
-    std::span<const bgp::AsNumber> dest_ases, std::size_t samples, std::uint64_t seed);
+    std::span<const bgp::AsNumber> dest_ases, std::size_t samples, std::uint64_t seed,
+    std::size_t threads = 1);
 
 }  // namespace quicksand::core

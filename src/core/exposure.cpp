@@ -12,26 +12,19 @@ using bgp::LinkSet;
 using bgp::OriginSpec;
 using bgp::RoutingState;
 
-const RoutingState& ExposureAnalyzer::StateFor(AsNumber dst) {
-  auto it = cache_.find(dst);
-  if (it == cache_.end()) {
-    ComputationOptions options;
-    options.tie_break_salts = base_salts_;
-    it = cache_
-             .emplace(dst, std::make_unique<RoutingState>(
-                               bgp::ComputeRoutes(*graph_, dst, options)))
-             .first;
-  }
-  return *it->second;
+std::shared_ptr<const RoutingState> ExposureAnalyzer::StateFor(AsNumber dst) {
+  ComputationOptions options;
+  options.tie_break_salts = base_salts_;
+  return cache_.GetOrCompute(*graph_, dst, options, bgp::SaltKey{salt_epoch_, {}});
 }
 
 std::vector<AsNumber> ExposureAnalyzer::ForwardPathAses(AsNumber src, AsNumber dst) {
   if (src == dst) return {src};
-  const RoutingState& state = StateFor(dst);
+  const auto state = StateFor(dst);
   const auto src_index = graph_->IndexOf(src);
   if (!src_index) return {};
   std::vector<AsNumber> out;
-  for (AsIndex as : state.ForwardingPath(*src_index)) out.push_back(graph_->AsnOf(as));
+  for (AsIndex as : state->ForwardingPath(*src_index)) out.push_back(graph_->AsnOf(as));
   return out;
 }
 
@@ -61,6 +54,7 @@ std::vector<AsNumber> ExposureAnalyzer::PathUnderVariant(AsNumber src, AsNumber 
   std::vector<std::uint64_t> salts = base_salts_;
   if (salts.empty()) salts.assign(graph_->AsCount(), 0);
   options.tie_break_salts = salts;
+  bool cacheable = false;
   if (rng.Bernoulli(0.7)) {
     const std::size_t cut = rng.UniformInt(0, base.size() - 2);
     const auto a = graph_->IndexOf(base[cut]);
@@ -69,20 +63,31 @@ std::vector<AsNumber> ExposureAnalyzer::PathUnderVariant(AsNumber src, AsNumber 
       disabled.insert(LinkKey(*a, *b));
       options.disabled_links = &disabled;
     }
+    // Link-failure variants cut one of a handful of on-path links, so the
+    // same (dst, failed link) keys recur across variants and circuits.
+    cacheable = true;
   } else {
     const AsNumber shifted = base[rng.UniformInt(0, base.size() - 1)];
     if (const auto idx = graph_->IndexOf(shifted)) {
       salts[*idx] = rng() | 1;
+      options.tie_break_salts = salts;
     }
   }
 
-  const OriginSpec spec{dst, 1, 0};
-  const RoutingState state =
-      bgp::ComputeRoutes(*graph_, std::span<const OriginSpec>(&spec, 1), options);
   const auto src_index = graph_->IndexOf(src);
   if (!src_index) return {};
+  const OriginSpec spec{dst, 1, 0};
+  std::shared_ptr<const RoutingState> state;
+  if (cacheable) {
+    state = cache_.GetOrCompute(*graph_, dst, options, bgp::SaltKey{salt_epoch_, {}});
+  } else {
+    // Salt-shift variants draw a fresh 64-bit salt each time — one-shot
+    // keys that would only pollute the cache.
+    state = std::make_shared<const RoutingState>(
+        bgp::ComputeRoutes(*graph_, std::span<const OriginSpec>(&spec, 1), options));
+  }
   std::vector<AsNumber> out;
-  for (AsIndex as : state.ForwardingPath(*src_index)) out.push_back(graph_->AsnOf(as));
+  for (AsIndex as : state->ForwardingPath(*src_index)) out.push_back(graph_->AsnOf(as));
   return out;
 }
 

@@ -10,11 +10,11 @@
 // relays does change" even while the guard stays fixed.
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "bgp/as_graph.hpp"
+#include "bgp/route_cache.hpp"
 #include "bgp/route_computation.hpp"
 #include "core/adversary.hpp"
 #include "netbase/rng.hpp"
@@ -22,8 +22,10 @@
 namespace quicksand::core {
 
 /// Computes AS-level directional paths and segment exposures over a fixed
-/// topology, caching per-destination routing states. The graph must
-/// outlive the analyzer.
+/// topology, caching routing states (per destination, and per recurring
+/// link-failure variant) in a thread-safe bgp::RouteCache — concurrent
+/// queries from parallel sweeps are safe. The graph must outlive the
+/// analyzer.
 class ExposureAnalyzer {
  public:
   /// `base_salts` are per-AS tie-break salts applied to every computation
@@ -31,7 +33,9 @@ class ExposureAnalyzer {
   /// what makes forward and reverse routes diverge. Empty means none.
   explicit ExposureAnalyzer(const bgp::AsGraph& graph,
                             std::vector<std::uint64_t> base_salts = {})
-      : graph_(&graph), base_salts_(std::move(base_salts)) {}
+      : graph_(&graph),
+        base_salts_(std::move(base_salts)),
+        salt_epoch_(bgp::RouteCache::SaltEpochOf(base_salts_)) {}
 
   /// Distinct ASes on the forward data-plane path src -> dst (endpoints
   /// included). Empty if src has no route to dst.
@@ -66,18 +70,19 @@ class ExposureAnalyzer {
                                               bgp::AsNumber guard_as,
                                               std::size_t variants, std::uint64_t seed);
 
-  /// Drops the per-destination cache (e.g. after simulating a failure).
-  void ClearCache() noexcept { cache_.clear(); }
+  /// Drops the routing-state cache (e.g. after simulating a failure).
+  void ClearCache() { cache_.Clear(); }
 
  private:
-  [[nodiscard]] const bgp::RoutingState& StateFor(bgp::AsNumber dst);
+  [[nodiscard]] std::shared_ptr<const bgp::RoutingState> StateFor(bgp::AsNumber dst);
   [[nodiscard]] std::vector<bgp::AsNumber> PathUnderVariant(bgp::AsNumber src,
                                                             bgp::AsNumber dst,
                                                             netbase::Rng& rng);
 
   const bgp::AsGraph* graph_;
   std::vector<std::uint64_t> base_salts_;
-  std::map<bgp::AsNumber, std::unique_ptr<bgp::RoutingState>> cache_;
+  std::uint64_t salt_epoch_;
+  bgp::RouteCache cache_;
 };
 
 }  // namespace quicksand::core

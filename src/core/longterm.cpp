@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "exec/parallel.hpp"
 #include "netbase/rng.hpp"
 
 namespace quicksand::core {
@@ -42,37 +43,41 @@ LongTermResult SimulateLongTermExposure(const tor::Consensus& consensus,
   const tor::PathSelector selector(consensus, config);
   const bool persistent_guards = params.guard_set_size > 0;
 
-  struct ClientState {
-    netbase::Rng rng;
-    std::vector<std::size_t> guards;
-    std::int64_t guards_since = 0;
-    bool compromised = false;
-  };
-  std::vector<ClientState> clients;
-  clients.reserve(params.clients);
-  for (std::size_t c = 0; c < params.clients; ++c) {
-    ClientState state{rng.Fork(), {}, 0, false};
-    state.guards = selector.PickGuardSet(state.rng);
-    clients.push_back(std::move(state));
-  }
+  // Each client is an independent substream (forked serially, in client
+  // order), so clients simulate in parallel: a task walks one client's
+  // whole instance trajectory and reports the first compromised instance
+  // (params.instances = never). The cumulative curve is then a serial
+  // prefix count over those indices — identical for any thread count.
+  std::vector<netbase::Rng> client_rngs;
+  client_rngs.reserve(params.clients);
+  for (std::size_t c = 0; c < params.clients; ++c) client_rngs.push_back(rng.Fork());
 
+  const std::vector<std::size_t> first_compromised = exec::ParallelMap(
+      params.threads, params.clients, [&](std::size_t c) {
+        netbase::Rng client_rng = client_rngs[c];
+        std::vector<std::size_t> guards = selector.PickGuardSet(client_rng);
+        std::int64_t guards_since = 0;
+        for (std::size_t instance = 0; instance < params.instances; ++instance) {
+          const std::int64_t now =
+              static_cast<std::int64_t>(instance) * params.instance_interval_s;
+          if (!persistent_guards || now - guards_since >= params.guard_lifetime_s) {
+            guards = selector.PickGuardSet(client_rng);
+            guards_since = now;
+          }
+          const tor::Circuit circuit = selector.BuildCircuit(guards, client_rng);
+          if (malicious[circuit.guard] && malicious[circuit.exit]) return instance;
+        }
+        return params.instances;
+      });
+
+  std::vector<std::size_t> newly_compromised(params.instances, 0);
+  for (std::size_t instance : first_compromised) {
+    if (instance < params.instances) ++newly_compromised[instance];
+  }
   result.cumulative_compromised.reserve(params.instances);
   std::size_t compromised_clients = 0;
   for (std::size_t instance = 0; instance < params.instances; ++instance) {
-    const std::int64_t now =
-        static_cast<std::int64_t>(instance) * params.instance_interval_s;
-    for (ClientState& client : clients) {
-      if (client.compromised) continue;
-      if (!persistent_guards || now - client.guards_since >= params.guard_lifetime_s) {
-        client.guards = selector.PickGuardSet(client.rng);
-        client.guards_since = now;
-      }
-      const tor::Circuit circuit = selector.BuildCircuit(client.guards, client.rng);
-      if (malicious[circuit.guard] && malicious[circuit.exit]) {
-        client.compromised = true;
-        ++compromised_clients;
-      }
-    }
+    compromised_clients += newly_compromised[instance];
     result.cumulative_compromised.push_back(static_cast<double>(compromised_clients) /
                                             static_cast<double>(params.clients));
   }

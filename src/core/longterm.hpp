@@ -34,6 +34,10 @@ struct LongTermParams {
   /// Fraction of total relay bandwidth the adversary controls.
   double malicious_bandwidth_fraction = 0.1;
   std::uint64_t seed = 1;
+  /// Worker threads for the per-client simulation (0 = hardware
+  /// concurrency). Clients are independent substreams, so the result is
+  /// byte-identical for every value.
+  std::size_t threads = 1;
 };
 
 struct LongTermResult {

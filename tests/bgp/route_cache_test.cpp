@@ -1,0 +1,152 @@
+#include "bgp/route_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/route_computation.hpp"
+#include "bgp/topology_gen.hpp"
+
+namespace quicksand::bgp {
+namespace {
+
+class RouteCacheTest : public ::testing::Test {
+ protected:
+  RouteCacheTest() {
+    TopologyParams tp;
+    tp.tier1_count = 4;
+    tp.transit_count = 12;
+    tp.eyeball_count = 16;
+    tp.hosting_count = 6;
+    tp.content_count = 10;
+    tp.seed = 11;
+    topo_ = GenerateTopology(tp);
+  }
+
+  /// Exact state equality: same routed set and same forwarding path from
+  /// every AS.
+  static void ExpectSameState(const RoutingState& a, const RoutingState& b) {
+    ASSERT_EQ(a.graph().AsCount(), b.graph().AsCount());
+    EXPECT_EQ(a.RoutedCount(), b.RoutedCount());
+    for (AsIndex as = 0; as < a.graph().AsCount(); ++as) {
+      EXPECT_EQ(a.ForwardingPath(as), b.ForwardingPath(as)) << "AS index " << as;
+    }
+  }
+
+  Topology topo_;
+};
+
+TEST_F(RouteCacheTest, HitReturnsStateIdenticalToFreshComputation) {
+  RouteCache cache;
+  const AsNumber origin = topo_.hostings.front();
+  const auto cached = cache.GetOrCompute(topo_.graph, origin);
+  ASSERT_NE(cached, nullptr);
+  ExpectSameState(*cached, ComputeRoutes(topo_.graph, origin));
+}
+
+TEST_F(RouteCacheTest, RepeatLookupReturnsTheSameObject) {
+  RouteCache cache;
+  const AsNumber origin = topo_.hostings.front();
+  const auto first = cache.GetOrCompute(topo_.graph, origin);
+  const auto second = cache.GetOrCompute(topo_.graph, origin);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(RouteCacheTest, DisabledLinkSetFormsADistinctKey) {
+  RouteCache cache;
+  const AsNumber origin = topo_.hostings.front();
+  const auto baseline = cache.GetOrCompute(topo_.graph, origin);
+
+  // Fail the origin's first adjacency: same origin, different key, and
+  // the cached perturbed state must match a fresh perturbed computation.
+  const AsIndex origin_index = *topo_.graph.IndexOf(origin);
+  const auto& neighbors = topo_.graph.NeighborsOf(origin_index);
+  ASSERT_FALSE(neighbors.empty());
+  const LinkSet failed = {LinkKey(origin_index, neighbors.front().index)};
+  ComputationOptions options;
+  options.disabled_links = &failed;
+
+  const auto perturbed = cache.GetOrCompute(topo_.graph, origin, options);
+  EXPECT_NE(perturbed.get(), baseline.get());
+  EXPECT_EQ(cache.size(), 2u);
+  ExpectSameState(*perturbed, ComputeRoutes(topo_.graph, origin, options));
+
+  // The baseline entry is untouched: looking it up again still hits.
+  EXPECT_EQ(cache.GetOrCompute(topo_.graph, origin).get(), baseline.get());
+}
+
+TEST_F(RouteCacheTest, SaltConfigurationFormsADistinctKey) {
+  RouteCache cache;
+  const AsNumber origin = topo_.hostings.front();
+  const auto unsalted = cache.GetOrCompute(topo_.graph, origin);
+
+  std::vector<std::uint64_t> salts(topo_.graph.AsCount(), 0);
+  salts[0] = 0x5EEDu;
+  ComputationOptions options;
+  options.tie_break_salts = salts;
+  const SaltKey salt_key{RouteCache::SaltEpochOf(salts), {}};
+
+  const auto salted = cache.GetOrCompute(topo_.graph, origin, options, salt_key);
+  EXPECT_NE(salted.get(), unsalted.get());
+  EXPECT_EQ(cache.size(), 2u);
+  ExpectSameState(*salted, ComputeRoutes(topo_.graph, origin, options));
+  EXPECT_EQ(cache.GetOrCompute(topo_.graph, origin, options, salt_key).get(),
+            salted.get());
+}
+
+TEST_F(RouteCacheTest, SaltEpochIsAContentHash) {
+  EXPECT_EQ(RouteCache::SaltEpochOf({}), 0u);
+  const std::vector<std::uint64_t> a = {1, 2, 3};
+  const std::vector<std::uint64_t> b = {1, 2, 3};
+  const std::vector<std::uint64_t> c = {1, 2, 4};
+  EXPECT_EQ(RouteCache::SaltEpochOf(a), RouteCache::SaltEpochOf(b));
+  EXPECT_NE(RouteCache::SaltEpochOf(a), RouteCache::SaltEpochOf(c));
+  EXPECT_NE(RouteCache::SaltEpochOf(a), 0u);
+}
+
+TEST_F(RouteCacheTest, MultiOriginKeyIsCanonicalizedByAsn) {
+  RouteCache cache;
+  ASSERT_GE(topo_.hostings.size(), 2u);
+  const OriginSpec first{topo_.hostings[0], 1, 0};
+  const OriginSpec second{topo_.hostings[1], 1, 0};
+  const std::vector<OriginSpec> order_a = {first, second};
+  const std::vector<OriginSpec> order_b = {second, first};
+  const auto a = cache.GetOrCompute(topo_.graph, order_a);
+  const auto b = cache.GetOrCompute(topo_.graph, order_b);
+  EXPECT_EQ(a.get(), b.get()) << "origin order must not change the key";
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(RouteCacheTest, ClearEmptiesTheCache) {
+  RouteCache cache;
+  const AsNumber origin = topo_.hostings.front();
+  const auto before = cache.GetOrCompute(topo_.graph, origin);
+  ASSERT_EQ(cache.size(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  const auto after = cache.GetOrCompute(topo_.graph, origin);
+  EXPECT_NE(after.get(), before.get());  // recomputed, not resurrected
+  ExpectSameState(*after, *before);      // ...but identical in content
+}
+
+TEST_F(RouteCacheTest, InsertionCapServesUncachedBeyondMaxEntries) {
+  RouteCache cache(/*max_entries=*/1);
+  const AsNumber kept = topo_.hostings[0];
+  const AsNumber overflow = topo_.hostings[1];
+
+  const auto first = cache.GetOrCompute(topo_.graph, kept);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Over the cap: still correct, just not inserted.
+  const auto uncached = cache.GetOrCompute(topo_.graph, overflow);
+  EXPECT_EQ(cache.size(), 1u);
+  ExpectSameState(*uncached, ComputeRoutes(topo_.graph, overflow));
+
+  // The resident entry still hits.
+  EXPECT_EQ(cache.GetOrCompute(topo_.graph, kept).get(), first.get());
+}
+
+}  // namespace
+}  // namespace quicksand::bgp

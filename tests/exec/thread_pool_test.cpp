@@ -1,0 +1,68 @@
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <latch>
+
+namespace quicksand::exec {
+namespace {
+
+TEST(ResolveThreads, ZeroMeansHardwareConcurrency) {
+  EXPECT_GE(HardwareThreads(), 1u);
+  EXPECT_EQ(ResolveThreads(0), HardwareThreads());
+}
+
+TEST(ResolveThreads, NonZeroIsTakenLiterally) {
+  EXPECT_EQ(ResolveThreads(1), 1u);
+  EXPECT_EQ(ResolveThreads(7), 7u);
+  // Oversubscription is allowed — it is how the determinism tests exercise
+  // the concurrent paths on single-core machines.
+  EXPECT_EQ(ResolveThreads(64), 64u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.WorkerCount(), 2u);
+  constexpr int kTasks = 200;
+  std::atomic<int> ran{0};
+  std::latch done(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      done.count_down();
+    });
+  }
+  done.wait();
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPool, EnsureWorkersGrowsButNeverShrinks) {
+  ThreadPool pool(1);
+  pool.EnsureWorkers(3);
+  EXPECT_EQ(pool.WorkerCount(), 3u);
+  pool.EnsureWorkers(2);
+  EXPECT_EQ(pool.WorkerCount(), 3u);
+}
+
+TEST(ThreadPool, SharedPoolIsAProcessSingleton) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ThreadPool, TasksSubmittedFromWorkersAreRun) {
+  // parallel.hpp submits drive loops that themselves pull chunks; make
+  // sure nested submission from a worker thread cannot deadlock.
+  ThreadPool pool(2);
+  std::latch done(2);
+  pool.Submit([&] {
+    pool.Submit([&] { done.count_down(); });
+    done.count_down();
+  });
+  done.wait();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace quicksand::exec
