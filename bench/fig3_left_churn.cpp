@@ -4,15 +4,15 @@
 // (ratio greater than one) on a session", with a heavy tail (one prefix
 // at >2000x the median).
 //
-// Pipeline: month of synthetic updates -> session-reset filtering (the
-// ablation reports unfiltered numbers too) -> churn analysis -> ratio
-// CCDF. Writes fig3_left.csv.
+// Pipeline: month of synthetic updates -> feed sanitizing (ordering
+// repair + session-reset filtering; the ablation reports unfiltered
+// numbers too) -> churn analysis -> ratio CCDF. Writes fig3_left.csv.
 
 #include <algorithm>
 #include <iostream>
 
 #include "bgp/churn.hpp"
-#include "bgp/session_reset.hpp"
+#include "bgp/feed_sanitizer.hpp"
 #include "common.hpp"
 #include "core/report.hpp"
 #include "util/csv.hpp"
@@ -48,12 +48,13 @@ int main(int argc, char** argv) {
   std::cout << "  dataset: " << dynamics.updates.size() << " updates on "
             << scenario.collectors.SessionCount() << " sessions over one month\n";
 
-  const auto filtered = ctx.Timed("reset_filter", [&] {
-    return bgp::FilterSessionResets(dynamics.initial_rib, dynamics.updates);
+  const auto filtered = ctx.Timed("sanitize", [&] {
+    return bgp::SanitizeFeed(dynamics.initial_rib, dynamics.updates);
   });
-  std::cout << "  reset filter: " << filtered.stats.bursts_detected << " bursts, "
-            << filtered.stats.burst_updates_removed << " burst updates and "
-            << filtered.stats.duplicates_removed << " duplicates removed\n";
+  std::cout << "  sanitizer: " << filtered.reset_stats.bursts_detected << " bursts, "
+            << filtered.reset_stats.burst_updates_removed << " burst updates and "
+            << filtered.reset_stats.duplicates_removed << " duplicates removed, "
+            << filtered.out_of_order_repaired << " orderings repaired\n";
 
   const auto ratios = ctx.Timed("churn_filtered", [&] {
     return RatiosFromStream(scenario, dynamics.initial_rib, filtered.updates,

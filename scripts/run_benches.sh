@@ -12,6 +12,9 @@
 # docs/PERFORMANCE.md).
 # micro_substrates runs with --benchmark_min_time=0.01 to keep the sweep
 # fast; drop that override for real performance numbers.
+# fault_sweep (picked up by the same glob) additionally writes
+# fault_sweep.csv — the figure-level outputs under 0–10% injected faults
+# (see docs/ROBUSTNESS.md).
 
 set -euo pipefail
 

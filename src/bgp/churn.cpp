@@ -38,6 +38,17 @@ void ChurnAnalyzer::Consume(const BgpUpdate& update) {
       obs::MetricsRegistry::Global().GetCounter("bgp.churn.updates_consumed");
   consumed.Increment();
   State& state = states_[SessionPrefixKey{update.session, update.prefix}];
+  if (update.time.seconds < state.last_time_s) {
+    // Out-of-order arrival (delay jitter the sanitizer could not repair):
+    // processing it would close dwell intervals backwards in time, so it
+    // is dropped and counted instead of crashing the analysis.
+    ++dropped_out_of_order_;
+    obs::MetricsRegistry::Global()
+        .GetCounter("bgp.churn.dropped_out_of_order")
+        .Increment();
+    return;
+  }
+  state.last_time_s = update.time.seconds;
   if (update.type == UpdateType::kAnnounce) {
     Announce(state, update);
   } else {
@@ -232,6 +243,7 @@ ChurnAnalyzer AnalyzeChurn(std::span<const BgpUpdate> initial_rib,
   merged.finished_ = true;
   for (ChurnAnalyzer& partial : analyzed) {
     merged.results_.merge(partial.results_);
+    merged.dropped_out_of_order_ += partial.dropped_out_of_order_;
   }
   return merged;
 }

@@ -19,6 +19,7 @@
 // dataset statistics of Section 4.
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <span>
 #include <unordered_map>
@@ -78,9 +79,20 @@ class ChurnAnalyzer {
   /// Feeds the t=0 table (each entry is the baseline announcement).
   void ConsumeInitialRib(std::span<const BgpUpdate> rib);
 
-  /// Feeds one update; calls must be globally time-ordered.
+  /// Feeds one update; calls should be time-ordered. An update whose
+  /// timestamp precedes the newest one already seen for its (session,
+  /// prefix) is dropped rather than corrupting interval bookkeeping —
+  /// the count is exposed via DroppedOutOfOrder() and the
+  /// `bgp.churn.dropped_out_of_order` counter (graceful degradation on
+  /// lossy/reordered feeds; see docs/ROBUSTNESS.md).
   /// Throws std::logic_error if called after Finish().
   void Consume(const BgpUpdate& update);
+
+  /// Updates dropped because they arrived out of time order for their
+  /// (session, prefix).
+  [[nodiscard]] std::size_t DroppedOutOfOrder() const noexcept {
+    return dropped_out_of_order_;
+  }
 
   /// Closes all open on-path intervals at the window end. Idempotent.
   void Finish();
@@ -124,6 +136,7 @@ class ChurnAnalyzer {
 
   struct State {
     bool has_baseline = false;
+    std::int64_t last_time_s = std::numeric_limits<std::int64_t>::min();
     std::vector<AsNumber> baseline;       // sorted distinct AS set
     std::vector<AsNumber> last_announced; // sorted; empty only before first
     bool withdrawn = true;
@@ -143,6 +156,7 @@ class ChurnAnalyzer {
   ChurnParams params_;
   std::map<SessionPrefixKey, State> states_;
   mutable std::map<SessionPrefixKey, SessionPrefixChurn> results_;
+  std::size_t dropped_out_of_order_ = 0;
   bool finished_ = false;
 };
 

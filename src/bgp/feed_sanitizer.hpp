@@ -1,0 +1,51 @@
+#pragma once
+
+// Reusable feed-cleaning stage: the canonical path from a raw (possibly
+// lossy, reordered, resync-polluted) collector stream to the clean,
+// time-ordered stream every analyzer expects.
+//
+// The stage composes, in order:
+//   1. re-ordering repair — updates that arrived out of time order (delay
+//      jitter, interleaved archives) are stable-sorted back into the
+//      canonical (time, session, prefix) order instead of aborting the
+//      analysis;
+//   2. session-reset filtering — duplicate announcements and
+//      table-transfer bursts are removed (FilterSessionResets, after
+//      Zhang et al.), which also collapses the resync bursts a flapping
+//      session emits on recovery.
+//
+// The paper applies exactly this cleaning before any churn measurement;
+// promoting it into one stage lets every consumer (benches, the fault
+// sweep, future ingest services) share the behavior and its statistics.
+
+#include <cstddef>
+#include <vector>
+
+#include "bgp/session_reset.hpp"
+#include "bgp/update.hpp"
+
+namespace quicksand::bgp {
+
+struct SanitizerParams {
+  ResetFilterParams reset;
+  /// When false, out-of-order input throws (FilterSessionResets's strict
+  /// historical behavior) instead of being repaired.
+  bool repair_ordering = true;
+};
+
+/// A cleaned stream plus everything the sanitizer did to it.
+struct SanitizedFeed {
+  std::vector<BgpUpdate> updates;
+  ResetFilterStats reset_stats;
+  /// Input adjacencies that violated time order and were repaired.
+  std::size_t out_of_order_repaired = 0;
+};
+
+/// Cleans `updates` against the t=0 table `initial_rib`. Metrics:
+/// `bgp.sanitizer.out_of_order_repaired` (registered only when a repair
+/// actually happened) plus the `bgp.reset_filter.*` family.
+[[nodiscard]] SanitizedFeed SanitizeFeed(const std::vector<BgpUpdate>& initial_rib,
+                                         std::vector<BgpUpdate> updates,
+                                         const SanitizerParams& params = {});
+
+}  // namespace quicksand::bgp

@@ -5,7 +5,48 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace quicksand::bgp::mrt {
+
+namespace {
+
+/// Longest slice of an offending line quoted in error messages. Keeps a
+/// megabyte garbage line from producing a megabyte exception string.
+constexpr std::size_t kMaxQuotedLine = 96;
+
+std::string QuoteForError(std::string_view line) {
+  if (line.size() <= kMaxQuotedLine) return std::string(line);
+  std::string out(line.substr(0, kMaxQuotedLine));
+  out += "... (";
+  out += std::to_string(line.size());
+  out += " bytes)";
+  return out;
+}
+
+std::string DescribeBadLine(std::size_t line_number, std::string_view line) {
+  return "line " + std::to_string(line_number) + ": '" + QuoteForError(line) + "'";
+}
+
+/// Iterates the non-blank, non-comment lines of a dump, calling
+/// `fn(line_number, line)` for each. Line numbers are 1-based over the
+/// whole text, comments included.
+template <typename Fn>
+void ForEachDataLine(std::string_view text, Fn&& fn) {
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    ++line_number;
+    auto end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (!line.empty() && line.front() != '#') fn(line_number, line);
+    if (end == text.size()) break;
+  }
+}
+
+}  // namespace
 
 std::string ToLine(const BgpUpdate& update) {
   std::string out = std::to_string(update.time.seconds);
@@ -37,9 +78,12 @@ std::optional<BgpUpdate> ParseLine(std::string_view line) {
 
   BgpUpdate update;
   {
+    // std::from_chars into int64: rejects signs-only, trailing junk, and
+    // overflow outright (no stoul-style wraparound).
     auto [ptr, ec] = std::from_chars(fields[0].data(), fields[0].data() + fields[0].size(),
                                      update.time.seconds);
     if (ec != std::errc{} || ptr != fields[0].data() + fields[0].size()) return std::nullopt;
+    if (update.time.seconds < 0) return std::nullopt;  // pre-epoch timestamp
   }
   {
     auto [ptr, ec] = std::from_chars(fields[1].data(), fields[1].data() + fields[1].size(),
@@ -53,10 +97,13 @@ std::optional<BgpUpdate> ParseLine(std::string_view line) {
   } else {
     return std::nullopt;
   }
+  if (fields[3].empty()) return std::nullopt;  // empty prefix field
   auto prefix = netbase::Prefix::Parse(fields[3]);
   if (!prefix) return std::nullopt;
   update.prefix = *prefix;
   if (update.type == UpdateType::kAnnounce) {
+    // AsPath::Parse uses from_chars into uint32, so AS tokens above
+    // 4294967295 fail the parse instead of wrapping.
     auto path = AsPath::Parse(fields[4]);
     if (!path || path->empty()) return std::nullopt;
     update.path = std::move(*path);
@@ -77,27 +124,39 @@ std::string ToText(const std::vector<BgpUpdate>& updates) {
 
 std::vector<BgpUpdate> ParseText(std::string_view text) {
   std::vector<BgpUpdate> out;
-  std::size_t line_number = 0;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    ++line_number;
-    auto end = text.find('\n', start);
-    if (end == std::string_view::npos) end = text.size();
-    const std::string_view line = text.substr(start, end - start);
-    start = end + 1;
-    if (line.empty() || line.front() == '#') {
-      if (end == text.size()) break;
-      continue;
-    }
+  ForEachDataLine(text, [&](std::size_t line_number, std::string_view line) {
     auto update = ParseLine(line);
     if (!update) {
-      throw std::runtime_error("mrt: malformed line " + std::to_string(line_number) + ": '" +
-                               std::string(line) + "'");
+      throw std::runtime_error("mrt: malformed " + DescribeBadLine(line_number, line));
     }
     out.push_back(std::move(*update));
-    if (end == text.size()) break;
-  }
+  });
   return out;
+}
+
+LenientParse ParseTextLenient(std::string_view text, std::size_t max_recorded_errors) {
+  LenientParse result;
+  ForEachDataLine(text, [&](std::size_t line_number, std::string_view line) {
+    ++result.stats.total_lines;
+    auto update = ParseLine(line);
+    if (update) {
+      ++result.stats.parsed;
+      result.updates.push_back(std::move(*update));
+      return;
+    }
+    ++result.stats.bad_lines;
+    if (result.stats.first_errors.size() < max_recorded_errors) {
+      result.stats.first_errors.push_back(DescribeBadLine(line_number, line));
+    }
+  });
+  if (result.stats.bad_lines > 0) {
+    // Lazily registered: a clean dump leaves no bgp.mrt.* metric behind,
+    // keeping fault-free bench JSON identical to pre-fault-layer runs.
+    obs::MetricsRegistry::Global()
+        .GetCounter("bgp.mrt.bad_lines")
+        .Increment(result.stats.bad_lines);
+  }
+  return result;
 }
 
 void WriteFile(const std::string& path, const std::vector<BgpUpdate>& updates) {

@@ -10,6 +10,13 @@
 //
 // The format is lossless for BgpUpdate and diff-friendly, so dumps can be
 // inspected and checked into test fixtures.
+//
+// Two parsing modes exist for whole dumps: ParseText throws on the first
+// malformed line (for trusted fixtures), while ParseTextLenient skips bad
+// lines and reports what it dropped — the mode the fault-tolerant
+// pipeline uses on real-world (or fault-injected) archives, where a
+// corrupt line must cost one record, not the whole dataset (see
+// docs/ROBUSTNESS.md).
 
 #include <optional>
 #include <string>
@@ -23,15 +30,42 @@ namespace quicksand::bgp::mrt {
 /// Serializes one update to its line form (no trailing newline).
 [[nodiscard]] std::string ToLine(const BgpUpdate& update);
 
-/// Parses one line. Returns nullopt on malformed input.
+/// Parses one line. Returns nullopt on malformed input. Rejects, besides
+/// outright syntax errors: negative timestamps, AS numbers or session ids
+/// that overflow their 32-bit types, empty prefixes, and announcements
+/// without a path.
 [[nodiscard]] std::optional<BgpUpdate> ParseLine(std::string_view line);
 
 /// Serializes a stream of updates, one per line.
 [[nodiscard]] std::string ToText(const std::vector<BgpUpdate>& updates);
 
 /// Parses a whole dump; blank lines and lines starting with '#' are
-/// skipped. Throws std::runtime_error naming the first bad line.
+/// skipped. Throws std::runtime_error naming the first bad line's number
+/// and a truncated copy of its content (long lines are capped, so a
+/// megabyte of garbage yields a readable message).
 [[nodiscard]] std::vector<BgpUpdate> ParseText(std::string_view text);
+
+/// What ParseTextLenient dropped.
+struct ParseStats {
+  std::size_t total_lines = 0;  ///< non-blank, non-comment lines seen
+  std::size_t parsed = 0;
+  std::size_t bad_lines = 0;
+  /// The first few errors, each "line <n>: '<truncated content>'".
+  std::vector<std::string> first_errors;
+};
+
+/// A leniently parsed dump: everything that parsed, plus drop statistics.
+struct LenientParse {
+  std::vector<BgpUpdate> updates;
+  ParseStats stats;
+};
+
+/// Parses a whole dump, skipping malformed lines instead of throwing.
+/// Records up to `max_recorded_errors` error descriptions in the stats.
+/// Increments the `bgp.mrt.bad_lines` counter (registered only when bad
+/// lines actually occur).
+[[nodiscard]] LenientParse ParseTextLenient(std::string_view text,
+                                            std::size_t max_recorded_errors = 8);
 
 /// Writes updates to a file. Throws std::runtime_error if it cannot open.
 void WriteFile(const std::string& path, const std::vector<BgpUpdate>& updates);

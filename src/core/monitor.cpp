@@ -85,8 +85,18 @@ std::vector<Alert> RelayMonitor::Consume(const bgp::BgpUpdate& update) {
     const bool origin_known =
         origins_it != legit_origins_.end() && origins_it->second.contains(origin);
     if (params_.alert_on_origin_change && !origin_known) {
-      raised.push_back(Alert{update.time, update.session, update.prefix, update.prefix,
-                             AlertKind::kOriginChange, origin});
+      // Idempotent: one alert per (prefix, bogus origin). Resync bursts
+      // and flapping sessions re-announcing the hijacked route must not
+      // double-count the anomaly.
+      if (alerted_origins_[update.prefix].insert(origin).second) {
+        raised.push_back(Alert{update.time, update.session, update.prefix, update.prefix,
+                               AlertKind::kOriginChange, origin});
+      } else {
+        ++suppressed_duplicates_;
+        obs::MetricsRegistry::Global()
+            .GetCounter("core.monitor.duplicate_alerts_suppressed")
+            .Increment();
+      }
     }
     if (params_.alert_on_new_upstream && origin_known) {
       const auto& hops = update.path.hops();
@@ -109,11 +119,19 @@ std::vector<Alert> RelayMonitor::Consume(const bgp::BgpUpdate& update) {
       }
     }
   } else if (params_.alert_on_more_specific) {
-    // An announcement strictly inside a monitored prefix.
+    // An announcement strictly inside a monitored prefix. Idempotent per
+    // (announced prefix, origin): repeats of the same carve-out alert once.
     const auto covering = monitored_trie_.MostSpecificCovering(update.prefix);
     if (covering && covering->first.length() < update.prefix.length()) {
-      raised.push_back(Alert{update.time, update.session, covering->first, update.prefix,
-                             AlertKind::kMoreSpecific, origin});
+      if (alerted_specifics_[update.prefix].insert(origin).second) {
+        raised.push_back(Alert{update.time, update.session, covering->first, update.prefix,
+                               AlertKind::kMoreSpecific, origin});
+      } else {
+        ++suppressed_duplicates_;
+        obs::MetricsRegistry::Global()
+            .GetCounter("core.monitor.duplicate_alerts_suppressed")
+            .Increment();
+      }
     }
   }
 

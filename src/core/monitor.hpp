@@ -71,6 +71,18 @@ struct AlertCountSummary {
 };
 
 /// Streaming hijack/interception detector over Tor prefixes.
+///
+/// Degradation contract (fault-tolerant feeds, docs/ROBUSTNESS.md):
+///   * Out-of-order timestamps are harmless: alert decisions depend only
+///     on the learned origin/upstream sets and the update's content,
+///     never on arrival order or timestamp monotonicity. A reordered
+///     stream yields the same alert *set*; only the per-alert `time`
+///     fields and arrival order in alerts() reflect the input order.
+///   * Alerting is idempotent per anomaly: a duplicate announcement (the
+///     signature a lossy session re-announces on resync) re-raises
+///     nothing, so AlertCountSummary never double-counts one anomaly.
+///     Each (prefix, suspect, kind) alerts exactly once; suppressed
+///     repeats are tallied in `core.monitor.duplicate_alerts_suppressed`.
 class RelayMonitor {
  public:
   /// Monitors the given prefixes. Legitimate origins and upstreams are
@@ -82,6 +94,12 @@ class RelayMonitor {
 
   /// Processes one update; returns any alerts it triggered.
   [[nodiscard]] std::vector<Alert> Consume(const bgp::BgpUpdate& update);
+
+  /// Alerts suppressed because the same (prefix, suspect, kind) anomaly
+  /// had already alerted.
+  [[nodiscard]] std::size_t SuppressedDuplicates() const noexcept {
+    return suppressed_duplicates_;
+  }
 
   /// All alerts raised so far, in arrival order.
   [[nodiscard]] const std::vector<Alert>& alerts() const noexcept { return alerts_; }
@@ -107,6 +125,12 @@ class RelayMonitor {
   /// the baseline.
   std::unordered_map<netbase::Prefix, std::unordered_set<bgp::AsNumber>> legit_origins_;
   std::unordered_map<netbase::Prefix, std::unordered_set<bgp::AsNumber>> known_upstreams_;
+  /// Origins that already raised an origin-change alert, per monitored
+  /// prefix, and origins that already raised a more-specific alert, per
+  /// announced prefix — the idempotence sets.
+  std::unordered_map<netbase::Prefix, std::unordered_set<bgp::AsNumber>> alerted_origins_;
+  std::unordered_map<netbase::Prefix, std::unordered_set<bgp::AsNumber>> alerted_specifics_;
+  std::size_t suppressed_duplicates_ = 0;
   std::vector<Alert> alerts_;
   AlertCountSummary counts_;
 };

@@ -70,6 +70,41 @@ TEST(CollectorSet, DeterministicForSeed) {
   }
 }
 
+TEST(CollectorSet, PartialVisibilityDecisionsDeterministicAcrossSets) {
+  // Two independently constructed deployments from the same seed must
+  // agree on every per-(session, prefix) visibility decision — the
+  // property the fault layer's determinism contract builds on (a faulted
+  // rerun sees the same world before faults are applied).
+  const Topology topo = TestTopology();
+  const CollectorSet a = CollectorSet::Create(topo, {});
+  const CollectorSet b = CollectorSet::Create(topo, {});
+  ASSERT_EQ(a.SessionCount(), b.SessionCount());
+  for (SessionId id = 0; id < a.SessionCount(); ++id) {
+    EXPECT_DOUBLE_EQ(a.SessionById(id).partial_visibility,
+                     b.SessionById(id).partial_visibility);
+  }
+  std::size_t decisions = 0, hidden = 0;
+  for (AsNumber origin : topo.hostings) {
+    const RoutingState state = ComputeRoutes(topo.graph, origin);
+    for (SessionId id = 0; id < a.SessionCount(); ++id) {
+      const auto seen_a = CollectorSet::Observe(a.SessionById(id), topo.graph, state);
+      const auto seen_b = CollectorSet::Observe(b.SessionById(id), topo.graph, state);
+      ASSERT_EQ(seen_a.has_value(), seen_b.has_value())
+          << "session " << id << " origin " << origin;
+      if (seen_a) {
+        EXPECT_EQ(*seen_a, *seen_b);
+      } else {
+        ++hidden;
+      }
+      ++decisions;
+    }
+  }
+  // The check is only meaningful if partial visibility actually hid some
+  // routes (otherwise every decision is trivially equal).
+  EXPECT_GT(decisions, 0u);
+  EXPECT_GT(hidden, 0u);
+}
+
 TEST(CollectorSet, RejectsDegenerateParams) {
   const Topology topo = TestTopology();
   CollectorParams params;

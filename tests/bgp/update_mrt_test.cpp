@@ -54,19 +54,68 @@ TEST(Mrt, LineRoundTripWithdraw) {
 }
 
 TEST(Mrt, ParseRejectsMalformedLines) {
+  // Fuzz-style table: every known way a line can rot, each of which must
+  // cost exactly its own record under lenient parsing — so ParseLine must
+  // reject all of them without throwing.
   for (const char* line : {
-           "",                                 // empty
-           "1|2|A|10.0.0.0/8",                 // missing field
-           "x|2|A|10.0.0.0/8|1 2",             // bad time
-           "1|x|A|10.0.0.0/8|1 2",             // bad session
-           "1|2|Z|10.0.0.0/8|1 2",             // bad type
-           "1|2|A|10.0.0.1/8|1 2",             // non-canonical prefix
-           "1|2|A|10.0.0.0/8|",                // announce without path
-           "1|2|A|10.0.0.0/8|1 x",             // bad path
-           "1|2|W|10.0.0.0/8|1 2",             // withdraw with path
+           // structure
+           "",                                  // empty
+           "|",                                 // nothing but a separator
+           "||||",                              // all fields empty
+           "1|2|A|10.0.0.0/8",                  // missing field
+           "1|2|A",                             // far too few fields
+           "1|2|A|10.0.0.0/8|1 2|extra",        // trailing field
+           "1|2|A|10.0.0.0/8|1 2|",             // trailing separator
+           "|2|A|10.0.0.0/8|1 2",               // empty time
+           "1||A|10.0.0.0/8|1 2",               // empty session
+           "1|2||10.0.0.0/8|1 2",               // empty type
+           // timestamps
+           "x|2|A|10.0.0.0/8|1 2",              // non-numeric time
+           "-1|2|A|10.0.0.0/8|1 2",             // negative time
+           "-9999999999|2|A|10.0.0.0/8|1 2",    // very negative time
+           "1.5|2|A|10.0.0.0/8|1 2",            // fractional time
+           "1e9|2|A|10.0.0.0/8|1 2",            // exponent time
+           " 1|2|A|10.0.0.0/8|1 2",             // leading space in time
+           "99999999999999999999|2|A|10.0.0.0/8|1 2",  // time overflows int64
+           // sessions
+           "1|x|A|10.0.0.0/8|1 2",              // non-numeric session
+           "1|-3|A|10.0.0.0/8|1 2",             // negative session
+           "1|4294967296|A|10.0.0.0/8|1 2",     // session overflows uint32
+           "1|2x|A|10.0.0.0/8|1 2",             // trailing junk in session
+           // types
+           "1|2|Z|10.0.0.0/8|1 2",              // unknown type
+           "1|2|a|10.0.0.0/8|1 2",              // lowercase type
+           "1|2|AA|10.0.0.0/8|1 2",             // too long
+           "1|2|AW|10.0.0.0/8|1 2",             // both at once
+           // prefixes
+           "1|2|A||1 2",                        // empty prefix
+           "1|2|A|10.0.0.1/8|1 2",              // non-canonical prefix
+           "1|2|A|10.0.0.0/33|1 2",             // length out of range
+           "1|2|A|10.0.0.0|1 2",                // missing length
+           "1|2|A|300.0.0.0/8|1 2",             // octet out of range
+           "1|2|A|10.0.0/8|1 2",                // too few octets
+           "1|2|A|garbage/8|1 2",               // not an address
+           "1|2|W||",                           // empty prefix on withdraw
+           // paths
+           "1|2|A|10.0.0.0/8|",                 // announce without path
+           "1|2|A|10.0.0.0/8|1 x",              // non-numeric hop
+           "1|2|A|10.0.0.0/8|-1",               // negative AS
+           "1|2|A|10.0.0.0/8|4294967296",       // AS overflows AsNumber
+           "1|2|A|10.0.0.0/8|1 99999999999999", // grossly overflowing AS
+           "1|2|A|10.0.0.0/8|1,2",              // wrong separator
+           "1|2|A|10.0.0.0/8|0x10",             // hex junk after a hop
+           "1|2|W|10.0.0.0/8|1 2",              // withdraw with path
        }) {
     EXPECT_FALSE(mrt::ParseLine(line).has_value()) << line;
   }
+}
+
+TEST(Mrt, ParseLineAcceptsBoundaryValues) {
+  // The largest values that fit are valid, so the rejections above are
+  // genuine overflow checks, not blanket bans on big numbers.
+  EXPECT_TRUE(mrt::ParseLine("0|0|A|0.0.0.0/0|1").has_value());
+  EXPECT_TRUE(mrt::ParseLine("1|2|A|10.0.0.0/8|4294967295").has_value());
+  EXPECT_TRUE(mrt::ParseLine("1|4294967295|A|10.0.0.0/8|1 2").has_value());
 }
 
 TEST(Mrt, TextRoundTripWithCommentsAndBlanks) {
@@ -87,6 +136,59 @@ TEST(Mrt, ParseTextReportsBadLineNumber) {
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
   }
+}
+
+TEST(Mrt, ParseTextCapsErrorMessageForHugeGarbageLine) {
+  // A megabyte of garbage must yield a short, readable message naming the
+  // line — not a megabyte exception string.
+  const std::string garbage(1 << 20, 'z');
+  try {
+    (void)mrt::ParseText(garbage + "\n1|0|A|10.0.0.0/8|65001\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_LT(message.size(), 256u);
+    EXPECT_NE(message.find("line 1"), std::string::npos);
+    EXPECT_NE(message.find("1048576 bytes"), std::string::npos);
+  }
+}
+
+TEST(Mrt, LenientParseSkipsBadLinesAndKeepsTheRest) {
+  const std::string text =
+      "# comment\n"
+      "1|0|A|10.0.0.0/8|65001\n"
+      "garbage\n"
+      "\n"
+      "2|1|W|10.0.0.0/8|\n"
+      "-5|0|A|10.0.0.0/8|65001\n"
+      "3|0|A|192.168.0.0/16|65001 65002\n";
+  const auto result = mrt::ParseTextLenient(text);
+  EXPECT_EQ(result.stats.total_lines, 5u);  // comments and blanks excluded
+  EXPECT_EQ(result.stats.parsed, 3u);
+  EXPECT_EQ(result.stats.bad_lines, 2u);
+  EXPECT_EQ(result.updates.size(), 3u);
+  ASSERT_EQ(result.stats.first_errors.size(), 2u);
+  EXPECT_NE(result.stats.first_errors[0].find("line 3"), std::string::npos);
+  EXPECT_NE(result.stats.first_errors[1].find("line 6"), std::string::npos);
+}
+
+TEST(Mrt, LenientParseOnCleanDumpReportsNothing) {
+  const std::vector<BgpUpdate> updates = {
+      Announce(1, 0, "10.0.0.0/8", "65001 65002"),
+      Withdraw(2, 1, "10.0.0.0/8"),
+  };
+  const auto result = mrt::ParseTextLenient(mrt::ToText(updates));
+  EXPECT_EQ(result.updates, updates);
+  EXPECT_EQ(result.stats.bad_lines, 0u);
+  EXPECT_TRUE(result.stats.first_errors.empty());
+}
+
+TEST(Mrt, LenientParseCapsRecordedErrors) {
+  std::string text;
+  for (int i = 0; i < 20; ++i) text += "junk line\n";
+  const auto result = mrt::ParseTextLenient(text, /*max_recorded_errors=*/4);
+  EXPECT_EQ(result.stats.bad_lines, 20u);
+  EXPECT_EQ(result.stats.first_errors.size(), 4u);
 }
 
 TEST(Mrt, FileRoundTrip) {

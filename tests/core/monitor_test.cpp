@@ -141,6 +141,65 @@ TEST(RelayMonitor, AlertCountsTrackPerKindTotals) {
   EXPECT_EQ(counts.Of(AlertKind::kNewUpstream), 1u);
 }
 
+TEST(RelayMonitor, DuplicateOriginChangeAlertsOnce) {
+  RelayMonitor monitor = MonitorWithBaseline();
+  // The same hijack re-announced — the signature a flapping session
+  // produces when it resyncs its table after recovery.
+  const auto first = monitor.Consume(Announce(100, 0, "78.46.0.0/15", "701 666"));
+  const auto second = monitor.Consume(Announce(200, 1, "78.46.0.0/15", "1299 666"));
+  const auto third = monitor.Consume(Announce(300, 0, "78.46.0.0/15", "701 4837 666"));
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_TRUE(second.empty());
+  EXPECT_TRUE(third.empty());
+  EXPECT_EQ(monitor.AlertCounts().origin_change, 1u);
+  EXPECT_EQ(monitor.SuppressedDuplicates(), 2u);
+  // A *different* bogus origin is a new anomaly, not a duplicate.
+  EXPECT_EQ(monitor.Consume(Announce(400, 0, "78.46.0.0/15", "701 667")).size(), 1u);
+  EXPECT_EQ(monitor.AlertCounts().origin_change, 2u);
+}
+
+TEST(RelayMonitor, DuplicateMoreSpecificAlertsOnce) {
+  RelayMonitor monitor = MonitorWithBaseline();
+  const auto first =
+      monitor.Consume(Announce(100, 0, "78.46.0.0/16", "701 3356 24940"));
+  const auto repeat =
+      monitor.Consume(Announce(200, 1, "78.46.0.0/16", "1299 3356 24940"));
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_TRUE(repeat.empty());
+  EXPECT_EQ(monitor.AlertCounts().more_specific, 1u);
+  EXPECT_EQ(monitor.SuppressedDuplicates(), 1u);
+  // Same carve-out from a different origin: a distinct anomaly.
+  EXPECT_EQ(monitor.Consume(Announce(300, 0, "78.46.0.0/16", "701 666")).size(), 1u);
+  // So is a different carve-out by the original origin.
+  EXPECT_EQ(
+      monitor.Consume(Announce(400, 0, "78.47.0.0/16", "701 3356 24940")).size(), 1u);
+}
+
+TEST(RelayMonitor, OutOfOrderTimestampsYieldTheSameAlertSet) {
+  // Decisions depend only on learned sets and update content, never on
+  // timestamp monotonicity — a reordered feed raises the same alerts.
+  const std::vector<BgpUpdate> anomalies = {
+      Announce(300, 0, "78.46.0.0/15", "701 666"),       // origin change
+      Announce(100, 0, "10.9.128.0/17", "701 666"),      // more specific (late)
+      Announce(200, 0, "10.9.0.0/16", "701 9002 16276"), // new upstream
+  };
+  RelayMonitor in_order = MonitorWithBaseline();
+  RelayMonitor reversed = MonitorWithBaseline();
+  for (const BgpUpdate& update : anomalies) (void)in_order.Consume(update);
+  for (auto it = anomalies.rbegin(); it != anomalies.rend(); ++it) {
+    (void)reversed.Consume(*it);
+  }
+  EXPECT_EQ(in_order.AlertCounts().total(), 3u);
+  EXPECT_EQ(in_order.AlertCounts().origin_change, reversed.AlertCounts().origin_change);
+  EXPECT_EQ(in_order.AlertCounts().more_specific, reversed.AlertCounts().more_specific);
+  EXPECT_EQ(in_order.AlertCounts().new_upstream, reversed.AlertCounts().new_upstream);
+  EXPECT_EQ(in_order.FlaggedPrefixes(), reversed.FlaggedPrefixes());
+}
+
+TEST(RelayMonitor, SuppressedDuplicatesStartAtZero) {
+  EXPECT_EQ(MonitorWithBaseline().SuppressedDuplicates(), 0u);
+}
+
 TEST(AlertCountSummary, Accumulates) {
   AlertCountSummary a{1, 2, 3};
   const AlertCountSummary b{10, 20, 30};

@@ -1,0 +1,215 @@
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bgp/mrt.hpp"
+#include "bgp/update.hpp"
+
+namespace quicksand::fault {
+namespace {
+
+using bgp::AsPath;
+using bgp::BgpUpdate;
+using bgp::SessionId;
+using bgp::UpdateType;
+using netbase::Prefix;
+using netbase::SimTime;
+
+BgpUpdate Announce(std::int64_t t, SessionId s, const char* prefix, const char* path) {
+  return {SimTime{t}, s, UpdateType::kAnnounce, Prefix::MustParse(prefix),
+          AsPath::MustParse(path)};
+}
+
+BgpUpdate Withdraw(std::int64_t t, SessionId s, const char* prefix) {
+  return {SimTime{t}, s, UpdateType::kWithdraw, Prefix::MustParse(prefix), {}};
+}
+
+std::vector<BgpUpdate> SampleStream() {
+  std::vector<BgpUpdate> updates;
+  for (std::int64_t t = 100; t <= 80000; t += 400) {
+    updates.push_back(Announce(t, (t / 400) % 3, "10.0.0.0/8",
+                               t % 800 == 100 ? "1 2 3" : "1 4 3"));
+    if (t % 1200 == 500) updates.push_back(Withdraw(t + 1, 0, "11.0.0.0/8"));
+  }
+  bgp::SortUpdates(updates);
+  return updates;
+}
+
+std::vector<BgpUpdate> SampleRib() {
+  return {Announce(0, 0, "10.0.0.0/8", "1 2 3"), Announce(0, 0, "11.0.0.0/8", "1 5"),
+          Announce(0, 1, "10.0.0.0/8", "6 3"), Announce(0, 2, "10.0.0.0/8", "7 2 3")};
+}
+
+FaultPlan ZeroPlan() {
+  FaultPlan plan = FaultPlan::Scaled(0.0, 42, 86400);
+  return plan;
+}
+
+TEST(FaultInjector, ZeroRateTextIsByteIdenticalPassthrough) {
+  const FaultInjector injector(ZeroPlan());
+  const std::string text = bgp::mrt::ToText(SampleStream());
+  const FaultedText out = injector.CorruptText(text);
+  EXPECT_EQ(out.text, text);
+  EXPECT_EQ(out.stats.total_faults(), 0u);
+  // Without a trailing newline too.
+  const std::string no_newline = text.substr(0, text.size() - 1);
+  EXPECT_EQ(injector.CorruptText(no_newline).text, no_newline);
+}
+
+TEST(FaultInjector, ZeroRateStreamIsExactPassthrough) {
+  const FaultInjector injector(ZeroPlan());
+  const auto rib = SampleRib();
+  const auto updates = SampleStream();
+  const FaultedStream out = injector.PerturbStream(rib, updates);
+  EXPECT_EQ(out.updates, updates);
+  EXPECT_EQ(out.stats.dropped(), 0u);
+  EXPECT_EQ(out.stats.resync_injected, 0u);
+  EXPECT_EQ(out.stats.flapped_sessions, 0u);
+}
+
+TEST(FaultInjector, ZeroRateScheduleIsEmpty) {
+  const FaultInjector injector(ZeroPlan());
+  for (SessionId s = 0; s < 32; ++s) {
+    EXPECT_TRUE(injector.ScheduleFor(s).down.empty());
+  }
+}
+
+TEST(FaultInjector, TextFaultsAreDeterministicAcrossInjectors) {
+  const FaultPlan plan = FaultPlan::Scaled(0.05, 7, 86400);
+  const FaultInjector a(plan);
+  const FaultInjector b(plan);
+  const std::string text = bgp::mrt::ToText(SampleStream());
+  const FaultedText fa = a.CorruptText(text);
+  const FaultedText fb = b.CorruptText(text);
+  EXPECT_EQ(fa.text, fb.text);
+  EXPECT_EQ(fa.stats.corrupted, fb.stats.corrupted);
+  EXPECT_GT(fa.stats.total_faults(), 0u);
+}
+
+TEST(FaultInjector, TextFaultsChangeWithSeed) {
+  const std::string text = bgp::mrt::ToText(SampleStream());
+  const FaultedText fa = FaultInjector(FaultPlan::Scaled(0.05, 1, 86400)).CorruptText(text);
+  const FaultedText fb = FaultInjector(FaultPlan::Scaled(0.05, 2, 86400)).CorruptText(text);
+  EXPECT_NE(fa.text, fb.text);
+}
+
+TEST(FaultInjector, CorruptedDumpStillParsesLeniently) {
+  const FaultInjector injector(FaultPlan::Scaled(0.10, 3, 86400));
+  const auto updates = SampleStream();
+  const FaultedText out = injector.CorruptText(bgp::mrt::ToText(updates));
+  const bgp::mrt::LenientParse parsed = bgp::mrt::ParseTextLenient(out.text);
+  // Faults cost records, never the dataset.
+  EXPECT_GT(parsed.stats.bad_lines, 0u);
+  EXPECT_GT(parsed.updates.size(), updates.size() / 2);
+  EXPECT_EQ(parsed.stats.parsed + parsed.stats.bad_lines, parsed.stats.total_lines);
+}
+
+TEST(FaultInjector, ScheduleIsPureFunctionOfSeedAndSession) {
+  const FaultPlan plan = FaultPlan::Scaled(0.10, 11, netbase::duration::kMonth);
+  const FaultInjector injector(plan);
+  // Same answer regardless of call order or repetition.
+  const FlapSchedule first = injector.ScheduleFor(5);
+  (void)injector.ScheduleFor(2);
+  (void)injector.ScheduleFor(9);
+  const FlapSchedule again = injector.ScheduleFor(5);
+  EXPECT_EQ(first.down, again.down);
+}
+
+TEST(FaultInjector, SchedulesAreSortedDisjointAndInsideWindow) {
+  const FaultPlan plan = FaultPlan::Scaled(0.25, 13, netbase::duration::kMonth);
+  const FaultInjector injector(plan);
+  bool saw_flap = false;
+  for (SessionId s = 0; s < 64; ++s) {
+    const FlapSchedule schedule = injector.ScheduleFor(s);
+    saw_flap = saw_flap || !schedule.down.empty();
+    std::int64_t previous_end = -1;
+    for (const auto& [down, up] : schedule.down) {
+      EXPECT_LT(down, up);
+      EXPECT_GE(down, 0);
+      EXPECT_LE(up, plan.window_s);
+      EXPECT_GT(down, previous_end);
+      previous_end = up;
+    }
+  }
+  EXPECT_TRUE(saw_flap);
+}
+
+TEST(FaultInjector, StreamPerturbationIsDeterministicAndOrdered) {
+  const FaultPlan plan = FaultPlan::Scaled(0.05, 21, 86400);
+  const auto rib = SampleRib();
+  const auto updates = SampleStream();
+  const FaultedStream a = FaultInjector(plan).PerturbStream(rib, updates);
+  const FaultedStream b = FaultInjector(plan).PerturbStream(rib, updates);
+  EXPECT_EQ(a.updates, b.updates);
+  EXPECT_EQ(a.stats.dropped(), b.stats.dropped());
+  EXPECT_GT(a.stats.dropped(), 0u);
+  for (std::size_t i = 1; i < a.updates.size(); ++i) {
+    EXPECT_LE(a.updates[i - 1].time.seconds, a.updates[i].time.seconds);
+  }
+  EXPECT_EQ(a.stats.input_updates, updates.size());
+  EXPECT_EQ(a.stats.output_updates, a.updates.size());
+}
+
+TEST(FaultInjector, OutagesDropUpdatesAndResyncOnRecovery) {
+  // Force every session to flap: rate 0.5 ⇒ flap_rate 1.0.
+  FaultPlan plan = FaultPlan::Scaled(0.0, 31, 86400);
+  plan.session.flap_rate = 1.0;
+  const FaultInjector injector(plan);
+  const auto rib = SampleRib();
+  const auto updates = SampleStream();
+  const FaultedStream out = injector.PerturbStream(rib, updates);
+  EXPECT_GT(out.stats.flapped_sessions, 0u);
+  EXPECT_GT(out.stats.dropped_down, 0u);
+  EXPECT_GT(out.stats.resync_injected, 0u);
+}
+
+TEST(FaultInjector, IoFailuresAreRetriedToSuccess) {
+  FaultPlan plan = FaultPlan::Scaled(0.0, 5, 86400);
+  plan.io.failure_rate = 1.0;  // every attempt fails until max_consecutive
+  plan.retry.max_attempts = plan.io.max_consecutive + 2;
+  plan.retry.sleeper = [](double) {};
+  const FaultInjector injector(plan);
+
+  const std::string path = ::testing::TempDir() + "fault_injector_io_test.txt";
+  const auto updates = SampleRib();
+  IoFaultStats write_stats;
+  injector.WriteMrtFile(path, updates, &write_stats);
+  EXPECT_EQ(write_stats.injected_failures, plan.io.max_consecutive);
+  EXPECT_EQ(write_stats.retries, plan.io.max_consecutive);
+  EXPECT_GT(write_stats.total_backoff_ms, 0.0);
+
+  IoFaultStats read_stats;
+  const auto read_back = injector.ReadMrtFile(path, &read_stats);
+  EXPECT_EQ(read_back, updates);
+  EXPECT_EQ(read_stats.injected_failures, plan.io.max_consecutive);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjector, ZeroRateIoInjectsNothing) {
+  const FaultInjector injector(ZeroPlan());
+  const std::string path = ::testing::TempDir() + "fault_injector_io_clean_test.txt";
+  const auto updates = SampleRib();
+  IoFaultStats stats;
+  injector.WriteMrtFile(path, updates, &stats);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.injected_failures, 0u);
+  EXPECT_EQ(injector.ReadMrtFile(path), updates);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjector, IoGivesUpWhenRetryBudgetTooSmall) {
+  FaultPlan plan = FaultPlan::Scaled(0.0, 5, 86400);
+  plan.io.failure_rate = 1.0;
+  plan.io.max_consecutive = 4;
+  plan.retry.max_attempts = 2;  // < max_consecutive + 1: cannot outlast the run
+  plan.retry.sleeper = [](double) {};
+  const FaultInjector injector(plan);
+  EXPECT_THROW((void)injector.ReadMrtFile("/nonexistent/fault.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace quicksand::fault

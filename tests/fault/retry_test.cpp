@@ -1,0 +1,133 @@
+#include "util/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace quicksand::util {
+namespace {
+
+RetryPolicy NoSleepPolicy(std::vector<double>* slept = nullptr) {
+  RetryPolicy policy;
+  policy.sleeper = [slept](double ms) {
+    if (slept != nullptr) slept->push_back(ms);
+  };
+  return policy;
+}
+
+TEST(Retry, SuccessOnFirstAttemptNeverSleeps) {
+  std::vector<double> slept;
+  netbase::Rng rng(1);
+  RetryStats stats;
+  const int value = Retry(NoSleepPolicy(&slept), rng, [] { return 7; }, &stats);
+  EXPECT_EQ(value, 7);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.total_backoff_ms, 0.0);
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST(Retry, RetriesTransientFailuresUntilSuccess) {
+  std::vector<double> slept;
+  netbase::Rng rng(1);
+  RetryStats stats;
+  std::size_t calls = 0;
+  const int value = Retry(
+      NoSleepPolicy(&slept), rng,
+      [&calls] {
+        if (++calls < 3) throw std::runtime_error("transient");
+        return 42;
+      },
+      &stats);
+  EXPECT_EQ(value, 42);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(slept.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.total_backoff_ms, slept[0] + slept[1]);
+}
+
+TEST(Retry, GivesUpAfterMaxAttemptsAndRethrows) {
+  netbase::Rng rng(1);
+  RetryPolicy policy = NoSleepPolicy();
+  policy.max_attempts = 3;
+  RetryStats stats;
+  std::size_t calls = 0;
+  EXPECT_THROW(Retry(
+                   policy, rng,
+                   [&calls]() -> int {
+                     ++calls;
+                     throw std::runtime_error("permanent");
+                   },
+                   &stats),
+               std::runtime_error);
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+}
+
+TEST(Retry, SupportsVoidFunctions) {
+  netbase::Rng rng(1);
+  bool ran = false;
+  std::size_t calls = 0;
+  Retry(NoSleepPolicy(), rng, [&] {
+    if (++calls < 2) throw std::runtime_error("transient");
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(calls, 2u);
+}
+
+TEST(Retry, BackoffSequenceIsDeterministicForSeed) {
+  auto run = [] {
+    std::vector<double> slept;
+    netbase::Rng rng(99);
+    std::size_t calls = 0;
+    RetryPolicy policy = NoSleepPolicy(&slept);
+    policy.max_attempts = 5;
+    Retry(policy, rng, [&calls] {
+      if (++calls < 5) throw std::runtime_error("transient");
+    });
+    return slept;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Retry, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10;
+  policy.max_backoff_ms = 50;
+  policy.jitter = 0;  // deterministic midpoint
+  netbase::Rng rng(1);
+  EXPECT_DOUBLE_EQ(BackoffMs(policy, 1, rng), 10.0);
+  EXPECT_DOUBLE_EQ(BackoffMs(policy, 2, rng), 20.0);
+  EXPECT_DOUBLE_EQ(BackoffMs(policy, 3, rng), 40.0);
+  EXPECT_DOUBLE_EQ(BackoffMs(policy, 4, rng), 50.0);  // capped
+  EXPECT_DOUBLE_EQ(BackoffMs(policy, 9, rng), 50.0);
+}
+
+TEST(Retry, JitterStaysWithinHalfWidth) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 100;
+  policy.jitter = 0.5;
+  netbase::Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const double backoff = BackoffMs(policy, 1, rng);
+    EXPECT_GE(backoff, 75.0);
+    EXPECT_LT(backoff, 125.0);
+  }
+}
+
+TEST(Retry, ZeroMaxAttemptsStillRunsOnce) {
+  netbase::Rng rng(1);
+  RetryPolicy policy = NoSleepPolicy();
+  policy.max_attempts = 0;
+  std::size_t calls = 0;
+  EXPECT_THROW(
+      Retry(policy, rng, [&calls] { ++calls; throw std::runtime_error("x"); }),
+      std::runtime_error);
+  EXPECT_EQ(calls, 1u);
+}
+
+}  // namespace
+}  // namespace quicksand::util
