@@ -8,7 +8,9 @@
 // month of routing dynamics generate it on top. Everything is seeded, so
 // each bench is reproducible in isolation.
 
+#include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -21,7 +23,9 @@
 #include "bgp/collector.hpp"
 #include "bgp/dynamics_gen.hpp"
 #include "bgp/topology_gen.hpp"
+#include "ckpt/sweep.hpp"
 #include "exec/thread_pool.hpp"
+#include "util/atomic_file.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stopwatch.hpp"
@@ -91,6 +95,13 @@ inline void PrintComparison(util::Table& table, const std::string& metric,
 ///                    concurrency, the default). Output is byte-identical
 ///                    for every value — only wall time changes (see
 ///                    docs/PERFORMANCE.md).
+///   --checkpoint <dir>       write crash-safe sweep snapshots into <dir>
+///   --checkpoint-every <n>   snapshot cadence in completed shards (default 1)
+///   --resume                 restart checkpointed sweeps from their last
+///                            snapshot; output stays byte-identical to an
+///                            uninterrupted run (docs/ROBUSTNESS.md)
+///   --shard-deadline-ms <n>  fail fast (exit 3 + diagnostic dump) if any
+///                            sweep shard runs longer than <n> ms
 ///
 /// The JSON summary separates wall-clock timing (phases / *_ms
 /// histograms) from the deterministic metric snapshot, so two seeded runs
@@ -109,6 +120,19 @@ class BenchContext {
         std::exit(2);
       }
       obs::SetGlobalTrace(trace_.get());
+    }
+    if (!checkpoint_dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(checkpoint_dir_, ec);
+      if (ec) {
+        std::cerr << "cannot create --checkpoint dir " << checkpoint_dir_ << ": "
+                  << ec.message() << "\n";
+        std::exit(2);
+      }
+    }
+    if (shard_deadline_ms_ > 0) {
+      watchdog_ = std::make_unique<ckpt::Watchdog>(
+          std::chrono::milliseconds(shard_deadline_ms_));
     }
     PrintHeader(experiment_, claim_);
   }
@@ -192,12 +216,37 @@ class BenchContext {
     }
     doc.Set("comparisons", std::move(comparisons));
     doc.Set("results", results_);
-    std::ofstream out(json_path_);
-    if (!out) {
-      throw std::runtime_error("BenchContext: cannot open " + json_path_);
-    }
-    out << doc.Dump(2) << '\n';
+    // Atomic replacement: a crash mid-Finish leaves the previous summary
+    // (or nothing), never a torn JSON document.
+    util::WriteFileAtomic(json_path_, doc.Dump(2) + '\n');
     std::cout << "\nJSON summary written to " << json_path_ << "\n";
+  }
+
+  /// Describes one checkpointable sweep for ckpt::CheckpointedMap: stage
+  /// name, snapshot path under --checkpoint (empty when disabled, making
+  /// the sweep an exact pass-through), the --resume / --checkpoint-every
+  /// settings, the --shard-deadline-ms watchdog, and a fingerprint over
+  /// (experiment, stage, shard count, config_key) so resume refuses
+  /// snapshots from any other sweep. Fold every seed/parameter that
+  /// shapes the sweep's output into `config_key`.
+  [[nodiscard]] ckpt::StageOptions Stage(const std::string& stage,
+                                         std::size_t shards,
+                                         std::uint64_t config_key = 0) const {
+    ckpt::StageOptions options;
+    options.name = stage;
+    options.every = checkpoint_every_;
+    options.resume = resume_;
+    options.watchdog = watchdog_.get();
+    options.fingerprint = ckpt::FingerprintBuilder()
+                              .Add(experiment_)
+                              .Add(stage)
+                              .Add(static_cast<std::uint64_t>(shards))
+                              .Add(config_key)
+                              .Finish();
+    if (!checkpoint_dir_.empty()) {
+      options.snapshot_path = checkpoint_dir_ + "/" + stage + ".ckpt";
+    }
+    return options;
   }
 
   [[nodiscard]] const std::string& json_path() const noexcept { return json_path_; }
@@ -228,24 +277,45 @@ class BenchContext {
       } else if (arg == "--trace" && i + 1 < argc) {
         trace_path_ = argv[++i];
       } else if (arg == "--threads" && i + 1 < argc) {
-        char* end = nullptr;
-        const unsigned long value = std::strtoul(argv[++i], &end, 10);
-        if (end == nullptr || *end != '\0') {
-          std::cerr << "invalid --threads value: " << argv[i] << "\n";
-          std::exit(2);
-        }
-        threads_ = static_cast<std::size_t>(value);
+        threads_ = ParseCount(arg, argv[++i]);
+      } else if (arg == "--checkpoint" && i + 1 < argc) {
+        checkpoint_dir_ = argv[++i];
+      } else if (arg == "--checkpoint-every" && i + 1 < argc) {
+        checkpoint_every_ = ParseCount(arg, argv[++i]);
+        if (checkpoint_every_ == 0) checkpoint_every_ = 1;
+      } else if (arg == "--resume") {
+        resume_ = true;
+      } else if (arg == "--shard-deadline-ms" && i + 1 < argc) {
+        shard_deadline_ms_ = ParseCount(arg, argv[++i]);
       } else if (arg == "--help" || arg == "-h") {
-        std::cout << "usage: " << argv[0]
-                  << " [--json <path>] [--trace <path>] [--threads <n>]\n";
+        std::cout << "usage: " << argv[0] << Usage();
         std::exit(0);
       } else {
         std::cerr << "unknown argument: " << arg << "\n"
-                  << "usage: " << argv[0]
-                  << " [--json <path>] [--trace <path>] [--threads <n>]\n";
+                  << "usage: " << argv[0] << Usage();
         std::exit(2);
       }
     }
+    if (resume_ && checkpoint_dir_.empty()) {
+      std::cerr << "--resume requires --checkpoint <dir>\n";
+      std::exit(2);
+    }
+  }
+
+  static std::size_t ParseCount(const std::string& flag, const char* raw) {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(raw, &end, 10);
+    if (end == nullptr || *end != '\0' || end == raw) {
+      std::cerr << "invalid " << flag << " value: " << raw << "\n";
+      std::exit(2);
+    }
+    return static_cast<std::size_t>(value);
+  }
+
+  static const char* Usage() {
+    return " [--json <path>] [--trace <path>] [--threads <n>]\n"
+           "    [--checkpoint <dir>] [--checkpoint-every <n>] [--resume]\n"
+           "    [--shard-deadline-ms <n>]\n";
   }
 
   std::string experiment_;
@@ -253,6 +323,11 @@ class BenchContext {
   std::string json_path_;
   std::string trace_path_;
   std::size_t threads_ = 0;  // 0 = hardware concurrency
+  std::string checkpoint_dir_;       // empty = checkpointing disabled
+  std::size_t checkpoint_every_ = 1;
+  bool resume_ = false;
+  std::size_t shard_deadline_ms_ = 0;  // 0 = watchdog disabled
+  std::unique_ptr<ckpt::Watchdog> watchdog_;
   std::unique_ptr<obs::TraceSink> trace_;
   obs::Stopwatch total_;
   std::vector<std::pair<std::string, double>> phases_;

@@ -22,6 +22,7 @@
 #include "bgp/churn.hpp"
 #include "bgp/feed_sanitizer.hpp"
 #include "bgp/mrt.hpp"
+#include "ckpt/sweep.hpp"
 #include "common.hpp"
 #include "core/monitor.hpp"
 #include "fault/injector.hpp"
@@ -35,12 +36,15 @@ using namespace quicksand;
 constexpr std::int64_t kWindow = 7 * 86400;  // one week keeps the sweep quick
 constexpr std::uint64_t kFaultSeed = 20140601;
 
-/// Everything one sweep point produces.
+/// Everything one sweep point produces. Scalars only (the sanitized feed
+/// is summarized as a count + content hash) so a point checkpoints as a
+/// small shard payload and the zero-rate contract survives a resume.
 struct SweepPoint {
   double rate = 0;
   bgp::mrt::ParseStats parse;
   fault::StreamFaultStats stream;
-  bgp::SanitizedFeed feed;
+  std::size_t sanitized_updates = 0;  ///< |SanitizeFeed(...).updates|
+  std::uint64_t feed_hash = 0;        ///< Fingerprint64 of the feed's MRT text
   std::size_t churn_dropped = 0;
   std::size_t io_retries = 0;
   std::size_t io_injected = 0;
@@ -48,6 +52,44 @@ struct SweepPoint {
   std::size_t alerts_suppressed = 0;
   double fraction_ratio_above_one = 0;
 };
+
+void EncodePoint(const SweepPoint& point, ckpt::PayloadWriter& payload) {
+  payload.Dbl(point.rate);
+  payload.U64(point.parse.total_lines).U64(point.parse.parsed).U64(point.parse.bad_lines);
+  payload.U64(point.stream.input_updates).U64(point.stream.output_updates);
+  payload.U64(point.stream.dropped_down).U64(point.stream.dropped_loss);
+  payload.U64(point.stream.delayed).U64(point.stream.resync_injected);
+  payload.U64(point.stream.flapped_sessions).U64(point.stream.flaps);
+  payload.U64(point.sanitized_updates).U64(point.feed_hash);
+  payload.U64(point.churn_dropped).U64(point.io_retries).U64(point.io_injected);
+  payload.U64(point.alerts).U64(point.alerts_suppressed);
+  payload.Dbl(point.fraction_ratio_above_one);
+}
+
+SweepPoint DecodePoint(ckpt::PayloadReader& payload) {
+  SweepPoint point;
+  point.rate = payload.Dbl();
+  point.parse.total_lines = payload.U64();
+  point.parse.parsed = payload.U64();
+  point.parse.bad_lines = payload.U64();
+  point.stream.input_updates = payload.U64();
+  point.stream.output_updates = payload.U64();
+  point.stream.dropped_down = payload.U64();
+  point.stream.dropped_loss = payload.U64();
+  point.stream.delayed = payload.U64();
+  point.stream.resync_injected = payload.U64();
+  point.stream.flapped_sessions = payload.U64();
+  point.stream.flaps = payload.U64();
+  point.sanitized_updates = payload.U64();
+  point.feed_hash = payload.U64();
+  point.churn_dropped = payload.U64();
+  point.io_retries = payload.U64();
+  point.io_injected = payload.U64();
+  point.alerts = payload.U64();
+  point.alerts_suppressed = payload.U64();
+  point.fraction_ratio_above_one = payload.Dbl();
+  return point;
+}
 
 std::string RateKey(double rate) {
   char buffer[32];
@@ -95,11 +137,14 @@ SweepPoint RunSweepPoint(const bench::Scenario& scenario,
   }
 
   // Degraded-but-standing analysis.
-  point.feed = bgp::SanitizeFeed(dynamics.initial_rib, std::move(stream.updates));
+  const bgp::SanitizedFeed feed =
+      bgp::SanitizeFeed(dynamics.initial_rib, std::move(stream.updates));
+  point.sanitized_updates = feed.updates.size();
+  point.feed_hash = ckpt::Fingerprint64(bgp::mrt::ToText(feed.updates));
   bgp::ChurnParams churn_params;
   churn_params.window_end_s = kWindow;
   const bgp::ChurnAnalyzer analyzer = bgp::AnalyzeChurn(
-      dynamics.initial_rib, point.feed.updates, churn_params, threads);
+      dynamics.initial_rib, feed.updates, churn_params, threads);
   point.churn_dropped = analyzer.DroppedOutOfOrder();
   const auto ratios = analyzer.RatioToSessionMedian(
       scenario.prefix_map.TorPrefixes(scenario.consensus.consensus));
@@ -109,7 +154,7 @@ SweepPoint RunSweepPoint(const bench::Scenario& scenario,
   core::RelayMonitor monitor(
       scenario.prefix_map.TorPrefixes(scenario.consensus.consensus));
   monitor.LearnBaseline(dynamics.initial_rib);
-  for (const auto& update : point.feed.updates) (void)monitor.Consume(update);
+  for (const auto& update : feed.updates) (void)monitor.Consume(update);
   point.alerts = monitor.AlertCounts().total();
   point.alerts_suppressed = monitor.SuppressedDuplicates();
   return point;
@@ -138,22 +183,33 @@ int main(int argc, char** argv) {
   std::cout << "  dataset: " << dynamics.updates.size() << " updates over one week ("
             << text.size() / 1024 << " KiB of MRT text)\n";
 
+  // One checkpoint shard per fault rate: a killed sweep resumes at the
+  // first rate whose point isn't in the snapshot.
   const std::vector<double> rates = {0.0, 0.005, 0.01, 0.02, 0.05, 0.10};
-  std::vector<SweepPoint> points;
-  for (const double rate : rates) {
-    points.push_back(ctx.Timed(RateKey(rate), [&] {
-      return RunSweepPoint(scenario, dynamics, text, rate, ctx.threads());
-    }));
-  }
+  const ckpt::StageOptions sweep_stage =
+      ctx.Stage("fault_rates", rates.size(), /*config_key=*/kFaultSeed);
+  const std::vector<SweepPoint> points = ctx.Timed("fault_rates", [&] {
+    return ckpt::CheckpointedMap(
+        sweep_stage, /*threads=*/1, rates.size(),
+        [&](std::size_t i) {
+          return RunSweepPoint(scenario, dynamics, text, rates[i], ctx.threads());
+        },
+        EncodePoint, DecodePoint);
+  });
 
   // Hard contract: with every rate at zero, the injector-laced pipeline is
-  // exactly the injector-free pipeline.
+  // exactly the injector-free pipeline (compared by sanitized-feed hash so
+  // the check also holds for a resumed, checkpoint-decoded point).
   {
     const bgp::SanitizedFeed clean = bgp::SanitizeFeed(
         dynamics.initial_rib, bgp::mrt::ParseText(text));
+    const std::uint64_t clean_hash =
+        ckpt::Fingerprint64(bgp::mrt::ToText(clean.updates));
     const SweepPoint& zero = points.front();
-    if (zero.feed.updates != clean.updates || zero.parse.bad_lines != 0 ||
-        zero.stream.dropped() != 0 || zero.io_injected != 0) {
+    if (zero.feed_hash != clean_hash ||
+        zero.sanitized_updates != clean.updates.size() ||
+        zero.parse.bad_lines != 0 || zero.stream.dropped() != 0 ||
+        zero.io_injected != 0) {
       std::cerr << "FAIL: zero-rate run differs from injector-free pipeline\n";
       return 1;
     }
@@ -221,7 +277,7 @@ int main(int argc, char** argv) {
                static_cast<std::uint64_t>(point.alerts_suppressed));
     ctx.Result(key + ".fraction_ratio_above_one", point.fraction_ratio_above_one);
     ctx.Result(key + ".sanitized_updates",
-               static_cast<std::uint64_t>(point.feed.updates.size()));
+               static_cast<std::uint64_t>(point.sanitized_updates));
   }
   ctx.Finish();
   return 0;

@@ -13,6 +13,7 @@
 
 #include "bgp/churn.hpp"
 #include "bgp/feed_sanitizer.hpp"
+#include "ckpt/sweep.hpp"
 #include "common.hpp"
 #include "core/report.hpp"
 #include "util/csv.hpp"
@@ -56,14 +57,31 @@ int main(int argc, char** argv) {
             << filtered.reset_stats.duplicates_removed << " duplicates removed, "
             << filtered.out_of_order_repaired << " orderings repaired\n";
 
-  const auto ratios = ctx.Timed("churn_filtered", [&] {
-    return RatiosFromStream(scenario, dynamics.initial_rib, filtered.updates,
-                            ctx.threads());
+  // The two heavy churn passes (filtered / unfiltered) are checkpoint
+  // shards: a killed run resumes past whichever pass already completed.
+  // The inputs (dynamics, sanitized feed) are regenerated deterministically
+  // above, so decoded ratios splice back in byte-identically.
+  const ckpt::StageOptions churn_stage = ctx.Stage("churn", 2);
+  const auto ratio_sets = ctx.Timed("churn", [&] {
+    return ckpt::CheckpointedMap(
+        churn_stage, /*threads=*/1, 2,
+        [&](std::size_t shard) {
+          return RatiosFromStream(scenario, dynamics.initial_rib,
+                                  shard == 0 ? filtered.updates : dynamics.updates,
+                                  ctx.threads());
+        },
+        [](const std::vector<double>& ratios, ckpt::PayloadWriter& payload) {
+          payload.U64(ratios.size());
+          for (const double r : ratios) payload.Dbl(r);
+        },
+        [](ckpt::PayloadReader& payload) {
+          std::vector<double> ratios(payload.U64());
+          for (double& r : ratios) r = payload.Dbl();
+          return ratios;
+        });
   });
-  const auto raw_ratios = ctx.Timed("churn_unfiltered", [&] {
-    return RatiosFromStream(scenario, dynamics.initial_rib, dynamics.updates,
-                            ctx.threads());
-  });
+  const std::vector<double>& ratios = ratio_sets[0];
+  const std::vector<double>& raw_ratios = ratio_sets[1];
 
   util::PrintBanner(std::cout, "CCDF of ratio (filtered stream)");
   core::PrintCcdf(std::cout, util::Ccdf(ratios), "changes / session median", 18);

@@ -10,7 +10,9 @@
 // relays". This bench sweeps guard-set size and guard lifetime.
 
 #include <iostream>
+#include <iterator>
 
+#include "ckpt/sweep.hpp"
 #include "common.hpp"
 #include "core/longterm.hpp"
 #include "core/report.hpp"
@@ -56,27 +58,57 @@ int main(int argc, char** argv) {
       {"3 guards, 9-month rotation (proposal)", 3, 270},
       {"9 guards, 30-day rotation", 9, 30},
   };
-  ctx.Timed("policy_sweep", [&] {
-    for (const PolicyCase& policy : cases) {
-      core::LongTermParams params = base;
-      params.guard_set_size = policy.guards;
-      params.guard_lifetime_s = policy.lifetime_days * netbase::duration::kDay;
-      const core::LongTermResult result =
-          core::SimulateLongTermExposure(consensus, params);
-      table.AddRow({policy.name,
-                    util::FormatPercent(result.cumulative_compromised[89], 1),
-                    util::FormatPercent(result.cumulative_compromised[179], 1),
-                    util::FormatPercent(result.cumulative_compromised[359], 1)});
-      for (std::size_t i = 0; i < result.cumulative_compromised.size(); i += 10) {
-        csv.WriteRow({policy.name, std::to_string(i),
-                      util::FormatDouble(result.cumulative_compromised[i], 5)});
-      }
-      ctx.Result("compromised_360d[" + policy.name + "]",
-                 result.cumulative_compromised[359]);
-      curves.push_back(result.cumulative_compromised);
-      names.push_back(policy.name);
+  // One checkpoint shard per guard policy: each year-long simulation is
+  // independent and seeded, so a killed sweep resumes at the first
+  // unsimulated policy (inner parallelism still uses ctx.threads()).
+  const ckpt::StageOptions sweep_stage =
+      ctx.Stage("policy_sweep", std::size(cases), /*config_key=*/base.seed);
+  const std::vector<core::LongTermResult> sweep_results =
+      ctx.Timed("policy_sweep", [&] {
+        return ckpt::CheckpointedMap(
+            sweep_stage, /*threads=*/1, std::size(cases),
+            [&](std::size_t i) {
+              core::LongTermParams params = base;
+              params.guard_set_size = cases[i].guards;
+              params.guard_lifetime_s =
+                  cases[i].lifetime_days * netbase::duration::kDay;
+              return core::SimulateLongTermExposure(consensus, params);
+            },
+            [](const core::LongTermResult& result, ckpt::PayloadWriter& payload) {
+              payload.U64(result.cumulative_compromised.size());
+              for (const double v : result.cumulative_compromised) payload.Dbl(v);
+              payload.Dbl(result.final_fraction);
+              payload.U64(result.malicious_relays);
+              payload.U64(result.malicious_guards);
+              payload.U64(result.malicious_exits);
+            },
+            [](ckpt::PayloadReader& payload) {
+              core::LongTermResult result;
+              result.cumulative_compromised.resize(payload.U64());
+              for (double& v : result.cumulative_compromised) v = payload.Dbl();
+              result.final_fraction = payload.Dbl();
+              result.malicious_relays = payload.U64();
+              result.malicious_guards = payload.U64();
+              result.malicious_exits = payload.U64();
+              return result;
+            });
+      });
+  for (std::size_t p = 0; p < sweep_results.size(); ++p) {
+    const PolicyCase& policy = cases[p];
+    const core::LongTermResult& result = sweep_results[p];
+    table.AddRow({policy.name,
+                  util::FormatPercent(result.cumulative_compromised[89], 1),
+                  util::FormatPercent(result.cumulative_compromised[179], 1),
+                  util::FormatPercent(result.cumulative_compromised[359], 1)});
+    for (std::size_t i = 0; i < result.cumulative_compromised.size(); i += 10) {
+      csv.WriteRow({policy.name, std::to_string(i),
+                    util::FormatDouble(result.cumulative_compromised[i], 5)});
     }
-  });
+    ctx.Result("compromised_360d[" + policy.name + "]",
+               result.cumulative_compromised[359]);
+    curves.push_back(result.cumulative_compromised);
+    names.push_back(policy.name);
+  }
   std::cout << table.Render();
 
   util::PrintBanner(std::cout, "cumulative compromise over time");

@@ -6,9 +6,9 @@
 
 #include <iostream>
 
+#include "ckpt/sweep.hpp"
 #include "common.hpp"
 #include "core/attack_analysis.hpp"
-#include "exec/parallel.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
@@ -78,10 +78,15 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // Each trial is one checkpoint shard: a killed run resumes from the
+  // first incomplete trial and reproduces the uninterrupted output
+  // byte-for-byte (the shard RNG substream is keyed by trial index).
+  const ckpt::StageOptions trials_stage =
+      ctx.Stage("correlation_trials", trial_cases.size(), /*config_key=*/5000);
   const std::vector<core::DeanonResult> trial_results =
       ctx.Timed("correlation_trials", [&] {
-        return exec::ParallelMap(
-            ctx.threads(), trial_cases.size(),
+        return ckpt::CheckpointedMap(
+            trials_stage, ctx.threads(), trial_cases.size(),
             [&](std::size_t i) {
               core::DeanonExperimentParams params;
               params.candidate_clients = 10;
@@ -93,7 +98,23 @@ int main(int argc, char** argv) {
               params.seed = 5000 + static_cast<std::uint64_t>(trial_cases[i].trial) * 37;
               return core::RunCorrelationDeanonymization(params);
             },
-            /*grain=*/1);
+            [](const core::DeanonResult& result, ckpt::PayloadWriter& payload) {
+              payload.U64(result.target).U64(result.matched).Bool(result.success);
+              payload.Dbl(result.target_correlation).Dbl(result.runner_up_correlation);
+              payload.U64(result.correlations.size());
+              for (const double r : result.correlations) payload.Dbl(r);
+            },
+            [](ckpt::PayloadReader& payload) {
+              core::DeanonResult result;
+              result.target = payload.U64();
+              result.matched = payload.U64();
+              result.success = payload.Bool();
+              result.target_correlation = payload.Dbl();
+              result.runner_up_correlation = payload.Dbl();
+              result.correlations.resize(payload.U64());
+              for (double& r : result.correlations) r = payload.Dbl();
+              return result;
+            });
       });
   for (std::size_t i = 0; i < trial_cases.size(); i += trials) {
     const core::SegmentView entry = trial_cases[i].entry;

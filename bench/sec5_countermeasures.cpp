@@ -12,6 +12,7 @@
 
 #include "bgp/churn.hpp"
 #include "bgp/session_reset.hpp"
+#include "ckpt/sweep.hpp"
 #include "common.hpp"
 #include "core/advisor.hpp"
 #include "core/attack_analysis.hpp"
@@ -110,16 +111,19 @@ int main(int argc, char** argv) {
 
   // One task per (client, destination) pair: pairs share only the
   // thread-safe exposure analyzer and their own seeded Rng, so they run
-  // concurrently; rows are merged in pair order afterwards.
+  // concurrently; rows are merged in pair order afterwards. Each pair is
+  // also one checkpoint shard, so a killed evaluation resumes at the first
+  // unevaluated pair.
   struct PairRow {
     std::string policy;
     double fraction = 0;
     double mean_observers = 0;
   };
+  const ckpt::StageOptions eval_stage = ctx.Stage("policy_eval", kPairs);
   const std::vector<std::vector<PairRow>> pair_rows =
       ctx.Timed("policy_eval", [&] {
-        return exec::ParallelMap(
-            ctx.threads(), kPairs,
+        return ckpt::CheckpointedMap(
+            eval_stage, ctx.threads(), kPairs,
             [&](std::size_t pair) {
               std::vector<PairRow> rows;
     const bgp::AsNumber client =
@@ -226,7 +230,21 @@ int main(int argc, char** argv) {
     }
               return rows;
             },
-            /*grain=*/1);
+            [](const std::vector<PairRow>& rows, ckpt::PayloadWriter& payload) {
+              payload.U64(rows.size());
+              for (const PairRow& row : rows) {
+                payload.Str(row.policy).Dbl(row.fraction).Dbl(row.mean_observers);
+              }
+            },
+            [](ckpt::PayloadReader& payload) {
+              std::vector<PairRow> rows(payload.U64());
+              for (PairRow& row : rows) {
+                row.policy = payload.Str();
+                row.fraction = payload.Dbl();
+                row.mean_observers = payload.Dbl();
+              }
+              return rows;
+            });
       });
   for (std::size_t pair = 0; pair < pair_rows.size(); ++pair) {
     for (const PairRow& row : pair_rows[pair]) {

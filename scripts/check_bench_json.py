@@ -5,6 +5,10 @@ Usage:
   check_bench_json.py FILE [FILE...]          validate each document
   check_bench_json.py --compare A.json B.json assert the deterministic parts
                                               of two runs are identical
+  check_bench_json.py --compare-resume UNINTERRUPTED.json RESUMED.json
+                                              same assertion between an
+                                              uninterrupted run and a
+                                              killed-and-resumed run
 
 Validation checks the schema tag, the presence and types of every
 top-level field, and the internal shape of phases, metric maps,
@@ -14,11 +18,22 @@ Comparison ignores everything that is allowed to vary between runs of
 the same seed: per-phase wall times, total_wall_ms, the top-level
 "threads" field, any histogram whose name ends in "_ms" (the reserved
 wall-clock namespace), and any metric whose name starts with "exec."
-(the reserved execution-telemetry namespace: thread-pool and cache
-counters legitimately depend on thread count and scheduling — see
-docs/OBSERVABILITY.md). Everything else, including every counter,
+or "ckpt." (the reserved namespaces: thread-pool and cache counters
+legitimately depend on thread count and scheduling, and checkpoint
+telemetry depends on where a run was killed — see docs/OBSERVABILITY.md
+and docs/ROBUSTNESS.md). Everything else, including every counter,
 gauge, non-timing histogram, comparison row, and result value, must
 match exactly.
+
+--compare-resume applies the same deterministic view and additionally
+asserts that the second document came from a run that really resumed
+from a snapshot (counters contain a positive ckpt.resume.shards_loaded).
+Without that guard, a rejected snapshot silently falling back to a
+fresh run would make the comparison pass without exercising resume at
+all. Domain counters (core.*, traffic.*, ...) are compared exactly even
+though a resumed process performs less work: checkpoint shards carry
+the counter deltas of the work they recorded, and resume replays them
+(see src/ckpt/sweep.hpp).
 """
 
 import json
@@ -114,9 +129,11 @@ def validate(doc, origin):
 
 
 def scheduling_dependent(name):
-    """True for metrics in the reserved "exec." namespace, whose values may
-    vary with thread count and scheduling (pool telemetry, cache hits)."""
-    return name.startswith("exec.")
+    """True for metrics in the reserved "exec." and "ckpt." namespaces,
+    whose values may vary with thread count, scheduling, or where in a
+    sweep a run was killed (pool telemetry, cache hits, snapshot sizes
+    and resume bookkeeping)."""
+    return name.startswith("exec.") or name.startswith("ckpt.")
 
 
 def deterministic_view(doc):
@@ -181,22 +198,34 @@ def load(path):
 
 
 def main(argv):
-    if len(argv) >= 1 and argv[0] == "--compare":
+    if len(argv) >= 1 and argv[0] in ("--compare", "--compare-resume"):
+        mode = argv[0]
         if len(argv) != 3:
-            print("usage: check_bench_json.py --compare A.json B.json",
+            print(f"usage: check_bench_json.py {mode} A.json B.json",
                   file=sys.stderr)
             return 2
         a_path, b_path = argv[1], argv[2]
         a, b = load(a_path), load(b_path)
         validate(a, a_path)
         validate(b, b_path)
+        if mode == "--compare-resume":
+            loaded = b["counters"].get("ckpt.resume.shards_loaded", 0)
+            if not isinstance(loaded, int) or loaded <= 0:
+                print(f"FAIL: {b_path} did not resume from a snapshot "
+                      f"(ckpt.resume.shards_loaded={loaded!r}); a rejected "
+                      "snapshot falls back to a fresh run, which would make "
+                      "this comparison vacuous", file=sys.stderr)
+                return 1
         differences = list(diff(deterministic_view(a), deterministic_view(b)))
         if differences:
             print(f"NONDETERMINISTIC: {a_path} vs {b_path}", file=sys.stderr)
             for line in differences[:50]:
                 print(f"  {line}", file=sys.stderr)
             return 1
-        print(f"OK: {a_path} and {b_path} agree on all deterministic fields")
+        suffix = (" (resumed run replayed checkpointed work)"
+                  if mode == "--compare-resume" else "")
+        print(f"OK: {a_path} and {b_path} agree on all deterministic fields"
+              f"{suffix}")
         return 0
 
     if not argv:

@@ -15,6 +15,9 @@
 # fault_sweep (picked up by the same glob) additionally writes
 # fault_sweep.csv — the figure-level outputs under 0–10% injected faults
 # (see docs/ROBUSTNESS.md).
+# The heavy sweeps also accept --checkpoint/--resume for crash-safe runs;
+# scripts/resume_smoke.sh exercises kill-mid-run + resume end to end
+# (docs/ROBUSTNESS.md, "Crash safety & resume").
 
 set -euo pipefail
 
@@ -28,6 +31,7 @@ if [[ ! -d "$build_dir/bench" ]]; then
   echo "  cmake -B build -S $repo_root && cmake --build build -j" >&2
   exit 1
 fi
+build_dir=$(cd "$build_dir" && pwd)  # absolute: the loop below runs from $out_dir
 
 mkdir -p "$out_dir"
 cd "$out_dir"   # benches write auxiliary CSVs into their cwd

@@ -1,0 +1,137 @@
+#pragma once
+
+// Shard-payload field encoding with exact round-trips.
+//
+// Resume correctness hinges on decoded accumulators being bit-identical to
+// the values the killed run computed — FormatDouble and friends must later
+// print the same bytes. Doubles are therefore serialized as their IEEE-754
+// bit pattern (hex), never through decimal formatting; strings are
+// length-prefixed so payloads stay binary-safe inside snapshots.
+//
+// Fields are typed and order-checked: reading a field of the wrong type,
+// or past the end, throws std::runtime_error. The snapshot layer's
+// checksum already rejects corruption, so a decode failure here means the
+// encode/decode pair drifted — callers treat the shard as missing and
+// recompute it.
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace quicksand::ckpt {
+
+class PayloadWriter {
+ public:
+  PayloadWriter& U64(std::uint64_t value) {
+    out_ += "u " + std::to_string(value) + '\n';
+    return *this;
+  }
+
+  PayloadWriter& Bool(bool value) {
+    out_ += value ? "b 1\n" : "b 0\n";
+    return *this;
+  }
+
+  /// Bit-exact: NaN payloads, signed zeros and denormals all round-trip.
+  PayloadWriter& Dbl(double value) {
+    char buffer[24];
+    std::snprintf(buffer, sizeof buffer, "d %016llx\n",
+                  static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(value)));
+    out_ += buffer;
+    return *this;
+  }
+
+  PayloadWriter& Str(std::string_view value) {
+    out_ += "s " + std::to_string(value.size()) + '\n';
+    out_ += value;
+    out_ += '\n';
+    return *this;
+  }
+
+  [[nodiscard]] std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view payload) : payload_(payload) {}
+
+  [[nodiscard]] std::uint64_t U64() { return ParseDecimal(Field('u')); }
+
+  [[nodiscard]] bool Bool() {
+    const std::string_view field = Field('b');
+    if (field == "1") return true;
+    if (field == "0") return false;
+    throw std::runtime_error("payload: bad bool field");
+  }
+
+  [[nodiscard]] double Dbl() {
+    const std::string_view field = Field('d');
+    if (field.size() != 16) throw std::runtime_error("payload: bad double field");
+    std::uint64_t bits = 0;
+    for (const char c : field) {
+      int digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else {
+        throw std::runtime_error("payload: bad double field");
+      }
+      bits = (bits << 4) | static_cast<std::uint64_t>(digit);
+    }
+    return std::bit_cast<double>(bits);
+  }
+
+  [[nodiscard]] std::string Str() {
+    const std::size_t size = ParseDecimal(Field('s'));
+    if (payload_.size() - pos_ < size + 1) {
+      throw std::runtime_error("payload: truncated string field");
+    }
+    std::string value(payload_.substr(pos_, size));
+    pos_ += size;
+    if (payload_[pos_] != '\n') throw std::runtime_error("payload: bad string framing");
+    ++pos_;
+    return value;
+  }
+
+  [[nodiscard]] bool AtEnd() const noexcept { return pos_ == payload_.size(); }
+
+ private:
+  /// Consumes one "<tag> <value>\n" field, checking the type tag.
+  std::string_view Field(char tag) {
+    if (pos_ + 2 > payload_.size() || payload_[pos_] != tag ||
+        payload_[pos_ + 1] != ' ') {
+      throw std::runtime_error(std::string("payload: expected '") + tag + "' field");
+    }
+    const std::size_t newline = payload_.find('\n', pos_ + 2);
+    if (newline == std::string_view::npos) {
+      throw std::runtime_error("payload: truncated field");
+    }
+    std::string_view value = payload_.substr(pos_ + 2, newline - pos_ - 2);
+    pos_ = newline + 1;
+    return value;
+  }
+
+  static std::uint64_t ParseDecimal(std::string_view token) {
+    if (token.empty()) throw std::runtime_error("payload: empty integer field");
+    std::uint64_t value = 0;
+    for (const char c : token) {
+      if (c < '0' || c > '9') throw std::runtime_error("payload: bad integer field");
+      const std::uint64_t next = value * 10 + static_cast<std::uint64_t>(c - '0');
+      if (next < value) throw std::runtime_error("payload: integer overflow");
+      value = next;
+    }
+    return value;
+  }
+
+  std::string_view payload_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace quicksand::ckpt

@@ -1,0 +1,201 @@
+#include "ckpt/snapshot.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/atomic_file.hpp"
+
+namespace quicksand::ckpt {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+[[nodiscard]] std::uint64_t FnvMix(std::uint64_t hash, std::string_view bytes) noexcept {
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+[[nodiscard]] std::string Hex16(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+/// Cursor over the snapshot bytes; parse failures throw (caught by
+/// DecodeSnapshot and turned into ok=false).
+class Scanner {
+ public:
+  explicit Scanner(std::string_view bytes) : bytes_(bytes) {}
+
+  /// Consumes up to the next '\n' (which must exist) and returns the line.
+  std::string_view Line() {
+    const std::size_t newline = bytes_.find('\n', pos_);
+    if (newline == std::string_view::npos) {
+      throw std::runtime_error("truncated: missing newline");
+    }
+    std::string_view line = bytes_.substr(pos_, newline - pos_);
+    pos_ = newline + 1;
+    return line;
+  }
+
+  /// Consumes exactly `n` raw bytes (payloads may contain anything).
+  std::string_view Raw(std::size_t n) {
+    if (bytes_.size() - pos_ < n) throw std::runtime_error("truncated payload");
+    std::string_view raw = bytes_.substr(pos_, n);
+    pos_ += n;
+    return raw;
+  }
+
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] bool AtEnd() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+[[nodiscard]] std::uint64_t ParseU64(std::string_view token, int base) {
+  if (token.empty()) throw std::runtime_error("empty integer field");
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    int digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (base == 16 && c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      throw std::runtime_error("bad integer field");
+    }
+    const std::uint64_t next = value * static_cast<std::uint64_t>(base) +
+                               static_cast<std::uint64_t>(digit);
+    if (next < value) throw std::runtime_error("integer field overflow");
+    value = next;
+  }
+  return value;
+}
+
+/// Splits "key value" / "key a b" lines; throws when `key` doesn't match.
+[[nodiscard]] std::string_view ExpectKey(std::string_view line, std::string_view key) {
+  if (line.substr(0, key.size()) != key || line.size() <= key.size() ||
+      line[key.size()] != ' ') {
+    throw std::runtime_error("expected '" + std::string(key) + "' line");
+  }
+  return line.substr(key.size() + 1);
+}
+
+}  // namespace
+
+std::uint64_t Fingerprint64(std::string_view bytes) noexcept {
+  return FnvMix(kFnvOffset, bytes);
+}
+
+FingerprintBuilder& FingerprintBuilder::Add(std::string_view field) {
+  hash_ = FnvMix(hash_, std::to_string(field.size()));
+  hash_ = FnvMix(hash_, ":");
+  hash_ = FnvMix(hash_, field);
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::Add(std::uint64_t field) {
+  return Add(std::string_view(std::to_string(field)));
+}
+
+std::uint64_t Snapshot::FirstIncompleteShard() const noexcept {
+  std::uint64_t cursor = 0;
+  for (const auto& [shard, payload] : payloads) {
+    if (shard != cursor) break;
+    ++cursor;
+  }
+  return cursor;
+}
+
+std::string EncodeSnapshot(const Snapshot& snapshot) {
+  std::string out;
+  out += kSnapshotMagic;
+  out += '\n';
+  out += "fp " + Hex16(snapshot.fingerprint) + '\n';
+  out += "total " + std::to_string(snapshot.total_shards) + '\n';
+  out += "shards " + std::to_string(snapshot.payloads.size()) + '\n';
+  for (const auto& [shard, payload] : snapshot.payloads) {
+    out += "shard " + std::to_string(shard) + ' ' +
+           std::to_string(payload.size()) + '\n';
+    out += payload;
+    out += '\n';
+  }
+  out += "crc " + Hex16(Fingerprint64(out)) + '\n';
+  return out;
+}
+
+SnapshotLoad DecodeSnapshot(std::string_view bytes) noexcept {
+  SnapshotLoad load;
+  try {
+    Scanner scanner(bytes);
+    if (scanner.Line() != kSnapshotMagic) {
+      load.error = "bad magic (not a quicksand-ckpt-v1 snapshot)";
+      return load;
+    }
+    Snapshot snapshot;
+    snapshot.fingerprint = ParseU64(ExpectKey(scanner.Line(), "fp"), 16);
+    snapshot.total_shards = ParseU64(ExpectKey(scanner.Line(), "total"), 10);
+    const std::uint64_t count = ParseU64(ExpectKey(scanner.Line(), "shards"), 10);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::string_view fields = ExpectKey(scanner.Line(), "shard");
+      const std::size_t space = fields.find(' ');
+      if (space == std::string_view::npos) {
+        throw std::runtime_error("bad shard header");
+      }
+      const std::uint64_t shard = ParseU64(fields.substr(0, space), 10);
+      const std::uint64_t size = ParseU64(fields.substr(space + 1), 10);
+      const std::string_view payload = scanner.Raw(size);
+      if (scanner.Raw(1) != "\n") throw std::runtime_error("bad payload framing");
+      if (!snapshot.payloads.emplace(shard, std::string(payload)).second) {
+        throw std::runtime_error("duplicate shard " + std::to_string(shard));
+      }
+    }
+    const std::size_t checksummed = scanner.pos();
+    const std::uint64_t crc = ParseU64(ExpectKey(scanner.Line(), "crc"), 16);
+    if (!scanner.AtEnd()) throw std::runtime_error("trailing bytes after crc");
+    if (crc != Fingerprint64(bytes.substr(0, checksummed))) {
+      throw std::runtime_error("checksum mismatch (corrupt snapshot)");
+    }
+    load.ok = true;
+    load.snapshot = std::move(snapshot);
+  } catch (const std::exception& error) {
+    load.ok = false;
+    load.error = error.what();
+    load.snapshot = {};
+  }
+  return load;
+}
+
+void WriteSnapshotFile(const std::string& path, const Snapshot& snapshot) {
+  util::WriteFileAtomic(path, EncodeSnapshot(snapshot));
+}
+
+SnapshotLoad LoadSnapshotFile(const std::string& path) noexcept {
+  SnapshotLoad load;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    load.error = "cannot open '" + path + "'";
+    return load;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    load.error = "cannot read '" + path + "'";
+    return load;
+  }
+  load = DecodeSnapshot(buffer.str());
+  if (!load.ok) load.error = path + ": " + load.error;
+  return load;
+}
+
+}  // namespace quicksand::ckpt

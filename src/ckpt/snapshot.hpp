@@ -1,0 +1,89 @@
+#pragma once
+
+// On-disk sweep snapshots: versioned, checksummed, atomically replaced.
+//
+// A snapshot records everything a killed sweep needs to restart from the
+// first incomplete shard instead of from zero:
+//
+//   * the config+seed fingerprint of the producing sweep (resume refuses
+//     to mix snapshots across configurations),
+//   * the total shard count of the sweep,
+//   * one opaque payload per completed shard — the shard's serialized
+//     partial accumulator (see ckpt/payload.hpp for the exact-round-trip
+//     field encoding).
+//
+// Because quicksand::exec work is index-addressed with pre-forked RNG
+// substreams, the "RNG cursor" of a sweep is implied by its completed
+// shard set: recomputing any missing shard reproduces it bit-for-bit, so
+// a resumed sweep's combined output is byte-identical to an uninterrupted
+// run at any thread count (docs/ROBUSTNESS.md, "Crash safety & resume").
+//
+// Layout (text header, length-prefixed binary-safe payloads):
+//
+//   quicksand-ckpt-v1\n
+//   fp <16 hex digits>\n
+//   total <shards in the sweep>\n
+//   shards <completed count>\n
+//   shard <index> <payload bytes>\n<payload>\n     (one per completed shard)
+//   crc <16 hex digits>\n
+//
+// The trailing crc is FNV-1a 64 over every preceding byte. Decoding never
+// throws: any truncation, bit flip, or format drift yields ok=false with a
+// diagnostic, and callers fall back to a fresh run.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace quicksand::ckpt {
+
+inline constexpr std::string_view kSnapshotMagic = "quicksand-ckpt-v1";
+
+/// FNV-1a 64-bit — the fingerprint and checksum hash.
+[[nodiscard]] std::uint64_t Fingerprint64(std::string_view bytes) noexcept;
+
+/// Incremental fingerprint builder for config+seed identities. Fields are
+/// length-delimited, so ("ab","c") and ("a","bc") hash differently.
+class FingerprintBuilder {
+ public:
+  FingerprintBuilder& Add(std::string_view field);
+  FingerprintBuilder& Add(std::uint64_t field);
+  [[nodiscard]] std::uint64_t Finish() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ULL;
+};
+
+struct Snapshot {
+  std::uint64_t fingerprint = 0;   ///< config+seed identity of the sweep
+  std::uint64_t total_shards = 0;  ///< shard count of the full sweep
+  /// Completed shard index -> serialized partial accumulator.
+  std::map<std::uint64_t, std::string> payloads;
+
+  /// Lowest shard index not present in `payloads` (the resume cursor).
+  [[nodiscard]] std::uint64_t FirstIncompleteShard() const noexcept;
+};
+
+/// Serializes a snapshot, including the trailing checksum line.
+[[nodiscard]] std::string EncodeSnapshot(const Snapshot& snapshot);
+
+struct SnapshotLoad {
+  bool ok = false;
+  std::string error;  ///< why the snapshot was rejected, when !ok
+  Snapshot snapshot;
+};
+
+/// Parses bytes produced by EncodeSnapshot, verifying magic, structure and
+/// checksum. Never throws; corruption is reported through `error`.
+[[nodiscard]] SnapshotLoad DecodeSnapshot(std::string_view bytes) noexcept;
+
+/// Atomically replaces `path` with the encoded snapshot
+/// (util::WriteFileAtomic). Throws std::runtime_error on I/O failure.
+void WriteSnapshotFile(const std::string& path, const Snapshot& snapshot);
+
+/// Reads and decodes `path`. A missing or unreadable file is reported the
+/// same way as a corrupt one: ok=false plus a diagnostic. Never throws.
+[[nodiscard]] SnapshotLoad LoadSnapshotFile(const std::string& path) noexcept;
+
+}  // namespace quicksand::ckpt

@@ -1,0 +1,211 @@
+#pragma once
+
+// CheckpointedMap — exec::ParallelMap with crash-safe progress.
+//
+// The sweep is addressed exactly like the exec layer addresses work: shard
+// i computes the same value no matter which thread runs it, when it runs,
+// or whether the process died in between (index-keyed RNG substreams,
+// index-ordered combination — see src/exec/parallel.hpp). That contract is
+// what makes resume byte-exact: a snapshot only needs the *completed*
+// shard payloads, and recomputing the missing ones reproduces an
+// uninterrupted run bit-for-bit at any thread count.
+//
+// With no snapshot path configured the call is an exact pass-through to
+// exec::ParallelMap — same scheduling, same exec.* telemetry, no ckpt.*
+// metrics registered — so bench JSON with checkpointing disabled is
+// byte-identical to a binary that never heard of quicksand::ckpt.
+//
+// Encode/decode use ckpt/payload.hpp so doubles round-trip bit-exactly;
+// a shard whose stored payload fails to decode (format drift — checksum
+// already rules out corruption) is simply recomputed.
+//
+// Telemetry parity: domain counters (core.*, traffic.*, ...) tally work
+// *performed*, and a resumed process performs less of it — it skips the
+// shards it loaded. To keep resumed bench JSON equal to an uninterrupted
+// run outside the reserved exec.*/ckpt.* namespaces, each shard payload is
+// prefixed with the counter deltas that shard produced, and resume replays
+// the deltas of every decoded shard. Exact attribution requires that only
+// one shard touch the global registry at a time, so a sweep with
+// checkpointing ENABLED runs its shards serially; `fn` keeps whatever
+// inner parallelism it has (the bench's --threads), and counter totals are
+// order-independent sums, so output stays byte-identical either way.
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/payload.hpp"
+#include "ckpt/watchdog.hpp"
+#include "exec/parallel.hpp"
+#include "obs/metrics.hpp"
+
+namespace quicksand::ckpt {
+
+/// One checkpointable sweep inside a bench, as configured by the harness
+/// (bench::BenchContext::Stage builds these from --checkpoint /
+/// --checkpoint-every / --resume / --shard-deadline-ms).
+struct StageOptions {
+  std::string name;           ///< stage label (snapshot file, watchdog dumps)
+  std::string snapshot_path;  ///< empty => checkpointing disabled
+  std::uint64_t fingerprint = 0;
+  std::size_t every = 1;      ///< snapshot cadence in completed shards
+  bool resume = false;
+  Watchdog* watchdog = nullptr;  ///< null => no deadline enforcement
+};
+
+namespace detail {
+
+/// One counter's contribution from a single shard, replayed on resume so
+/// work-performed telemetry matches an uninterrupted run.
+struct CounterDelta {
+  std::string name;
+  std::uint64_t delta = 0;
+};
+
+/// Reserved namespaces are scheduling- or checkpoint-dependent by design
+/// and excluded from resume comparison, so their deltas are neither
+/// captured nor replayed (replaying ckpt.* would also self-register
+/// metrics the sweep is about to register anyway).
+[[nodiscard]] inline bool ReservedCounter(const std::string& name) {
+  return name.rfind("exec.", 0) == 0 || name.rfind("ckpt.", 0) == 0;
+}
+
+/// Name-sorted counter values (the registry snapshot is already sorted).
+[[nodiscard]] inline std::vector<std::pair<std::string, std::uint64_t>>
+CounterValues() {
+  return obs::MetricsRegistry::Global().Snapshot().counters;
+}
+
+/// after - before, skipping reserved namespaces and zero deltas. Both
+/// inputs are name-sorted, so the result is too — snapshot bytes stay
+/// deterministic.
+[[nodiscard]] inline std::vector<CounterDelta> DiffCounters(
+    const std::vector<std::pair<std::string, std::uint64_t>>& before,
+    const std::vector<std::pair<std::string, std::uint64_t>>& after) {
+  std::vector<CounterDelta> deltas;
+  std::size_t b = 0;
+  for (const auto& [name, value] : after) {
+    while (b < before.size() && before[b].first < name) ++b;
+    const std::uint64_t prior =
+        (b < before.size() && before[b].first == name) ? before[b].second : 0;
+    if (value != prior && !ReservedCounter(name)) {
+      deltas.push_back({name, value - prior});
+    }
+  }
+  return deltas;
+}
+
+inline void EncodeCounterDeltas(const std::vector<CounterDelta>& deltas,
+                                PayloadWriter& payload) {
+  payload.U64(deltas.size());
+  for (const CounterDelta& d : deltas) payload.Str(d.name).U64(d.delta);
+}
+
+[[nodiscard]] inline std::vector<CounterDelta> DecodeCounterDeltas(
+    PayloadReader& payload) {
+  std::vector<CounterDelta> deltas(payload.U64());
+  for (CounterDelta& d : deltas) {
+    d.name = payload.Str();
+    d.delta = payload.U64();
+  }
+  return deltas;
+}
+
+inline void ReplayCounterDeltas(const std::vector<CounterDelta>& deltas) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  for (const CounterDelta& d : deltas) {
+    if (!ReservedCounter(d.name)) registry.GetCounter(d.name).Increment(d.delta);
+  }
+}
+
+}  // namespace detail
+
+/// Maps `fn(i)` over [0, n) with per-shard checkpointing. `encode` is
+/// `void(const R&, PayloadWriter&)`, `decode` is `R(PayloadReader&)` and
+/// must be exact inverses. Returns results in index order, exactly like
+/// exec::ParallelMap.
+template <typename Fn, typename Encode, typename Decode,
+          typename R = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>>
+[[nodiscard]] std::vector<R> CheckpointedMap(const StageOptions& stage,
+                                             std::size_t threads, std::size_t n,
+                                             Fn&& fn, Encode&& encode,
+                                             Decode&& decode) {
+  if (stage.snapshot_path.empty()) {
+    // Pass-through: identical to the un-checkpointed bench, including the
+    // exec.* counters it increments.
+    return exec::ParallelMap(
+        threads, n,
+        [&](std::size_t i) {
+          const ShardGuard guard(stage.watchdog, stage.name, i);
+          return fn(i);
+        },
+        /*grain=*/1);
+  }
+
+  std::vector<std::optional<R>> slots(n);
+  CheckpointWriter::Options writer_options;
+  writer_options.path = stage.snapshot_path;
+  writer_options.fingerprint = stage.fingerprint;
+  writer_options.total_shards = n;
+  writer_options.every = stage.every;
+  CheckpointWriter writer(std::move(writer_options));
+
+  if (stage.resume) {
+    ResumeResult loaded = ResumeLoader::Load(stage.snapshot_path,
+                                             stage.fingerprint, n);
+    if (loaded.resumed) {
+      for (const auto& [shard, payload] : loaded.payloads) {
+        try {
+          PayloadReader reader(payload);
+          const std::vector<detail::CounterDelta> deltas =
+              detail::DecodeCounterDeltas(reader);
+          slots[shard].emplace(decode(reader));
+          if (!reader.AtEnd()) {
+            throw std::runtime_error("trailing bytes after shard payload");
+          }
+          detail::ReplayCounterDeltas(deltas);
+        } catch (const std::exception&) {
+          slots[shard].reset();  // format drift: recompute this shard
+        }
+      }
+      writer.Seed(std::move(loaded.payloads));
+    }
+  }
+
+  std::vector<std::size_t> missing;
+  missing.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!slots[i].has_value()) missing.push_back(i);
+  }
+
+  // Serial on purpose: per-shard counter attribution diffs the global
+  // registry around fn(shard), which is only exact when no sibling shard
+  // runs concurrently. `fn` still uses its inner --threads parallelism,
+  // and shard results/counter totals are scheduling-independent, so output
+  // matches the parallel pass-through byte for byte.
+  (void)threads;
+  for (const std::size_t shard : missing) {
+    const ShardGuard guard(stage.watchdog, stage.name, shard);
+    const auto before = detail::CounterValues();
+    R value = fn(shard);
+    PayloadWriter payload;
+    detail::EncodeCounterDeltas(detail::DiffCounters(before, detail::CounterValues()),
+                                payload);
+    encode(static_cast<const R&>(value), payload);
+    slots[shard].emplace(std::move(value));
+    writer.Record(shard, payload.Take());
+  }
+  writer.Flush();
+
+  std::vector<R> out;
+  out.reserve(n);
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace quicksand::ckpt

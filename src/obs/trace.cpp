@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "obs/json.hpp"
+#include "util/atomic_file.hpp"
 
 namespace quicksand::obs {
 
@@ -187,8 +188,10 @@ std::vector<TraceEvent> TraceSink::ParseJsonl(std::istream& in) {
 
 void TraceSink::WriteChromeTrace(const std::string& path) const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("WriteChromeTrace: cannot open '" + path + "'");
+  // Unlike the JSONL stream (append-as-you-go by design), the Chrome
+  // export is a single JSON array: publish it atomically so a crash can't
+  // leave a torn document.
+  util::AtomicFile out(path);
   JsonValue root = JsonValue::Object();
   JsonValue trace_events = JsonValue::Array();
   for (const TraceEvent& event : events_) {
@@ -206,7 +209,8 @@ void TraceSink::WriteChromeTrace(const std::string& path) const {
     trace_events.Append(std::move(e));
   }
   root.Set("traceEvents", std::move(trace_events));
-  out << root.Dump(2);
+  out.stream() << root.Dump(2);
+  out.Commit();
 }
 
 TraceSink* GlobalTrace() noexcept { return g_trace.load(std::memory_order_acquire); }

@@ -1,0 +1,93 @@
+#pragma once
+
+// Atomic file replacement: write-temp → fsync → rename, cleanup on failure.
+//
+// A crash mid-ofstream leaves a torn artifact that downstream tooling
+// half-parses. Durable artifacts (bench JSON summaries, Chrome trace
+// exports, checkpoint snapshots — see docs/ROBUSTNESS.md) instead go
+// through here: content is staged into `<path>.tmp.<pid>`, flushed and
+// fsync'd, and only then renamed over the destination. POSIX rename(2) is
+// atomic within a filesystem, so a reader observes either the old complete
+// file or the new complete file, never a prefix.
+//
+// Header-only and dependency-free so any layer can use it, including obs,
+// which sits below util in the link graph.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace quicksand::util {
+
+/// Replaces the contents of `path` with `contents` atomically. Throws
+/// std::runtime_error on any failure, after removing the temporary file.
+inline void WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  auto fail = [&tmp](const std::string& what) {
+    const int saved_errno = errno;
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("WriteFileAtomic: " + what + " '" + tmp +
+                             "': " + std::strerror(saved_errno));
+  };
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("WriteFileAtomic: cannot create '" + tmp +
+                             "': " + std::strerror(errno));
+  }
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    const ::ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail("cannot write");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("cannot fsync");
+  }
+  if (::close(fd) != 0) fail("cannot close");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) fail("cannot rename into");
+}
+
+/// Stream façade over WriteFileAtomic: accumulate into `stream()`, then
+/// `Commit()` publishes everything in one atomic replacement. If Commit()
+/// is never called (early return, exception, crash) the destination is
+/// untouched and no temporary survives.
+class AtomicFile {
+ public:
+  explicit AtomicFile(std::string path) : path_(std::move(path)) {}
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  [[nodiscard]] std::ostream& stream() noexcept { return buffer_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] bool committed() const noexcept { return committed_; }
+
+  /// Publishes the buffered content. Throws std::runtime_error on I/O
+  /// failure (destination left untouched) or std::logic_error if called
+  /// twice.
+  void Commit() {
+    if (committed_) throw std::logic_error("AtomicFile: Commit() called twice");
+    WriteFileAtomic(path_, buffer_.str());
+    committed_ = true;
+  }
+
+ private:
+  std::string path_;
+  std::ostringstream buffer_;
+  bool committed_ = false;
+};
+
+}  // namespace quicksand::util

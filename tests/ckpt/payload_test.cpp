@@ -1,0 +1,121 @@
+#include "ckpt/payload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace quicksand::ckpt {
+namespace {
+
+TEST(Payload, RoundTripsEveryFieldType) {
+  PayloadWriter writer;
+  writer.U64(0).U64(1).U64(std::numeric_limits<std::uint64_t>::max());
+  writer.Bool(true).Bool(false);
+  writer.Dbl(3.25).Str("plain");
+
+  const std::string payload = writer.Take();
+  PayloadReader reader(payload);
+  EXPECT_EQ(reader.U64(), 0u);
+  EXPECT_EQ(reader.U64(), 1u);
+  EXPECT_EQ(reader.U64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_TRUE(reader.Bool());
+  EXPECT_FALSE(reader.Bool());
+  EXPECT_EQ(reader.Dbl(), 3.25);
+  EXPECT_EQ(reader.Str(), "plain");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(Payload, DoublesRoundTripBitExactly) {
+  const double cases[] = {
+      0.0,
+      -0.0,
+      1.0 / 3.0,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::epsilon(),
+  };
+  for (const double value : cases) {
+    PayloadWriter writer;
+    writer.Dbl(value);
+    const std::string payload = writer.Take();
+    PayloadReader reader(payload);
+    const double back = reader.Dbl();
+    // Bit equality, not value equality: NaN != NaN and -0.0 == 0.0 would
+    // both lie about the round trip.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back),
+              std::bit_cast<std::uint64_t>(value))
+        << "value " << value;
+  }
+}
+
+TEST(Payload, StringsAreBinarySafe) {
+  const std::string tricky{"line\nbreak \0 nul crc ffff\n", 26};
+  PayloadWriter writer;
+  writer.Str(tricky).Str("").U64(7);
+  const std::string payload = writer.Take();
+  PayloadReader reader(payload);
+  EXPECT_EQ(reader.Str(), tricky);
+  EXPECT_EQ(reader.Str(), "");
+  EXPECT_EQ(reader.U64(), 7u);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(Payload, TypeTagMismatchThrows) {
+  PayloadWriter writer;
+  writer.U64(5);
+  const std::string payload = writer.Take();
+  PayloadReader reader(payload);
+  EXPECT_THROW((void)reader.Dbl(), std::runtime_error);
+}
+
+TEST(Payload, ReadingPastTheEndThrows) {
+  PayloadWriter writer;
+  writer.Bool(true);
+  const std::string payload = writer.Take();
+  PayloadReader reader(payload);
+  EXPECT_TRUE(reader.Bool());
+  EXPECT_THROW((void)reader.U64(), std::runtime_error);
+}
+
+TEST(Payload, MalformedFieldsThrowInsteadOfGuessing) {
+  struct Case {
+    const char* payload;
+    char read;  // which typed read to attempt
+  };
+  const Case bad[] = {
+      {"u \n", 'u'},                           // empty integer
+      {"u 12x\n", 'u'},                        // non-digit
+      {"u 99999999999999999999999\n", 'u'},    // overflow
+      {"b 2\n", 'b'},                          // bad bool
+      {"d 123\n", 'd'},                        // short double
+      {"d 123456789abcdefg\n", 'd'},           // non-hex double
+      {"s 10\nshort\n", 's'},                  // string length past end
+      {"s 3\nabcX", 's'},                      // bad string framing
+      {"u 1", 'u'},                            // truncated field (no newline)
+      {"q 1\n", 'u'},                          // unknown tag
+  };
+  for (const Case& c : bad) {
+    PayloadReader reader{std::string_view(c.payload)};
+    EXPECT_THROW(
+        {
+          switch (c.read) {
+            case 'u': (void)reader.U64(); break;
+            case 'b': (void)reader.Bool(); break;
+            case 'd': (void)reader.Dbl(); break;
+            default: (void)reader.Str(); break;
+          }
+        },
+        std::runtime_error)
+        << "payload " << c.payload;
+  }
+}
+
+}  // namespace
+}  // namespace quicksand::ckpt

@@ -1,0 +1,141 @@
+#include "ckpt/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "ckpt/checkpoint.hpp"
+
+namespace quicksand::ckpt {
+namespace {
+
+/// Temp-file path helper; removes the file on destruction.
+struct TempPath {
+  std::string path;
+  explicit TempPath(const std::string& name) {
+    path = std::string(::testing::TempDir()) + name;
+    std::remove(path.c_str());
+  }
+  ~TempPath() { std::remove(path.c_str()); }
+};
+
+[[nodiscard]] Snapshot MakeSample() {
+  Snapshot snapshot;
+  snapshot.fingerprint = FingerprintBuilder().Add("sec33").Add(48).Finish();
+  snapshot.total_shards = 5;
+  snapshot.payloads[0] = "u 7\n";
+  // Payloads are opaque bytes: embedded newlines, NULs, and text that
+  // mimics the snapshot's own framing must all survive.
+  snapshot.payloads[1] = std::string("crc deadbeefdeadbeef\nshard 9 4\n\0x", 33);
+  snapshot.payloads[4] = "";
+  return snapshot;
+}
+
+TEST(Fingerprint, FieldsAreLengthDelimited) {
+  const auto ab_c = FingerprintBuilder().Add("ab").Add("c").Finish();
+  const auto a_bc = FingerprintBuilder().Add("a").Add("bc").Finish();
+  EXPECT_NE(ab_c, a_bc);
+  EXPECT_EQ(FingerprintBuilder().Add("ab").Add("c").Finish(), ab_c);
+  EXPECT_NE(FingerprintBuilder().Add(std::uint64_t{1}).Finish(),
+            FingerprintBuilder().Add(std::uint64_t{2}).Finish());
+}
+
+TEST(Snapshot, EncodeDecodeRoundTrip) {
+  const Snapshot sample = MakeSample();
+  const SnapshotLoad load = DecodeSnapshot(EncodeSnapshot(sample));
+  ASSERT_TRUE(load.ok) << load.error;
+  EXPECT_EQ(load.snapshot.fingerprint, sample.fingerprint);
+  EXPECT_EQ(load.snapshot.total_shards, sample.total_shards);
+  EXPECT_EQ(load.snapshot.payloads, sample.payloads);
+}
+
+TEST(Snapshot, FirstIncompleteShardIsTheResumeCursor) {
+  Snapshot snapshot;
+  snapshot.total_shards = 4;
+  EXPECT_EQ(snapshot.FirstIncompleteShard(), 0u);
+  snapshot.payloads[0] = "a";
+  snapshot.payloads[1] = "b";
+  snapshot.payloads[3] = "d";
+  EXPECT_EQ(snapshot.FirstIncompleteShard(), 2u);
+  snapshot.payloads[2] = "c";
+  EXPECT_EQ(snapshot.FirstIncompleteShard(), 4u);
+}
+
+TEST(Snapshot, EveryTruncationIsRejectedWithoutCrashing) {
+  const std::string encoded = EncodeSnapshot(MakeSample());
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    const SnapshotLoad load =
+        DecodeSnapshot(std::string_view(encoded).substr(0, len));
+    EXPECT_FALSE(load.ok) << "truncation at byte " << len << " accepted";
+    EXPECT_FALSE(load.error.empty());
+  }
+}
+
+TEST(Snapshot, EverySingleByteCorruptionIsRejected) {
+  const std::string encoded = EncodeSnapshot(MakeSample());
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    std::string corrupt = encoded;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xff);
+    const SnapshotLoad load = DecodeSnapshot(corrupt);
+    EXPECT_FALSE(load.ok) << "bit flips at byte " << i << " accepted";
+  }
+}
+
+TEST(Snapshot, FileRoundTripAndMissingFile) {
+  TempPath tmp("snapshot_roundtrip.ckpt");
+  const Snapshot sample = MakeSample();
+  WriteSnapshotFile(tmp.path, sample);
+  const SnapshotLoad load = LoadSnapshotFile(tmp.path);
+  ASSERT_TRUE(load.ok) << load.error;
+  EXPECT_EQ(load.snapshot.payloads, sample.payloads);
+
+  const SnapshotLoad missing =
+      LoadSnapshotFile(std::string(::testing::TempDir()) + "no_such.ckpt");
+  EXPECT_FALSE(missing.ok);
+  EXPECT_FALSE(missing.error.empty());
+}
+
+TEST(ResumeLoader, RejectsFingerprintAndShardCountMismatch) {
+  TempPath tmp("snapshot_mismatch.ckpt");
+  const Snapshot sample = MakeSample();
+  WriteSnapshotFile(tmp.path, sample);
+
+  const ResumeResult wrong_fp =
+      ResumeLoader::Load(tmp.path, sample.fingerprint + 1, sample.total_shards);
+  EXPECT_FALSE(wrong_fp.resumed);
+  EXPECT_NE(wrong_fp.error.find("fingerprint"), std::string::npos);
+
+  const ResumeResult wrong_total =
+      ResumeLoader::Load(tmp.path, sample.fingerprint, sample.total_shards + 3);
+  EXPECT_FALSE(wrong_total.resumed);
+  EXPECT_NE(wrong_total.error.find("shard-count"), std::string::npos);
+
+  const ResumeResult good =
+      ResumeLoader::Load(tmp.path, sample.fingerprint, sample.total_shards);
+  ASSERT_TRUE(good.resumed) << good.error;
+  EXPECT_EQ(good.payloads, sample.payloads);
+  EXPECT_EQ(good.first_incomplete, 2u);
+}
+
+TEST(ResumeLoader, RejectsCorruptFileAndMissingFileWithoutThrowing) {
+  TempPath tmp("snapshot_corrupt.ckpt");
+  std::string encoded = EncodeSnapshot(MakeSample());
+  encoded[encoded.size() / 2] ^= 0x20;
+  {
+    std::FILE* f = std::fopen(tmp.path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(encoded.data(), 1, encoded.size(), f);
+    std::fclose(f);
+  }
+  const ResumeResult corrupt = ResumeLoader::Load(tmp.path, 1, 5);
+  EXPECT_FALSE(corrupt.resumed);
+  EXPECT_TRUE(corrupt.payloads.empty());
+
+  const ResumeResult missing = ResumeLoader::Load(
+      std::string(::testing::TempDir()) + "never_written.ckpt", 1, 5);
+  EXPECT_FALSE(missing.resumed);
+}
+
+}  // namespace
+}  // namespace quicksand::ckpt

@@ -1,0 +1,92 @@
+#include "ckpt/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace quicksand::ckpt {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Handler that records trips instead of exiting the process.
+struct TripRecorder {
+  std::mutex mutex;
+  std::vector<Watchdog::Trip> trips;
+
+  [[nodiscard]] Watchdog::Handler AsHandler() {
+    return [this](const Watchdog::Trip& trip) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      trips.push_back(trip);
+    };
+  }
+
+  [[nodiscard]] std::size_t count() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    return trips.size();
+  }
+};
+
+TEST(Watchdog, FastShardsNeverTrip) {
+  TripRecorder recorder;
+  Watchdog watchdog(200ms, recorder.AsHandler());
+  for (std::uint64_t shard = 0; shard < 8; ++shard) {
+    const ShardGuard guard(&watchdog, "fast_stage", shard);
+    std::this_thread::sleep_for(1ms);
+  }
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(watchdog.trips(), 0u);
+  EXPECT_EQ(recorder.count(), 0u);
+}
+
+TEST(Watchdog, StuckShardTripsOnceWithDiagnostics) {
+  TripRecorder recorder;
+  Watchdog watchdog(40ms, recorder.AsHandler());
+  {
+    const ShardGuard slow(&watchdog, "churn", 3);
+    const ShardGuard other(&watchdog, "churn", 5);
+    // Well past the deadline and several monitor polls: the stuck entry
+    // must fire its handler exactly once, not once per poll.
+    std::this_thread::sleep_for(200ms);
+  }
+  EXPECT_GE(watchdog.trips(), 1u);
+  ASSERT_GE(recorder.count(), 1u);
+  std::lock_guard<std::mutex> lock(recorder.mutex);
+  const Watchdog::Trip& trip = recorder.trips.front();
+  EXPECT_EQ(trip.stuck.stage, "churn");
+  EXPECT_GE(trip.stuck.elapsed_ms, 40.0);
+  EXPECT_EQ(trip.deadline_ms, 40.0);
+  EXPECT_EQ(trip.in_flight.size(), 2u);
+  // Each armed entry trips at most once.
+  EXPECT_LE(recorder.trips.size(), 2u);
+}
+
+TEST(Watchdog, DisarmedShardCannotTripLater) {
+  TripRecorder recorder;
+  Watchdog watchdog(60ms, recorder.AsHandler());
+  { const ShardGuard guard(&watchdog, "quick", 0); }
+  std::this_thread::sleep_for(150ms);
+  EXPECT_EQ(watchdog.trips(), 0u);
+}
+
+TEST(Watchdog, NullWatchdogGuardIsInert) {
+  const ShardGuard guard(nullptr, "disabled", 7);
+  SUCCEED();
+}
+
+TEST(Watchdog, FormatTripNamesTheStuckShard) {
+  Watchdog::Trip trip;
+  trip.stuck = {"policy_sweep", 2, 512.5};
+  trip.in_flight = {trip.stuck, {"policy_sweep", 4, 100.0}};
+  trip.deadline_ms = 250.0;
+  const std::string dump = Watchdog::FormatTrip(trip);
+  EXPECT_NE(dump.find("policy_sweep"), std::string::npos);
+  EXPECT_NE(dump.find('2'), std::string::npos);
+  EXPECT_NE(dump.find('4'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace quicksand::ckpt

@@ -1,0 +1,102 @@
+#include "util/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace quicksand::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Temp-file path helper; removes the file on destruction.
+struct TempPath {
+  std::string path;
+  explicit TempPath(const std::string& name) {
+    path = std::string(::testing::TempDir()) + name;
+    std::remove(path.c_str());
+  }
+  ~TempPath() { std::remove(path.c_str()); }
+};
+
+[[nodiscard]] std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// True if the directory holds any leftover `<name>.tmp.*` staging file.
+[[nodiscard]] bool HasTempLeftover(const std::string& final_path) {
+  const fs::path target(final_path);
+  const std::string prefix = target.filename().string() + ".tmp.";
+  for (const auto& entry : fs::directory_iterator(target.parent_path())) {
+    if (entry.path().filename().string().rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+TEST(WriteFileAtomic, CreatesFileWithExactContents) {
+  TempPath tmp("atomic_create.txt");
+  WriteFileAtomic(tmp.path, "hello\nworld\n");
+  EXPECT_EQ(Slurp(tmp.path), "hello\nworld\n");
+  EXPECT_FALSE(HasTempLeftover(tmp.path));
+}
+
+TEST(WriteFileAtomic, ReplacesExistingFileCompletely) {
+  TempPath tmp("atomic_replace.txt");
+  WriteFileAtomic(tmp.path, std::string(4096, 'x'));
+  WriteFileAtomic(tmp.path, "short");
+  // A non-atomic in-place rewrite would leave 4091 stale bytes behind.
+  EXPECT_EQ(Slurp(tmp.path), "short");
+}
+
+TEST(WriteFileAtomic, ContentsAreBinarySafe) {
+  TempPath tmp("atomic_binary.bin");
+  const std::string contents{"a\0b\nc\xff", 6};
+  WriteFileAtomic(tmp.path, contents);
+  EXPECT_EQ(Slurp(tmp.path), contents);
+}
+
+TEST(WriteFileAtomic, ThrowsWhenDirectoryDoesNotExist) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "no_such_dir/atomic.txt";
+  EXPECT_THROW(WriteFileAtomic(path, "x"), std::runtime_error);
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(AtomicFile, NothingPublishedWithoutCommit) {
+  TempPath tmp("atomic_uncommitted.txt");
+  {
+    AtomicFile out(tmp.path);
+    out.stream() << "buffered but never committed";
+    EXPECT_FALSE(out.committed());
+  }
+  EXPECT_FALSE(fs::exists(tmp.path));
+  EXPECT_FALSE(HasTempLeftover(tmp.path));
+}
+
+TEST(AtomicFile, CommitPublishesBufferedStream) {
+  TempPath tmp("atomic_committed.json");
+  AtomicFile out(tmp.path);
+  out.stream() << "{\"k\": " << 42 << "}\n";
+  out.Commit();
+  EXPECT_TRUE(out.committed());
+  EXPECT_EQ(Slurp(tmp.path), "{\"k\": 42}\n");
+}
+
+TEST(AtomicFile, SecondCommitIsALogicError) {
+  TempPath tmp("atomic_twice.txt");
+  AtomicFile out(tmp.path);
+  out.stream() << "once";
+  out.Commit();
+  EXPECT_THROW(out.Commit(), std::logic_error);
+  EXPECT_EQ(Slurp(tmp.path), "once");
+}
+
+}  // namespace
+}  // namespace quicksand::util
