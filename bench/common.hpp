@@ -102,6 +102,13 @@ inline void PrintComparison(util::Table& table, const std::string& metric,
 ///                            uninterrupted run (docs/ROBUSTNESS.md)
 ///   --shard-deadline-ms <n>  fail fast (exit 3 + diagnostic dump) if any
 ///                            sweep shard runs longer than <n> ms
+///   --feed-batch <n>         route the bench's feed hand-offs through the
+///                            streaming data plane in batches of <n>
+///                            records (0, the default, keeps the classic
+///                            materialized adapters). Output is
+///                            byte-identical for every value — only the
+///                            reserved feed.* metrics reflect the batching
+///                            (docs/ARCHITECTURE.md)
 ///
 /// The JSON summary separates wall-clock timing (phases / *_ms
 /// histograms) from the deterministic metric snapshot, so two seeded runs
@@ -257,6 +264,10 @@ class BenchContext {
     return exec::ResolveThreads(threads_);
   }
 
+  /// --feed-batch value: 0 = classic materialized adapters, otherwise the
+  /// batch size for the streaming data plane.
+  [[nodiscard]] std::size_t feed_batch() const noexcept { return feed_batch_; }
+
  private:
   struct ComparisonRow {
     std::string metric;
@@ -287,6 +298,8 @@ class BenchContext {
         resume_ = true;
       } else if (arg == "--shard-deadline-ms" && i + 1 < argc) {
         shard_deadline_ms_ = ParseCount(arg, argv[++i]);
+      } else if (arg == "--feed-batch" && i + 1 < argc) {
+        feed_batch_ = ParseCount(arg, argv[++i]);
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "usage: " << argv[0] << Usage();
         std::exit(0);
@@ -315,7 +328,7 @@ class BenchContext {
   static const char* Usage() {
     return " [--json <path>] [--trace <path>] [--threads <n>]\n"
            "    [--checkpoint <dir>] [--checkpoint-every <n>] [--resume]\n"
-           "    [--shard-deadline-ms <n>]\n";
+           "    [--shard-deadline-ms <n>] [--feed-batch <n>]\n";
   }
 
   std::string experiment_;
@@ -327,6 +340,7 @@ class BenchContext {
   std::size_t checkpoint_every_ = 1;
   bool resume_ = false;
   std::size_t shard_deadline_ms_ = 0;  // 0 = watchdog disabled
+  std::size_t feed_batch_ = 0;         // 0 = materialized adapters
   std::unique_ptr<ckpt::Watchdog> watchdog_;
   std::unique_ptr<obs::TraceSink> trace_;
   obs::Stopwatch total_;

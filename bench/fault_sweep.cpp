@@ -4,22 +4,27 @@
 // Per rate, the full collector → analysis pipeline runs with every choke
 // point faulted at once:
 //
-//   serialize → CorruptText → ParseTextLenient → PerturbStream →
-//   SanitizeFeed → AnalyzeChurn + RelayMonitor (plus one retried
+//   WriteStream → CorruptText → lenient ParseStream (chunk boundaries
+//   split lines mid-record) → PerturbStream → SanitizeFeed →
+//   AnalyzeChurn + RelayMonitor::ConsumeStream (plus one retried
 //   write/read cycle through the injector's I/O wrapper)
 //
 // and the sweep records what was dropped, retried, and alerted alongside
 // the Fig. 3 (left) headline statistic. Two contracts are checked hard
-// (exit 1 on violation): the rate-0 pipeline is byte-identical to a run
-// with no injector in the loop, and every per-rate output is identical
-// for any --threads value. Writes fault_sweep.csv.
+// (exit 1 on violation): the rate-0 pipeline — including its streaming
+// serialize/parse legs — is byte-identical to an injector-free
+// whole-text run, and every per-rate output is identical for any
+// --threads value. Writes fault_sweep.csv.
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bgp/churn.hpp"
+#include "bgp/feed.hpp"
 #include "bgp/feed_sanitizer.hpp"
 #include "bgp/mrt.hpp"
 #include "ckpt/sweep.hpp"
@@ -105,14 +110,22 @@ SweepPoint RunSweepPoint(const bench::Scenario& scenario,
   const fault::FaultInjector injector(
       fault::FaultPlan::Scaled(rate, kFaultSeed, kWindow));
 
-  // Choke point 1: the archived text rots, and parsing degrades gracefully.
+  // Choke point 1: the archived text rots, and parsing degrades
+  // gracefully — through the chunked streaming parser, whose fixed-size
+  // chunk boundaries routinely split lines mid-record.
   const fault::FaultedText faulted = injector.CorruptText(text);
-  bgp::mrt::LenientParse parsed = bgp::mrt::ParseTextLenient(faulted.text);
-  point.parse = parsed.stats;
+  auto parse_stats = std::make_shared<bgp::mrt::ParseStats>();
+  bgp::mrt::ParseStreamOptions parse_options;
+  parse_options.lenient = true;
+  parse_options.stats = parse_stats;
+  const std::vector<bgp::BgpUpdate> parsed_updates =
+      bgp::feed::Materialize(bgp::mrt::ParseStream(
+          std::make_shared<bgp::feed::AsPathTable>(), faulted.text, parse_options));
+  point.parse = *parse_stats;
 
   // Choke point 2: sessions flap, lose, delay, and resync.
   fault::FaultedStream stream =
-      injector.PerturbStream(dynamics.initial_rib, parsed.updates);
+      injector.PerturbStream(dynamics.initial_rib, parsed_updates);
   point.stream = stream.stats;
 
   // Choke point 3: archive the initial RIB in per-collector shards, each
@@ -154,7 +167,9 @@ SweepPoint RunSweepPoint(const bench::Scenario& scenario,
   core::RelayMonitor monitor(
       scenario.prefix_map.TorPrefixes(scenario.consensus.consensus));
   monitor.LearnBaseline(dynamics.initial_rib);
-  for (const auto& update : feed.updates) (void)monitor.Consume(update);
+  bgp::feed::UpdateStream monitor_feed =
+      bgp::feed::FromVector(std::make_shared<bgp::feed::AsPathTable>(), feed.updates);
+  (void)monitor.ConsumeStream(monitor_feed);
   point.alerts = monitor.AlertCounts().total();
   point.alerts_suppressed = monitor.SuppressedDuplicates();
   return point;
@@ -178,8 +193,16 @@ int main(int argc, char** argv) {
     dp.threads = ctx.threads();
     return bgp::GenerateDynamics(scenario.topology, scenario.collectors, dp);
   });
-  const std::string text =
-      ctx.Timed("serialize", [&] { return bgp::mrt::ToText(dynamics.updates); });
+  // Serialize through the incremental writer: records stream off the feed
+  // layer in batches and hit the output one line at a time, never building
+  // a second whole-dump copy. Byte-identical to mrt::ToText.
+  const std::string text = ctx.Timed("serialize", [&] {
+    std::ostringstream buffer;
+    bgp::mrt::WriteStream(
+        buffer, bgp::feed::FromVector(std::make_shared<bgp::feed::AsPathTable>(),
+                                      dynamics.updates));
+    return buffer.str();
+  });
   std::cout << "  dataset: " << dynamics.updates.size() << " updates over one week ("
             << text.size() / 1024 << " KiB of MRT text)\n";
 
@@ -199,12 +222,38 @@ int main(int argc, char** argv) {
 
   // Hard contract: with every rate at zero, the injector-laced pipeline is
   // exactly the injector-free pipeline (compared by sanitized-feed hash so
-  // the check also holds for a resumed, checkpoint-decoded point).
+  // the check also holds for a resumed, checkpoint-decoded point). The
+  // injector-free reference deliberately uses the *whole-text* parser and
+  // the *materialized* sanitizer, so the check also pins the sweep's
+  // streaming serialize/parse legs to the classic path.
   {
-    const bgp::SanitizedFeed clean = bgp::SanitizeFeed(
-        dynamics.initial_rib, bgp::mrt::ParseText(text));
+    // The incremental writer must have produced exactly ToText.
+    if (text != bgp::mrt::ToText(dynamics.updates)) {
+      std::cerr << "FAIL: WriteStream output differs from mrt::ToText\n";
+      return 1;
+    }
+    // Chunked strict parse (boundaries mid-record) == whole-text parse.
+    const std::vector<bgp::BgpUpdate> clean_parsed = bgp::mrt::ParseText(text);
+    if (bgp::feed::Materialize(bgp::mrt::ParseStream(
+            std::make_shared<bgp::feed::AsPathTable>(), text)) != clean_parsed) {
+      std::cerr << "FAIL: streaming parse differs from whole-text parse\n";
+      return 1;
+    }
+    const bgp::SanitizedFeed clean = bgp::SanitizeFeed(dynamics.initial_rib, clean_parsed);
     const std::uint64_t clean_hash =
         ckpt::Fingerprint64(bgp::mrt::ToText(clean.updates));
+    // The sanitizer's stage form re-emits the same cleaned feed.
+    {
+      const bgp::feed::FeedStage sanitize_stage = bgp::SanitizeStage(dynamics.initial_rib);
+      std::ostringstream staged;
+      bgp::mrt::WriteStream(
+          staged, sanitize_stage(bgp::mrt::ParseStream(
+                      std::make_shared<bgp::feed::AsPathTable>(), text)));
+      if (ckpt::Fingerprint64(staged.str()) != clean_hash) {
+        std::cerr << "FAIL: SanitizeStage output differs from SanitizeFeed\n";
+        return 1;
+      }
+    }
     const SweepPoint& zero = points.front();
     if (zero.feed_hash != clean_hash ||
         zero.sanitized_updates != clean.updates.size() ||

@@ -10,8 +10,10 @@
 
 #include <algorithm>
 #include <iostream>
+#include <memory>
 
 #include "bgp/churn.hpp"
+#include "bgp/feed.hpp"
 #include "bgp/feed_sanitizer.hpp"
 #include "ckpt/sweep.hpp"
 #include "common.hpp"
@@ -23,12 +25,26 @@ namespace {
 
 using namespace quicksand;
 
+/// Runs the churn analysis either through the classic materialized
+/// adapter (feed_batch == 0) or natively on the streaming data plane in
+/// `feed_batch`-record chunks. Results are identical either way (the
+/// adapter IS the stream; see docs/ARCHITECTURE.md) — the --feed-batch
+/// smoke in CI holds both modes to that.
+bgp::ChurnAnalyzer Analyze(const std::vector<bgp::BgpUpdate>& initial_rib,
+                           const std::vector<bgp::BgpUpdate>& updates,
+                           std::size_t threads, std::size_t feed_batch) {
+  if (feed_batch == 0) return bgp::AnalyzeChurn(initial_rib, updates, {}, threads);
+  auto table = std::make_shared<bgp::feed::AsPathTable>();
+  return bgp::AnalyzeChurnStream(bgp::feed::FromVector(table, initial_rib, feed_batch),
+                                 bgp::feed::FromVector(table, updates, feed_batch), {},
+                                 threads);
+}
+
 std::vector<double> RatiosFromStream(const bench::Scenario& scenario,
                                      const std::vector<bgp::BgpUpdate>& initial_rib,
                                      const std::vector<bgp::BgpUpdate>& updates,
-                                     std::size_t threads) {
-  const bgp::ChurnAnalyzer analyzer =
-      bgp::AnalyzeChurn(initial_rib, updates, {}, threads);
+                                     std::size_t threads, std::size_t feed_batch) {
+  const bgp::ChurnAnalyzer analyzer = Analyze(initial_rib, updates, threads, feed_batch);
   return analyzer.RatioToSessionMedian(
       scenario.prefix_map.TorPrefixes(scenario.consensus.consensus));
 }
@@ -68,7 +84,7 @@ int main(int argc, char** argv) {
         [&](std::size_t shard) {
           return RatiosFromStream(scenario, dynamics.initial_rib,
                                   shard == 0 ? filtered.updates : dynamics.updates,
-                                  ctx.threads());
+                                  ctx.threads(), ctx.feed_batch());
         },
         [](const std::vector<double>& ratios, ckpt::PayloadWriter& payload) {
           payload.U64(ratios.size());
@@ -111,8 +127,8 @@ int main(int argc, char** argv) {
   ctx.Comparison(
       comparison, "Tor prefixes above median on >=1 session", "90%", [&] {
         // Group ratios per prefix across sessions via a second pass.
-        const bgp::ChurnAnalyzer analyzer = bgp::AnalyzeChurn(
-            dynamics.initial_rib, filtered.updates, {}, ctx.threads());
+        const bgp::ChurnAnalyzer analyzer = Analyze(
+            dynamics.initial_rib, filtered.updates, ctx.threads(), ctx.feed_batch());
         const auto tor_prefixes =
             scenario.prefix_map.TorPrefixes(scenario.consensus.consensus);
         std::map<bgp::SessionId, double> medians;

@@ -11,6 +11,8 @@
 #include <string_view>
 #include <vector>
 
+#include "bgp/churn.hpp"
+#include "bgp/feed.hpp"
 #include "bgp/hijack.hpp"
 #include "common.hpp"
 #include "bgp/mrt.hpp"
@@ -124,6 +126,87 @@ void BM_MaxLagCorrelation(benchmark::State& state) {
 }
 BENCHMARK(BM_MaxLagCorrelation)->Arg(1)->Arg(4)->Arg(16);
 
+// --- quicksand::bgp::feed substrates --------------------------------------
+// The streaming data plane's cost model: path interning (the hit path is
+// what every streamed update pays), chunked parse, and end-to-end churn
+// over batched streams. The post-benchmark residency check in main()
+// verifies the headline property: peak resident updates track the batch
+// size, not the feed length.
+
+std::vector<bgp::BgpUpdate> MakeSyntheticFeed(std::size_t count) {
+  // Realistic repetition: 8 sessions x 32 prefixes alternating over a
+  // small pool of AS paths, so the intern table sees mostly hits.
+  std::vector<bgp::AsPath> paths;
+  for (std::uint32_t p = 0; p < 24; ++p) {
+    paths.push_back(bgp::AsPath{100 + p, 200 + (p % 7), 300 + (p % 3), 400});
+  }
+  std::vector<bgp::BgpUpdate> updates;
+  updates.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bgp::BgpUpdate u;
+    u.time = netbase::SimTime{static_cast<std::int64_t>(i)};
+    u.session = static_cast<bgp::SessionId>(i % 8);
+    u.prefix = netbase::Prefix(
+        netbase::Ipv4Address((10u << 24) | (static_cast<std::uint32_t>(i % 32) << 8)), 24);
+    if (i % 16 == 15) {
+      u.type = bgp::UpdateType::kWithdraw;
+    } else {
+      u.type = bgp::UpdateType::kAnnounce;
+      u.path = paths[i % paths.size()];
+    }
+    updates.push_back(std::move(u));
+  }
+  return updates;
+}
+
+void BM_AsPathTableIntern(benchmark::State& state) {
+  std::vector<bgp::AsPath> pool;
+  for (std::uint32_t p = 0; p < 32; ++p) {
+    pool.push_back(bgp::AsPath{701, 3356 + p, 1299, 24940 + (p % 5)});
+  }
+  bgp::feed::AsPathTable table;
+  for (const bgp::AsPath& path : pool) (void)table.Intern(path);  // warm
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Intern(pool[i % pool.size()]));
+    ++i;
+  }
+  state.SetLabel("hit path — what each streamed update pays");
+}
+BENCHMARK(BM_AsPathTableIntern);
+
+void BM_MrtStreamParse(benchmark::State& state) {
+  static const std::string text = bgp::mrt::ToText(MakeSyntheticFeed(20000));
+  const std::size_t chunk = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    bgp::mrt::ParseStreamOptions options;
+    options.chunk_bytes = chunk;
+    bgp::feed::UpdateStream stream = bgp::mrt::ParseStream(
+        std::make_shared<bgp::feed::AsPathTable>(), text, options);
+    std::vector<bgp::feed::UpdateRec> batch;
+    std::size_t parsed = 0;
+    while (stream.Next(batch)) parsed += batch.size();
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetLabel("chunk=" + std::to_string(chunk) + "B, 20k updates");
+}
+BENCHMARK(BM_MrtStreamParse)->Arg(4096)->Arg(65536);
+
+void BM_FeedStreamChurn(benchmark::State& state) {
+  static const std::vector<bgp::BgpUpdate> feed = MakeSyntheticFeed(20000);
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto table = std::make_shared<bgp::feed::AsPathTable>();
+    bgp::ChurnAnalyzer analyzer;
+    bgp::feed::UpdateStream stream = bgp::feed::FromVector(table, feed, batch);
+    analyzer.ConsumeStream(stream);
+    analyzer.Finish();
+    benchmark::DoNotOptimize(analyzer.entries().size());
+  }
+  state.SetLabel("batch=" + std::to_string(batch) + ", 20k updates");
+}
+BENCHMARK(BM_FeedStreamChurn)->Arg(256)->Arg(4096);
+
 void BM_MrtParseLine(benchmark::State& state) {
   const std::string line = "1714521600|12|A|78.46.0.0/15|701 3356 1299 24940";
   for (auto _ : state) {
@@ -218,7 +301,8 @@ int main(int argc, char** argv) {
   std::vector<char*> gbench = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if ((arg == "--json" || arg == "--trace" || arg == "--threads") &&
+    if ((arg == "--json" || arg == "--trace" || arg == "--threads" ||
+         arg == "--feed-batch") &&
         i + 1 < argc) {
       ours.push_back(argv[i]);
       ours.push_back(argv[++i]);
@@ -236,6 +320,36 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(gbench_argc, gbench.data())) return 1;
   ctx.Timed("benchmarks", [] { benchmark::RunSpecifiedBenchmarks(); });
   benchmark::Shutdown();
+
+  // Streaming residency contract: after the BM_FeedStreamChurn /
+  // BM_MrtStreamParse cases streamed tens of thousands of updates, the
+  // feed.peak_resident_updates gauge — the largest batch any stream ever
+  // held — must be bounded by the configured batch size (4096 at most
+  // here), NOT the 20k feed length. This is the property that lets the
+  // pipeline run archives larger than memory.
+  const std::size_t streamed = static_cast<std::size_t>(
+      quicksand::obs::MetricsRegistry::Global()
+          .GetCounter("feed.updates_streamed")
+          .value());
+  const auto peak = quicksand::obs::MetricsRegistry::Global()
+                        .GetGauge("feed.peak_resident_updates")
+                        .value();
+  if (streamed == 0) {
+    // A --benchmark_filter excluded the streaming cases; nothing to check.
+    std::cout << "  feed residency: no streaming cases ran (filtered out)\n";
+  } else if (peak <= 0 ||
+             static_cast<std::size_t>(peak) > quicksand::bgp::feed::kDefaultBatchSize ||
+             streamed <= quicksand::bgp::feed::kDefaultBatchSize) {
+    std::cerr << "FAIL: streaming residency contract violated — peak resident "
+              << peak << " updates with " << streamed
+              << " streamed (expected 0 < peak <= "
+              << quicksand::bgp::feed::kDefaultBatchSize << " << streamed)\n";
+    return 1;
+  } else {
+    std::cout << "  feed residency: " << streamed << " updates streamed, peak resident "
+              << peak << " (bounded by batch size, not feed length)\n";
+  }
+
   ctx.Finish();
   return 0;
 }

@@ -17,11 +17,14 @@ histograms, and comparison rows.
 Comparison ignores everything that is allowed to vary between runs of
 the same seed: per-phase wall times, total_wall_ms, the top-level
 "threads" field, any histogram whose name ends in "_ms" (the reserved
-wall-clock namespace), and any metric whose name starts with "exec."
-or "ckpt." (the reserved namespaces: thread-pool and cache counters
-legitimately depend on thread count and scheduling, and checkpoint
-telemetry depends on where a run was killed — see docs/OBSERVABILITY.md
-and docs/ROBUSTNESS.md). Everything else, including every counter,
+wall-clock namespace), and any metric whose name starts with "exec.",
+"ckpt.", or "feed." (the reserved namespaces: thread-pool and cache
+counters legitimately depend on thread count and scheduling, checkpoint
+telemetry depends on where a run was killed, and streaming-feed
+telemetry — batch counts, peak resident updates, intern hit rates —
+depends on the chosen batch size, which is a tuning knob, not an
+output; see docs/OBSERVABILITY.md, docs/ROBUSTNESS.md, and
+docs/ARCHITECTURE.md). Everything else, including every counter,
 gauge, non-timing histogram, comparison row, and result value, must
 match exactly.
 
@@ -129,11 +132,13 @@ def validate(doc, origin):
 
 
 def scheduling_dependent(name):
-    """True for metrics in the reserved "exec." and "ckpt." namespaces,
-    whose values may vary with thread count, scheduling, or where in a
-    sweep a run was killed (pool telemetry, cache hits, snapshot sizes
-    and resume bookkeeping)."""
-    return name.startswith("exec.") or name.startswith("ckpt.")
+    """True for metrics in the reserved "exec.", "ckpt.", and "feed."
+    namespaces, whose values may vary with thread count, scheduling,
+    where in a sweep a run was killed, or the streaming batch size
+    (pool telemetry, cache hits, snapshot sizes and resume bookkeeping,
+    feed batch counts and residency gauges)."""
+    return (name.startswith("exec.") or name.startswith("ckpt.")
+            or name.startswith("feed."))
 
 
 def deterministic_view(doc):

@@ -10,6 +10,10 @@
 # Pass QUICKSAND_BENCH_THREADS=<n> to forward --threads <n> to every bench
 # (0 = hardware concurrency; output is byte-identical for any value — see
 # docs/PERFORMANCE.md).
+# Pass QUICKSAND_BENCH_FEED_BATCH=<n> to forward --feed-batch <n> to every
+# bench: feed-driven benches run natively on the streaming data plane in
+# n-record batches instead of the materialized adapters (0 or unset =
+# materialized; output is byte-identical either way — docs/ARCHITECTURE.md).
 # micro_substrates runs with --benchmark_min_time=0.01 to keep the sweep
 # fast; drop that override for real performance numbers.
 # fault_sweep (picked up by the same glob) additionally writes
@@ -55,6 +59,9 @@ for bin in "${benches[@]}"; do
   fi
   if [[ -n "${QUICKSAND_BENCH_THREADS:-}" ]]; then
     args+=(--threads "$QUICKSAND_BENCH_THREADS")
+  fi
+  if [[ -n "${QUICKSAND_BENCH_FEED_BATCH:-}" ]]; then
+    args+=(--feed-batch "$QUICKSAND_BENCH_FEED_BATCH")
   fi
   if [[ "$name" == "micro_substrates" ]]; then
     args+=(--benchmark_min_time=0.01)

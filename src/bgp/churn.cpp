@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "exec/parallel.hpp"
 #include "obs/metrics.hpp"
@@ -9,36 +10,51 @@
 
 namespace quicksand::bgp {
 
-namespace {
-
-std::vector<AsNumber> SortedAsSet(const AsPath& path) {
-  auto ases = path.DistinctAses();
-  std::sort(ases.begin(), ases.end());
-  return ases;
-}
-
-std::uint64_t HashAsSet(const std::vector<AsNumber>& sorted) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (AsNumber as : sorted) {
-    h ^= as;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-}  // namespace
-
 void ChurnAnalyzer::ConsumeInitialRib(std::span<const BgpUpdate> rib) {
   for (const BgpUpdate& update : rib) Consume(update);
 }
 
 void ChurnAnalyzer::Consume(const BgpUpdate& update) {
+  if (update.type == UpdateType::kAnnounce) {
+    // Interning hoists the distinct-AS sort/dedup: a repeated path reuses
+    // the precomputed sorted set and hashes.
+    const feed::PathId id = paths_.Intern(update.path);
+    ConsumeImpl(update.time.seconds, update.session, update.prefix, update.type,
+                &paths_.SortedSet(id), paths_.SetHash(id), paths_.PathHash(id));
+  } else {
+    ConsumeImpl(update.time.seconds, update.session, update.prefix, update.type,
+                nullptr, 0, 0);
+  }
+}
+
+void ChurnAnalyzer::ConsumeRecord(const feed::UpdateRec& rec,
+                                  const feed::AsPathTable& table) {
+  if (rec.type == UpdateType::kAnnounce) {
+    ConsumeImpl(rec.time.seconds, rec.session, rec.prefix, rec.type,
+                &table.SortedSet(rec.path), table.SetHash(rec.path),
+                table.PathHash(rec.path));
+  } else {
+    ConsumeImpl(rec.time.seconds, rec.session, rec.prefix, rec.type, nullptr, 0, 0);
+  }
+}
+
+void ChurnAnalyzer::ConsumeStream(feed::UpdateStream& stream) {
+  std::vector<feed::UpdateRec> batch;
+  while (stream.Next(batch)) {
+    for (const feed::UpdateRec& rec : batch) ConsumeRecord(rec, *stream.paths());
+  }
+}
+
+void ChurnAnalyzer::ConsumeImpl(std::int64_t time_s, SessionId session,
+                                const netbase::Prefix& prefix, UpdateType type,
+                                const std::vector<AsNumber>* sorted_set,
+                                std::uint64_t set_hash, std::uint64_t path_hash) {
   if (finished_) throw std::logic_error("ChurnAnalyzer: Consume after Finish");
   static obs::Counter& consumed =
       obs::MetricsRegistry::Global().GetCounter("bgp.churn.updates_consumed");
   consumed.Increment();
-  State& state = states_[SessionPrefixKey{update.session, update.prefix}];
-  if (update.time.seconds < state.last_time_s) {
+  State& state = states_[SessionPrefixKey{session, prefix}];
+  if (time_s < state.last_time_s) {
     // Out-of-order arrival (delay jitter the sanitizer could not repair):
     // processing it would close dwell intervals backwards in time, so it
     // is dropped and counted instead of crashing the analysis.
@@ -48,19 +64,27 @@ void ChurnAnalyzer::Consume(const BgpUpdate& update) {
         .Increment();
     return;
   }
-  state.last_time_s = update.time.seconds;
-  if (update.type == UpdateType::kAnnounce) {
-    Announce(state, update);
+  state.last_time_s = time_s;
+  if (type == UpdateType::kAnnounce) {
+    if (!seen_path_hashes_.insert(path_hash).second) {
+      // This path's sorted set was already computed — the per-update
+      // sort/dedup the pre-interning analyzer paid is skipped. Lazily
+      // registered so churn-free pipelines leave no counter behind.
+      static obs::Counter& cache_hits =
+          obs::MetricsRegistry::Global().GetCounter("bgp.churn.path_set_cache_hits");
+      cache_hits.Increment();
+    }
+    Announce(state, time_s, *sorted_set, set_hash);
   } else {
-    Withdraw(state, update.time.seconds);
+    Withdraw(state, time_s);
   }
 }
 
-void ChurnAnalyzer::Announce(State& state, const BgpUpdate& update) {
-  const std::int64_t now = update.time.seconds;
-  auto as_set = SortedAsSet(update.path);
+void ChurnAnalyzer::Announce(State& state, std::int64_t now,
+                             const std::vector<AsNumber>& as_set,
+                             std::uint64_t set_hash) {
   ++state.announcements;
-  state.distinct_sets.insert(HashAsSet(as_set));
+  state.distinct_sets.insert(set_hash);
 
   if (!state.has_baseline) {
     state.has_baseline = true;
@@ -79,7 +103,7 @@ void ChurnAnalyzer::Announce(State& state, const BgpUpdate& update) {
     }
   }
 
-  state.last_announced = std::move(as_set);
+  state.last_announced = as_set;
   state.withdrawn = false;
 }
 
@@ -211,28 +235,51 @@ std::map<netbase::Prefix, std::size_t> ChurnAnalyzer::SessionsPerPrefix() const 
 ChurnAnalyzer AnalyzeChurn(std::span<const BgpUpdate> initial_rib,
                            std::span<const BgpUpdate> updates, ChurnParams params,
                            std::size_t threads) {
-  // Partition both streams by session, preserving each session's relative
-  // (time) order. A (session, prefix) state only ever sees its own
-  // session's updates, so per-session analysis is exactly equivalent to
-  // serial consumption of the interleaved stream.
-  std::map<SessionId, std::pair<std::vector<const BgpUpdate*>,
-                                std::vector<const BgpUpdate*>>>
-      by_session;
-  for (const BgpUpdate& u : initial_rib) by_session[u.session].first.push_back(&u);
-  for (const BgpUpdate& u : updates) by_session[u.session].second.push_back(&u);
+  // Thin adapter: one shared intern table, both spans streamed through it.
+  auto table = std::make_shared<feed::AsPathTable>();
+  return AnalyzeChurnStream(feed::FromVector(table, initial_rib),
+                            feed::FromVector(table, updates), params, threads);
+}
 
-  std::vector<const std::pair<std::vector<const BgpUpdate*>,
-                              std::vector<const BgpUpdate*>>*>
+ChurnAnalyzer AnalyzeChurnStream(feed::UpdateStream initial_rib,
+                                 feed::UpdateStream updates, ChurnParams params,
+                                 std::size_t threads) {
+  // Drain both streams serially (interning happens here, single-threaded),
+  // partitioning by session and preserving each session's relative (time)
+  // order. A (session, prefix) state only ever sees its own session's
+  // updates, so per-session analysis is exactly equivalent to serial
+  // consumption of the interleaved stream. Records are compact (32-bit
+  // path ids), so this drain holds ids, not owning paths.
+  const std::shared_ptr<feed::AsPathTable> rib_table = initial_rib.paths();
+  const std::shared_ptr<feed::AsPathTable> upd_table = updates.paths();
+  std::map<SessionId,
+           std::pair<std::vector<feed::UpdateRec>, std::vector<feed::UpdateRec>>>
+      by_session;
+  std::vector<feed::UpdateRec> batch;
+  while (initial_rib.Next(batch)) {
+    for (const feed::UpdateRec& rec : batch) by_session[rec.session].first.push_back(rec);
+  }
+  while (updates.Next(batch)) {
+    for (const feed::UpdateRec& rec : batch) by_session[rec.session].second.push_back(rec);
+  }
+
+  std::vector<const std::pair<std::vector<feed::UpdateRec>,
+                              std::vector<feed::UpdateRec>>*>
       partitions;
   partitions.reserve(by_session.size());
   for (const auto& [session, streams] : by_session) partitions.push_back(&streams);
 
+  // Workers only read the tables (const accessors); interning is done.
   std::vector<ChurnAnalyzer> analyzed = exec::ParallelMap(
       threads, partitions.size(),
       [&](std::size_t i) {
         ChurnAnalyzer analyzer(params);
-        for (const BgpUpdate* u : partitions[i]->first) analyzer.Consume(*u);
-        for (const BgpUpdate* u : partitions[i]->second) analyzer.Consume(*u);
+        for (const feed::UpdateRec& rec : partitions[i]->first) {
+          analyzer.ConsumeRecord(rec, *rib_table);
+        }
+        for (const feed::UpdateRec& rec : partitions[i]->second) {
+          analyzer.ConsumeRecord(rec, *upd_table);
+        }
         analyzer.Finish();
         return analyzer;
       },

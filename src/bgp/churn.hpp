@@ -15,7 +15,10 @@
 //     shorter appearances are "unlikely that an attack can be performed".
 //
 // The analyzer is streaming: feed it the initial RIB, then time-ordered
-// updates, then Finish(). Results back Figure 3 (left and right) and the
+// updates, then Finish(). It consumes either materialized `BgpUpdate`s or
+// compact interned records straight off a `feed::UpdateStream` — the
+// distinct-AS sort/dedup runs once per interned path, not once per update
+// (docs/ARCHITECTURE.md). Results back Figure 3 (left and right) and the
 // dataset statistics of Section 4.
 
 #include <cstdint>
@@ -26,6 +29,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "bgp/feed.hpp"
 #include "bgp/update.hpp"
 #include "netbase/sim_time.hpp"
 
@@ -65,11 +69,22 @@ class ChurnAnalyzer;
 /// finished. Sessions are independent key spaces, so the stream is
 /// partitioned by session, analyzed per partition, and merged in session
 /// order — the result is identical to serial consumption for every thread
-/// count.
+/// count. Thin adapter over AnalyzeChurnStream.
 [[nodiscard]] ChurnAnalyzer AnalyzeChurn(std::span<const BgpUpdate> initial_rib,
                                          std::span<const BgpUpdate> updates,
                                          ChurnParams params = {},
                                          std::size_t threads = 1);
+
+/// Stream-native equivalent: drains both streams (records are compact —
+/// 32-bit path ids, not owning paths), partitions by session, analyzes
+/// partitions on `threads` threads, merges in session order. The two
+/// streams may share an AsPathTable or carry their own; results are
+/// identical either way, and identical to AnalyzeChurn on the
+/// materialized equivalents, for every thread count and batch size.
+[[nodiscard]] ChurnAnalyzer AnalyzeChurnStream(feed::UpdateStream initial_rib,
+                                               feed::UpdateStream updates,
+                                               ChurnParams params = {},
+                                               std::size_t threads = 1);
 
 /// Streaming churn analyzer.
 class ChurnAnalyzer {
@@ -86,7 +101,19 @@ class ChurnAnalyzer {
   /// `bgp.churn.dropped_out_of_order` counter (graceful degradation on
   /// lossy/reordered feeds; see docs/ROBUSTNESS.md).
   /// Throws std::logic_error if called after Finish().
+  ///
+  /// Interns the path into a private AsPathTable, so repeated paths skip
+  /// the distinct-AS sort/dedup; each skip counts toward the
+  /// `bgp.churn.path_set_cache_hits` counter (registered only once a hit
+  /// actually occurs).
   void Consume(const BgpUpdate& update);
+
+  /// Feeds one compact record whose path id indexes `table`. Identical
+  /// semantics (and metric behavior) to Consume on the materialized form.
+  void ConsumeRecord(const feed::UpdateRec& rec, const feed::AsPathTable& table);
+
+  /// Drains `stream`, feeding every record through ConsumeRecord.
+  void ConsumeStream(feed::UpdateStream& stream);
 
   /// Updates dropped because they arrived out of time order for their
   /// (session, prefix).
@@ -130,9 +157,8 @@ class ChurnAnalyzer {
   [[nodiscard]] std::map<SessionId, std::size_t> PrefixesPerSession() const;
 
  private:
-  friend ChurnAnalyzer AnalyzeChurn(std::span<const BgpUpdate>,
-                                    std::span<const BgpUpdate>, ChurnParams,
-                                    std::size_t);
+  friend ChurnAnalyzer AnalyzeChurnStream(feed::UpdateStream, feed::UpdateStream,
+                                          ChurnParams, std::size_t);
 
   struct State {
     bool has_baseline = false;
@@ -148,12 +174,28 @@ class ChurnAnalyzer {
     std::size_t path_changes = 0;
   };
 
-  void Announce(State& state, const BgpUpdate& update);
+  /// Common consume path. `sorted_set` is null for withdrawals; for
+  /// announcements it is the path's sorted distinct-AS set, with
+  /// `set_hash` its FNV key and `path_hash` the table-independent hop
+  /// content hash driving the path-set cache-hit counter.
+  void ConsumeImpl(std::int64_t time_s, SessionId session,
+                   const netbase::Prefix& prefix, UpdateType type,
+                   const std::vector<AsNumber>* sorted_set, std::uint64_t set_hash,
+                   std::uint64_t path_hash);
+  void Announce(State& state, std::int64_t now, const std::vector<AsNumber>& as_set,
+                std::uint64_t set_hash);
   void Withdraw(State& state, std::int64_t now);
   void CloseIntervals(State& state, std::int64_t now,
                       const std::vector<AsNumber>* keep_sorted);
 
   ChurnParams params_;
+  /// Intern pool backing the materialized Consume adapter.
+  feed::AsPathTable paths_;
+  /// Hop-content hashes of every announced path this analyzer has seen —
+  /// an announce whose hash is already present skipped the sort/dedup
+  /// (bgp.churn.path_set_cache_hits). Keyed on the table-independent
+  /// content hash so materialized and streamed consumption count alike.
+  std::unordered_set<std::uint64_t> seen_path_hashes_;
   std::map<SessionPrefixKey, State> states_;
   mutable std::map<SessionPrefixKey, SessionPrefixChurn> results_;
   std::size_t dropped_out_of_order_ = 0;

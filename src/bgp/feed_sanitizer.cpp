@@ -1,5 +1,8 @@
 #include "bgp/feed_sanitizer.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "obs/metrics.hpp"
 
 namespace quicksand::bgp {
@@ -22,6 +25,59 @@ SanitizedFeed SanitizeFeed(const std::vector<BgpUpdate>& initial_rib,
   result.updates = std::move(filtered.updates);
   result.reset_stats = filtered.stats;
   return result;
+}
+
+feed::FeedStage SanitizeStage(std::vector<BgpUpdate> initial_rib, SanitizerParams params,
+                              std::shared_ptr<SanitizeStageStats> stats,
+                              std::size_t batch_size) {
+  if (batch_size == 0) batch_size = feed::kDefaultBatchSize;
+  // Shared so the returned stage (and the std::function machinery around
+  // it) stays copyable without duplicating the RIB.
+  auto rib = std::make_shared<std::vector<BgpUpdate>>(std::move(initial_rib));
+  return [rib = std::move(rib), params, stats = std::move(stats),
+          batch_size](feed::UpdateStream upstream) -> feed::UpdateStream {
+    struct State {
+      std::shared_ptr<std::vector<BgpUpdate>> rib;
+      SanitizerParams params;
+      std::shared_ptr<SanitizeStageStats> stats;
+      feed::UpdateStream upstream;
+      bool drained = false;
+      std::vector<feed::UpdateRec> records;  ///< sanitized, re-interned
+      std::size_t next = 0;
+    };
+    auto table = upstream.paths();
+    auto state = std::make_shared<State>();
+    state->rib = rib;
+    state->params = params;
+    state->stats = stats;
+    state->upstream = std::move(upstream);
+    feed::AsPathTable* raw_table = table.get();
+    return feed::UpdateStream(
+        std::move(table),
+        [state = std::move(state), raw_table, batch_size](std::vector<feed::UpdateRec>& out) {
+          if (!state->drained) {
+            // Lazy whole-feed transform on first pull.
+            SanitizedFeed sanitized = SanitizeFeed(
+                *state->rib, feed::Materialize(std::move(state->upstream)), state->params);
+            if (state->stats) {
+              state->stats->reset_stats = sanitized.reset_stats;
+              state->stats->out_of_order_repaired = sanitized.out_of_order_repaired;
+            }
+            state->records.reserve(sanitized.updates.size());
+            for (const BgpUpdate& u : sanitized.updates) {
+              state->records.push_back(feed::ToRecord(u, *raw_table));
+            }
+            state->drained = true;
+          }
+          if (state->next >= state->records.size()) return false;
+          const std::size_t end =
+              std::min(state->next + batch_size, state->records.size());
+          out.assign(state->records.begin() + static_cast<std::ptrdiff_t>(state->next),
+                     state->records.begin() + static_cast<std::ptrdiff_t>(end));
+          state->next = end;
+          return true;
+        });
+  };
 }
 
 }  // namespace quicksand::bgp

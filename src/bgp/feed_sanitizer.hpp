@@ -19,8 +19,10 @@
 // sweep, future ingest services) share the behavior and its statistics.
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "bgp/feed.hpp"
 #include "bgp/session_reset.hpp"
 #include "bgp/update.hpp"
 
@@ -47,5 +49,25 @@ struct SanitizedFeed {
 [[nodiscard]] SanitizedFeed SanitizeFeed(const std::vector<BgpUpdate>& initial_rib,
                                          std::vector<BgpUpdate> updates,
                                          const SanitizerParams& params = {});
+
+/// What the stage form did to the feed (filled once the stage's output
+/// stream is first pulled).
+struct SanitizeStageStats {
+  ResetFilterStats reset_stats;
+  std::size_t out_of_order_repaired = 0;
+};
+
+/// The sanitizer as a composable feed stage. Ordering repair and reset
+/// filtering are whole-feed operations, so this is a documented
+/// drain-transform-re-emit stage: on the first pull of its output it
+/// drains the upstream, runs SanitizeFeed, and re-emits the cleaned feed
+/// in `batch_size` chunks on the upstream's AsPathTable. It bounds
+/// hand-off batch sizes, not total residency (docs/ARCHITECTURE.md).
+/// Output content is identical to the materialized SanitizeFeed for every
+/// batch size; `stats`, when set, receives the sanitizer statistics.
+[[nodiscard]] feed::FeedStage SanitizeStage(
+    std::vector<BgpUpdate> initial_rib, SanitizerParams params = {},
+    std::shared_ptr<SanitizeStageStats> stats = nullptr,
+    std::size_t batch_size = feed::kDefaultBatchSize);
 
 }  // namespace quicksand::bgp

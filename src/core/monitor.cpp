@@ -55,41 +55,80 @@ RelayMonitor::RelayMonitor(std::unordered_set<netbase::Prefix> monitored,
   for (const netbase::Prefix& prefix : monitored_) monitored_trie_.Insert(prefix, 0);
 }
 
-void RelayMonitor::Learn(const bgp::BgpUpdate& update) {
-  if (update.type != bgp::UpdateType::kAnnounce || update.path.empty()) return;
-  if (!monitored_.contains(update.prefix)) return;
-  const auto& hops = update.path.hops();
-  legit_origins_[update.prefix].insert(hops.back());
+void RelayMonitor::LearnImpl(const netbase::Prefix& prefix, bgp::UpdateType type,
+                             const bgp::AsPath& path) {
+  if (type != bgp::UpdateType::kAnnounce || path.empty()) return;
+  if (!monitored_.contains(prefix)) return;
+  const auto& hops = path.hops();
+  legit_origins_[prefix].insert(hops.back());
   // The upstream is the AS adjacent to the origin (skipping prepends).
   for (std::size_t i = hops.size(); i-- > 0;) {
     if (hops[i] != hops.back()) {
-      known_upstreams_[update.prefix].insert(hops[i]);
+      known_upstreams_[prefix].insert(hops[i]);
       break;
     }
   }
+}
+
+void RelayMonitor::Learn(const bgp::BgpUpdate& update) {
+  LearnImpl(update.prefix, update.type, update.path);
 }
 
 void RelayMonitor::LearnBaseline(std::span<const bgp::BgpUpdate> initial_rib) {
   for (const bgp::BgpUpdate& update : initial_rib) Learn(update);
 }
 
+void RelayMonitor::LearnBaselineStream(bgp::feed::UpdateStream& stream) {
+  std::vector<bgp::feed::UpdateRec> batch;
+  while (stream.Next(batch)) {
+    for (const bgp::feed::UpdateRec& rec : batch) {
+      LearnImpl(rec.prefix, rec.type, stream.paths()->Path(rec.path));
+    }
+  }
+}
+
 std::vector<Alert> RelayMonitor::Consume(const bgp::BgpUpdate& update) {
+  return ConsumeImpl(update.time, update.session, update.prefix, update.type,
+                     update.path);
+}
+
+std::vector<Alert> RelayMonitor::ConsumeRecord(const bgp::feed::UpdateRec& rec,
+                                               const bgp::feed::AsPathTable& table) {
+  return ConsumeImpl(rec.time, rec.session, rec.prefix, rec.type, table.Path(rec.path));
+}
+
+std::size_t RelayMonitor::ConsumeStream(bgp::feed::UpdateStream& stream) {
+  std::size_t raised = 0;
+  std::vector<bgp::feed::UpdateRec> batch;
+  while (stream.Next(batch)) {
+    for (const bgp::feed::UpdateRec& rec : batch) {
+      raised += ConsumeRecord(rec, *stream.paths()).size();
+    }
+  }
+  return raised;
+}
+
+std::vector<Alert> RelayMonitor::ConsumeImpl(netbase::SimTime time,
+                                             bgp::SessionId session,
+                                             const netbase::Prefix& prefix,
+                                             bgp::UpdateType type,
+                                             const bgp::AsPath& path) {
   MonitorMetrics& metrics = MonitorMetrics::Get();
   metrics.consumed.Increment();
   std::vector<Alert> raised;
-  if (update.type != bgp::UpdateType::kAnnounce || update.path.empty()) return raised;
-  const bgp::AsNumber origin = update.path.origin();
+  if (type != bgp::UpdateType::kAnnounce || path.empty()) return raised;
+  const bgp::AsNumber origin = path.origin();
 
-  if (monitored_.contains(update.prefix)) {
-    const auto origins_it = legit_origins_.find(update.prefix);
+  if (monitored_.contains(prefix)) {
+    const auto origins_it = legit_origins_.find(prefix);
     const bool origin_known =
         origins_it != legit_origins_.end() && origins_it->second.contains(origin);
     if (params_.alert_on_origin_change && !origin_known) {
       // Idempotent: one alert per (prefix, bogus origin). Resync bursts
       // and flapping sessions re-announcing the hijacked route must not
       // double-count the anomaly.
-      if (alerted_origins_[update.prefix].insert(origin).second) {
-        raised.push_back(Alert{update.time, update.session, update.prefix, update.prefix,
+      if (alerted_origins_[prefix].insert(origin).second) {
+        raised.push_back(Alert{time, session, prefix, prefix,
                                AlertKind::kOriginChange, origin});
       } else {
         ++suppressed_duplicates_;
@@ -99,7 +138,7 @@ std::vector<Alert> RelayMonitor::Consume(const bgp::BgpUpdate& update) {
       }
     }
     if (params_.alert_on_new_upstream && origin_known) {
-      const auto& hops = update.path.hops();
+      const auto& hops = path.hops();
       bgp::AsNumber upstream = 0;
       for (std::size_t i = hops.size(); i-- > 0;) {
         if (hops[i] != hops.back()) {
@@ -108,10 +147,10 @@ std::vector<Alert> RelayMonitor::Consume(const bgp::BgpUpdate& update) {
         }
       }
       if (upstream != 0) {
-        auto& known = known_upstreams_[update.prefix];
+        auto& known = known_upstreams_[prefix];
         if (!known.contains(upstream)) {
-          raised.push_back(Alert{update.time, update.session, update.prefix,
-                                 update.prefix, AlertKind::kNewUpstream, upstream});
+          raised.push_back(Alert{time, session, prefix, prefix,
+                                 AlertKind::kNewUpstream, upstream});
           // Learn it: repeat announcements via the same new upstream only
           // alert once (aggressive but not noisy).
           known.insert(upstream);
@@ -121,10 +160,10 @@ std::vector<Alert> RelayMonitor::Consume(const bgp::BgpUpdate& update) {
   } else if (params_.alert_on_more_specific) {
     // An announcement strictly inside a monitored prefix. Idempotent per
     // (announced prefix, origin): repeats of the same carve-out alert once.
-    const auto covering = monitored_trie_.MostSpecificCovering(update.prefix);
-    if (covering && covering->first.length() < update.prefix.length()) {
-      if (alerted_specifics_[update.prefix].insert(origin).second) {
-        raised.push_back(Alert{update.time, update.session, covering->first, update.prefix,
+    const auto covering = monitored_trie_.MostSpecificCovering(prefix);
+    if (covering && covering->first.length() < prefix.length()) {
+      if (alerted_specifics_[prefix].insert(origin).second) {
+        raised.push_back(Alert{time, session, covering->first, prefix,
                                AlertKind::kMoreSpecific, origin});
       } else {
         ++suppressed_duplicates_;

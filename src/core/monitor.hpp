@@ -25,6 +25,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "bgp/feed.hpp"
 #include "bgp/update.hpp"
 #include "netbase/prefix.hpp"
 #include "netbase/prefix_trie.hpp"
@@ -95,6 +96,19 @@ class RelayMonitor {
   /// Processes one update; returns any alerts it triggered.
   [[nodiscard]] std::vector<Alert> Consume(const bgp::BgpUpdate& update);
 
+  /// Same, for one compact record whose path id indexes `table` — the
+  /// streaming pipelines' entry point. Identical alert decisions and
+  /// metric behavior to Consume on the materialized form.
+  [[nodiscard]] std::vector<Alert> ConsumeRecord(const bgp::feed::UpdateRec& rec,
+                                                 const bgp::feed::AsPathTable& table);
+
+  /// Drains `stream`, feeding every record through ConsumeRecord. Alerts
+  /// accumulate in alerts(); returns how many this drain raised.
+  std::size_t ConsumeStream(bgp::feed::UpdateStream& stream);
+
+  /// Learns the baseline from a stream instead of a materialized RIB.
+  void LearnBaselineStream(bgp::feed::UpdateStream& stream);
+
   /// Alerts suppressed because the same (prefix, suspect, kind) anomaly
   /// had already alerted.
   [[nodiscard]] std::size_t SuppressedDuplicates() const noexcept {
@@ -117,6 +131,14 @@ class RelayMonitor {
 
  private:
   void Learn(const bgp::BgpUpdate& update);
+  void LearnImpl(const netbase::Prefix& prefix, bgp::UpdateType type,
+                 const bgp::AsPath& path);
+  /// Common alert path for materialized and record consumption.
+  [[nodiscard]] std::vector<Alert> ConsumeImpl(netbase::SimTime time,
+                                               bgp::SessionId session,
+                                               const netbase::Prefix& prefix,
+                                               bgp::UpdateType type,
+                                               const bgp::AsPath& path);
 
   MonitorParams params_;
   std::unordered_set<netbase::Prefix> monitored_;

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
 
+#include "bgp/feed.hpp"
 #include "bgp/mrt.hpp"
 #include "bgp/update.hpp"
 
@@ -189,6 +193,145 @@ TEST(Mrt, LenientParseCapsRecordedErrors) {
   const auto result = mrt::ParseTextLenient(text, /*max_recorded_errors=*/4);
   EXPECT_EQ(result.stats.bad_lines, 20u);
   EXPECT_EQ(result.stats.first_errors.size(), 4u);
+}
+
+TEST(Mrt, RoundTripAtRepresentationEdges) {
+  // The corners of every field's representable range must survive a
+  // serialize -> parse round trip unchanged: 32-bit AS numbers at their
+  // maximum, pathological prepend runs, and the /0 and /32 prefix
+  // extremes (a default route and a host route).
+  std::string prepends = "65001";
+  for (int i = 0; i < 199; ++i) prepends += " 65001";
+  const std::vector<BgpUpdate> updates = {
+      Announce(0, 0, "0.0.0.0/0", "4294967295"),
+      Announce(1, 4294967295u, "255.255.255.255/32",
+               "4294967295 4294967294 4294967295"),
+      Announce(2, 7, "192.0.2.0/24", prepends.c_str()),
+      Withdraw(3, 7, "0.0.0.0/0"),
+      Withdraw(4, 7, "255.255.255.255/32"),
+  };
+  EXPECT_EQ(mrt::ParseText(mrt::ToText(updates)), updates);
+  ASSERT_EQ(mrt::ParseText(mrt::ToText(updates))[2].path.hops().size(), 200u);
+}
+
+TEST(Mrt, StreamParserMatchesWholeTextAtEveryChunkBoundary) {
+  // Chunk boundaries may fall anywhere — including mid-record. Feeding
+  // the dump 1..N bytes at a time must produce exactly the whole-text
+  // parse, for every chunk size.
+  const std::vector<BgpUpdate> updates = {
+      Announce(1, 0, "10.0.0.0/8", "65001 65002"),
+      Withdraw(2, 1, "10.0.0.0/8"),
+      Announce(3, 0, "192.168.0.0/16", "65001"),
+  };
+  const std::string text = "# header\n" + mrt::ToText(updates);
+  for (std::size_t chunk = 1; chunk <= text.size(); ++chunk) {
+    mrt::StreamParser parser;
+    std::vector<BgpUpdate> out;
+    for (std::size_t pos = 0; pos < text.size(); pos += chunk) {
+      parser.Feed(std::string_view(text).substr(pos, chunk), out);
+    }
+    parser.Finish(out);
+    EXPECT_EQ(out, updates) << "chunk size " << chunk;
+  }
+}
+
+TEST(Mrt, StreamParserHandlesMissingTrailingNewline) {
+  mrt::StreamParser parser;
+  std::vector<BgpUpdate> out;
+  parser.Feed("1|0|A|10.0.0.0/8|65001", out);
+  EXPECT_TRUE(out.empty());  // still buffered: no newline yet
+  parser.Finish(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Announce(1, 0, "10.0.0.0/8", "65001"));
+}
+
+TEST(Mrt, StreamParserLenientStatsMatchWholeTextParse) {
+  const std::string text =
+      "1|0|A|10.0.0.0/8|65001\n"
+      "garbage\n"
+      "2|1|W|10.0.0.0/8|\n"
+      "-5|0|A|10.0.0.0/8|65001\n";
+  const mrt::LenientParse whole = mrt::ParseTextLenient(text);
+  mrt::StreamParser::Options options;
+  options.lenient = true;
+  mrt::StreamParser parser(options);
+  std::vector<BgpUpdate> out;
+  for (std::size_t pos = 0; pos < text.size(); pos += 5) {
+    parser.Feed(std::string_view(text).substr(pos, 5), out);
+  }
+  parser.Finish(out);
+  EXPECT_EQ(out, whole.updates);
+  EXPECT_EQ(parser.stats().total_lines, whole.stats.total_lines);
+  EXPECT_EQ(parser.stats().parsed, whole.stats.parsed);
+  EXPECT_EQ(parser.stats().bad_lines, whole.stats.bad_lines);
+  EXPECT_EQ(parser.stats().first_errors, whole.stats.first_errors);
+}
+
+TEST(Mrt, StreamParserStrictNamesBadLineAcrossChunks) {
+  // A malformed line split across chunks must still raise an error naming
+  // the right 1-based line number once the line completes.
+  mrt::StreamParser parser;
+  std::vector<BgpUpdate> out;
+  parser.Feed("1|0|A|10.0.0.0/8|65001\ngarb", out);
+  try {
+    parser.Feed("age\n", out);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Mrt, ParseStreamMatchesWholeTextParseAtBatchBoundaries) {
+  // The chunked UpdateStream source, pulled in small batches with chunk
+  // boundaries splitting lines mid-record, must reproduce the whole-text
+  // parse record for record.
+  std::vector<BgpUpdate> updates;
+  for (std::int64_t t = 0; t < 100; ++t) {
+    updates.push_back(t % 7 == 6 ? Withdraw(t, static_cast<SessionId>(t % 3), "10.0.0.0/8")
+                                 : Announce(t, static_cast<SessionId>(t % 3), "10.0.0.0/8",
+                                            "65001 65002 65003"));
+  }
+  const std::string text = mrt::ToText(updates);
+  mrt::ParseStreamOptions options;
+  options.batch_size = 7;    // never divides 100 evenly
+  options.chunk_bytes = 13;  // splits every line mid-record
+  auto table = std::make_shared<feed::AsPathTable>();
+  const std::vector<BgpUpdate> streamed =
+      feed::Materialize(mrt::ParseStream(table, text, options));
+  EXPECT_EQ(streamed, updates);
+  EXPECT_EQ(streamed, mrt::ParseText(text));
+}
+
+TEST(Mrt, ParseStreamLenientReportsStatsThroughOptions) {
+  const std::string text =
+      "1|0|A|10.0.0.0/8|65001\n"
+      "garbage\n"
+      "2|1|W|10.0.0.0/8|\n";
+  mrt::ParseStreamOptions options;
+  options.lenient = true;
+  options.chunk_bytes = 4;
+  options.stats = std::make_shared<mrt::ParseStats>();
+  auto table = std::make_shared<feed::AsPathTable>();
+  const std::vector<BgpUpdate> streamed =
+      feed::Materialize(mrt::ParseStream(table, text, options));
+  EXPECT_EQ(streamed.size(), 2u);
+  EXPECT_EQ(options.stats->bad_lines, 1u);
+  EXPECT_EQ(options.stats->parsed, 2u);
+  ASSERT_EQ(options.stats->first_errors.size(), 1u);
+  EXPECT_NE(options.stats->first_errors[0].find("line 2"), std::string::npos);
+}
+
+TEST(Mrt, WriteStreamMatchesToText) {
+  const std::vector<BgpUpdate> updates = {
+      Announce(1, 0, "10.0.0.0/8", "65001 65002"),
+      Withdraw(2, 1, "10.0.0.0/8"),
+  };
+  std::ostringstream out;
+  auto table = std::make_shared<feed::AsPathTable>();
+  const std::size_t written =
+      mrt::WriteStream(out, feed::FromVector(table, updates, /*batch_size=*/1));
+  EXPECT_EQ(written, updates.size());
+  EXPECT_EQ(out.str(), mrt::ToText(updates));
 }
 
 TEST(Mrt, FileRoundTrip) {
