@@ -26,8 +26,11 @@
 #include "ckpt/sweep.hpp"
 #include "exec/thread_pool.hpp"
 #include "util/atomic_file.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/span.hpp"
 #include "obs/stopwatch.hpp"
 #include "obs/trace.hpp"
 #include "tor/consensus_gen.hpp"
@@ -109,6 +112,14 @@ inline void PrintComparison(util::Table& table, const std::string& metric,
 ///                            byte-identical for every value — only the
 ///                            reserved feed.* metrics reflect the batching
 ///                            (docs/ARCHITECTURE.md)
+///   --profile                enable the profiling layer: span aggregation,
+///                            the per-stage flight recorder, and a
+///                            background RSS sampler. Prints breakdown
+///                            tables and embeds "spans" / "stages"
+///                            sections (plus histogram p50/p95/p99) in the
+///                            JSON summary. Without it the JSON output is
+///                            byte-identical to a build without the
+///                            profiling layer (docs/OBSERVABILITY.md)
 ///
 /// The JSON summary separates wall-clock timing (phases / *_ms
 /// histograms) from the deterministic metric snapshot, so two seeded runs
@@ -141,6 +152,17 @@ class BenchContext {
       watchdog_ = std::make_unique<ckpt::Watchdog>(
           std::chrono::milliseconds(shard_deadline_ms_));
     }
+    if (profile_) {
+      obs::SpanRegistry::Global().Enable(true);
+      obs::FlightRecorder::Global().Enable(true);
+      obs::ResourceSampler::Options sampler_options;
+      // Overlay the streaming plane's residency/throughput next to RSS in
+      // each trace sample (names the feed data plane maintains).
+      sampler_options.counters = {"feed.batches", "feed.updates_streamed"};
+      sampler_options.gauges = {"feed.peak_resident_updates"};
+      sampler_ = std::make_unique<obs::ResourceSampler>(std::move(sampler_options));
+      sampler_->Start();
+    }
     PrintHeader(experiment_, claim_);
   }
 
@@ -157,7 +179,7 @@ class BenchContext {
   /// non-default-constructible values (Scenario, CollectorSet, ...).
   template <typename Fn>
   auto Timed(const std::string& phase, Fn&& fn) {
-    const obs::ScopedPhase trace_phase(obs::GlobalTrace(), "bench." + phase);
+    const obs::ScopedSpan span("bench." + phase);
     obs::Histogram& phase_hist =
         obs::MetricsRegistry::Global().GetHistogram("bench.phase_ms");
     const obs::Stopwatch watch;
@@ -189,8 +211,11 @@ class BenchContext {
     results_.Set(key, std::move(value));
   }
 
-  /// Writes the JSON summary (when --json was given). Call once, last.
+  /// Stops the profiling layer, prints its breakdown tables, and writes
+  /// the JSON summary (when --json was given). Call once, last.
   void Finish() {
+    if (sampler_ != nullptr) sampler_->Stop();
+    if (profile_) PrintProfile();
     if (json_path_.empty()) return;
     obs::JsonValue doc = obs::JsonValue::Object();
     doc.Set("schema", "quicksand-bench-v1");
@@ -210,7 +235,14 @@ class BenchContext {
     doc.Set("threads", static_cast<std::int64_t>(threads()));
     const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
     obs::JsonValue metrics = snapshot.ToJson();
-    for (auto& [key, value] : metrics.members()) {
+    for (const auto& [key, value] : metrics.members()) {
+      // Under --profile, histogram objects additionally carry estimated
+      // p50/p95/p99; without it the document stays byte-identical to a
+      // build without the profiling layer.
+      if (profile_ && key == "histograms") {
+        doc.Set(key, HistogramsWithQuantiles(snapshot));
+        continue;
+      }
       doc.Set(key, value);
     }
     obs::JsonValue comparisons = obs::JsonValue::Array();
@@ -223,6 +255,10 @@ class BenchContext {
     }
     doc.Set("comparisons", std::move(comparisons));
     doc.Set("results", results_);
+    if (profile_) {
+      doc.Set("spans", SpansJson());
+      doc.Set("stages", StagesJson());
+    }
     // Atomic replacement: a crash mid-Finish leaves the previous summary
     // (or nothing), never a torn JSON document.
     util::WriteFileAtomic(json_path_, doc.Dump(2) + '\n');
@@ -268,12 +304,126 @@ class BenchContext {
   /// batch size for the streaming data plane.
   [[nodiscard]] std::size_t feed_batch() const noexcept { return feed_batch_; }
 
+  /// True when --profile was given: span aggregation, the flight
+  /// recorder, and the resource sampler are live.
+  [[nodiscard]] bool profile() const noexcept { return profile_; }
+
  private:
   struct ComparisonRow {
     std::string metric;
     std::string paper;
     std::string measured;
   };
+
+  /// Prints the --profile breakdown: span aggregates, the pipeline stage
+  /// table, latency quantiles, and the sampler's memory footprint.
+  void PrintProfile() const {
+    const auto spans = obs::SpanRegistry::Global().Summary();
+    if (!spans.empty()) {
+      std::cout << "\nSpan profile (wall time, inclusive vs self):\n";
+      util::Table table({"span", "calls", "total_ms", "self_ms", "depth", "threads"});
+      for (const auto& [name, stats] : spans) {
+        table.AddRow({name, std::to_string(stats.calls),
+                      util::FormatDouble(stats.total_us / 1000.0, 3),
+                      util::FormatDouble(stats.self_us / 1000.0, 3),
+                      std::to_string(stats.max_depth),
+                      std::to_string(stats.threads)});
+      }
+      std::cout << table.Render();
+    }
+    const auto stages = obs::FlightRecorder::Global().Snapshot();
+    if (!stages.empty()) {
+      std::cout << "\nPipeline stage profile (pipeline order):\n";
+      util::Table table({"stage", "batches", "updates", "bytes", "peak_resident",
+                         "wall_ms", "self_ms"});
+      for (const auto& [name, stats] : stages) {
+        table.AddRow({name, std::to_string(stats.batches),
+                      std::to_string(stats.items), std::to_string(stats.bytes),
+                      std::to_string(stats.peak_resident),
+                      util::FormatDouble(stats.wall_us / 1000.0, 3),
+                      util::FormatDouble(stats.self_us() / 1000.0, 3)});
+      }
+      std::cout << table.Render();
+    }
+    const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+    bool any_histogram = false;
+    util::Table quantiles({"histogram", "count", "p50", "p95", "p99"});
+    for (const auto& histogram : snapshot.histograms) {
+      if (histogram.count == 0) continue;
+      any_histogram = true;
+      quantiles.AddRow({histogram.name, std::to_string(histogram.count),
+                        util::FormatDouble(obs::EstimateQuantile(histogram.buckets, 0.50), 3),
+                        util::FormatDouble(obs::EstimateQuantile(histogram.buckets, 0.95), 3),
+                        util::FormatDouble(obs::EstimateQuantile(histogram.buckets, 0.99), 3)});
+    }
+    if (any_histogram) {
+      std::cout << "\nHistogram quantiles (estimated from buckets):\n"
+                << quantiles.Render();
+    }
+    if (sampler_ != nullptr) {
+      std::cout << "\nResource sampler: peak RSS " << sampler_->peak_rss_kb()
+                << " KiB over " << sampler_->samples() << " samples\n";
+    }
+  }
+
+  /// The metrics snapshot's "histograms" object with estimated
+  /// p50/p95/p99 appended to each entry (same layout otherwise).
+  [[nodiscard]] static obs::JsonValue HistogramsWithQuantiles(
+      const obs::MetricsSnapshot& snapshot) {
+    obs::JsonValue histograms = obs::JsonValue::Object();
+    for (const auto& histogram : snapshot.histograms) {
+      obs::JsonValue entry = obs::JsonValue::Object();
+      entry.Set("count", histogram.count);
+      entry.Set("sum", histogram.sum);
+      obs::JsonValue buckets = obs::JsonValue::Array();
+      for (const obs::Histogram::Bucket& bucket : histogram.buckets) {
+        obs::JsonValue b = obs::JsonValue::Object();
+        b.Set("le", bucket.upper_bound);
+        b.Set("count", bucket.count);
+        buckets.Append(std::move(b));
+      }
+      entry.Set("buckets", std::move(buckets));
+      entry.Set("p50", obs::EstimateQuantile(histogram.buckets, 0.50));
+      entry.Set("p95", obs::EstimateQuantile(histogram.buckets, 0.95));
+      entry.Set("p99", obs::EstimateQuantile(histogram.buckets, 0.99));
+      histograms.Set(histogram.name, std::move(entry));
+    }
+    return histograms;
+  }
+
+  /// Span aggregates as a name-keyed object (wall time under _ms keys).
+  [[nodiscard]] static obs::JsonValue SpansJson() {
+    obs::JsonValue spans = obs::JsonValue::Object();
+    for (const auto& [name, stats] : obs::SpanRegistry::Global().Summary()) {
+      obs::JsonValue entry = obs::JsonValue::Object();
+      entry.Set("calls", stats.calls);
+      entry.Set("total_ms", stats.total_us / 1000.0);
+      entry.Set("self_ms", stats.self_us / 1000.0);
+      entry.Set("max_depth", static_cast<std::int64_t>(stats.max_depth));
+      entry.Set("threads", stats.threads);
+      spans.Set(name, std::move(entry));
+    }
+    return spans;
+  }
+
+  /// Flight-recorder stages in pipeline order. Everything except the _ms
+  /// fields is a pure function of feed content + batch-size knobs, so the
+  /// determinism checker compares it across runs.
+  [[nodiscard]] static obs::JsonValue StagesJson() {
+    obs::JsonValue stages = obs::JsonValue::Array();
+    for (const auto& [name, stats] : obs::FlightRecorder::Global().Snapshot()) {
+      obs::JsonValue entry = obs::JsonValue::Object();
+      entry.Set("name", name);
+      entry.Set("batches", stats.batches);
+      entry.Set("updates", stats.items);
+      entry.Set("bytes", stats.bytes);
+      entry.Set("peak_resident_updates", stats.peak_resident);
+      entry.Set("wall_ms", stats.wall_us / 1000.0);
+      entry.Set("self_ms", stats.self_us() / 1000.0);
+      stages.Append(std::move(entry));
+    }
+    return stages;
+  }
 
   void ParseArgs(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
@@ -300,6 +450,8 @@ class BenchContext {
         shard_deadline_ms_ = ParseCount(arg, argv[++i]);
       } else if (arg == "--feed-batch" && i + 1 < argc) {
         feed_batch_ = ParseCount(arg, argv[++i]);
+      } else if (arg == "--profile") {
+        profile_ = true;
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "usage: " << argv[0] << Usage();
         std::exit(0);
@@ -328,7 +480,7 @@ class BenchContext {
   static const char* Usage() {
     return " [--json <path>] [--trace <path>] [--threads <n>]\n"
            "    [--checkpoint <dir>] [--checkpoint-every <n>] [--resume]\n"
-           "    [--shard-deadline-ms <n>] [--feed-batch <n>]\n";
+           "    [--shard-deadline-ms <n>] [--feed-batch <n>] [--profile]\n";
   }
 
   std::string experiment_;
@@ -341,8 +493,10 @@ class BenchContext {
   bool resume_ = false;
   std::size_t shard_deadline_ms_ = 0;  // 0 = watchdog disabled
   std::size_t feed_batch_ = 0;         // 0 = materialized adapters
+  bool profile_ = false;
   std::unique_ptr<ckpt::Watchdog> watchdog_;
   std::unique_ptr<obs::TraceSink> trace_;
+  std::unique_ptr<obs::ResourceSampler> sampler_;
   obs::Stopwatch total_;
   std::vector<std::pair<std::string, double>> phases_;
   std::vector<ComparisonRow> comparisons_;

@@ -306,6 +306,8 @@ int main(int argc, char** argv) {
         i + 1 < argc) {
       ours.push_back(argv[i]);
       ours.push_back(argv[++i]);
+    } else if (arg == "--profile") {
+      ours.push_back(argv[i]);
     } else {
       gbench.push_back(argv[i]);
     }

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Append quicksand-bench-v1 runs to a JSONL history ledger, and query it.
+
+Usage:
+  bench_history.py append LEDGER RUN.json [RUN.json...] [--sha SHA]
+  bench_history.py latest LEDGER EXPERIMENT [--threads N] [--sha SHA]
+  bench_history.py list LEDGER
+
+Each `append` validates the run document (same checks as
+check_bench_json.py) and writes one ledger line:
+
+  {"bench": <experiment>, "seed": <results.seed or null>,
+   "threads": <top-level threads>, "git_sha": <sha>,
+   "recorded_unix": <epoch seconds>, "doc": <the full document>}
+
+The (bench, seed, threads, git_sha) tuple keys the entry; appending the
+same tuple again records a new line (the ledger is a log, not a map —
+`latest` returns the most recent match). `--sha` overrides the sha
+recorded (CI passes the commit under test); without it the script asks
+`git rev-parse`, falling back to "unknown" outside a checkout.
+
+`latest` prints the stored document of the newest entry matching the
+experiment name (and, when given, --threads / --sha) to stdout, so it
+can be piped straight into bench_compare.py or check_bench_json.py:
+
+  bench_history.py latest BENCH_history.jsonl "Figure 3 ..." > prev.json
+  bench_compare.py run.json --baseline prev.json
+
+Exit codes: 0 success, 1 no matching entry / bad document, 2 usage.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+
+from check_bench_json import CheckError, load, validate
+
+
+def git_sha():
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"], capture_output=True,
+                             text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def entry_for(doc, sha):
+    results = doc.get("results", {})
+    seed = results.get("seed")
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        seed = None
+    return {
+        "bench": doc["experiment"],
+        "seed": seed,
+        "threads": doc.get("threads"),
+        "git_sha": sha,
+        "recorded_unix": int(time.time()),
+        "doc": doc,
+    }
+
+
+def read_ledger(path):
+    entries = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    raise CheckError(f"{path}:{lineno}: {exc}") from exc
+    except OSError as exc:
+        raise CheckError(f"{path}: {exc}") from exc
+    return entries
+
+
+def cmd_append(args):
+    sha = args.sha or git_sha()
+    lines = []
+    for run_path in args.runs:
+        doc = load(run_path)
+        validate(doc, run_path)
+        lines.append(json.dumps(entry_for(doc, sha), sort_keys=True))
+    # Single buffered write after every run validated: a bad run leaves
+    # the ledger untouched.
+    with open(args.ledger, "a", encoding="utf-8") as f:
+        for line in lines:
+            f.write(line + "\n")
+    for run_path, line in zip(args.runs, lines):
+        key = json.loads(line)
+        print(f"appended: {key['bench']!r} threads={key['threads']} "
+              f"sha={key['git_sha'][:12]} <- {run_path}")
+    return 0
+
+
+def cmd_latest(args):
+    matches = [
+        e for e in read_ledger(args.ledger)
+        if e.get("bench") == args.experiment
+        and (args.threads is None or e.get("threads") == args.threads)
+        and (args.sha is None or e.get("git_sha") == args.sha)
+    ]
+    if not matches:
+        print(f"no ledger entry for experiment {args.experiment!r}",
+              file=sys.stderr)
+        return 1
+    json.dump(matches[-1]["doc"], sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0
+
+
+def cmd_list(args):
+    for e in read_ledger(args.ledger):
+        print(f"{e.get('git_sha', '?')[:12]}  threads={e.get('threads')}  "
+              f"seed={e.get('seed')}  {e.get('bench')}")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_append = sub.add_parser("append", help="validate runs and append them")
+    p_append.add_argument("ledger")
+    p_append.add_argument("runs", nargs="+")
+    p_append.add_argument("--sha", help="record this sha instead of git HEAD")
+    p_append.set_defaults(fn=cmd_append)
+
+    p_latest = sub.add_parser("latest", help="print newest matching document")
+    p_latest.add_argument("ledger")
+    p_latest.add_argument("experiment")
+    p_latest.add_argument("--threads", type=int)
+    p_latest.add_argument("--sha")
+    p_latest.set_defaults(fn=cmd_latest)
+
+    p_list = sub.add_parser("list", help="one line per ledger entry")
+    p_list.add_argument("ledger")
+    p_list.set_defaults(fn=cmd_list)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except CheckError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        sys.exit(1)

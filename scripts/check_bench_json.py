@@ -18,15 +18,25 @@ Comparison ignores everything that is allowed to vary between runs of
 the same seed: per-phase wall times, total_wall_ms, the top-level
 "threads" field, any histogram whose name ends in "_ms" (the reserved
 wall-clock namespace), and any metric whose name starts with "exec.",
-"ckpt.", or "feed." (the reserved namespaces: thread-pool and cache
-counters legitimately depend on thread count and scheduling, checkpoint
-telemetry depends on where a run was killed, and streaming-feed
-telemetry — batch counts, peak resident updates, intern hit rates —
-depends on the chosen batch size, which is a tuning knob, not an
-output; see docs/OBSERVABILITY.md, docs/ROBUSTNESS.md, and
-docs/ARCHITECTURE.md). Everything else, including every counter,
-gauge, non-timing histogram, comparison row, and result value, must
-match exactly.
+"ckpt.", "feed.", "span.", or "prof." (the reserved namespaces:
+thread-pool and cache counters legitimately depend on thread count and
+scheduling, checkpoint telemetry depends on where a run was killed,
+streaming-feed telemetry — batch counts, peak resident updates, intern
+hit rates — depends on the chosen batch size, which is a tuning knob,
+not an output, and span/profiler telemetry is wall-clock- and
+sampler-cadence-shaped by construction; see docs/OBSERVABILITY.md,
+docs/ROBUSTNESS.md, and docs/ARCHITECTURE.md). Everything else,
+including every counter, gauge, non-timing histogram, comparison row,
+and result value, must match exactly.
+
+--profile runs add two optional sections, both validated when present:
+"spans" (per-span-name aggregates; wall times, excluded from the
+deterministic view) and "stages" (the flight recorder's per-stage
+pipeline accounting). A stage's counts — batches, updates, bytes,
+peak_resident_updates — are pure functions of the feed content and the
+batch-size knob, so the deterministic view keeps them (minus the *_ms
+fields) and two same-seed --profile runs must agree on them exactly,
+whatever their thread counts.
 
 --compare-resume applies the same deterministic view and additionally
 asserts that the second document came from a run that really resumed
@@ -123,6 +133,16 @@ def validate(doc, origin):
             fail(f"{origin}: histogram '{name}' bucket counts sum to {total}, "
                  f"count says {hist['count']}")
 
+    for name, hist in doc["histograms"].items():
+        # --profile runs append estimated quantiles; when present they
+        # must be numbers and monotone.
+        quantiles = [hist[key] for key in ("p50", "p95", "p99") if key in hist]
+        for key in ("p50", "p95", "p99"):
+            if key in hist and not is_number(hist[key]):
+                fail(f"{origin}: histogram '{name}'.{key} is not a number")
+        if quantiles != sorted(quantiles):
+            fail(f"{origin}: histogram '{name}' quantiles are not monotone")
+
     for i, row in enumerate(doc["comparisons"]):
         if not isinstance(row, dict):
             fail(f"{origin}: comparisons[{i}] is not an object")
@@ -130,20 +150,52 @@ def validate(doc, origin):
             if not isinstance(row.get(key), str):
                 fail(f"{origin}: comparisons[{i}].{key} is not a string")
 
+    if "spans" in doc:
+        if not isinstance(doc["spans"], dict):
+            fail(f"{origin}: 'spans' is not an object")
+        for name, span in doc["spans"].items():
+            if not isinstance(span, dict):
+                fail(f"{origin}: span '{name}' is not an object")
+            for key in ("calls", "max_depth", "threads"):
+                value = span.get(key)
+                if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                    fail(f"{origin}: span '{name}'.{key} is not a non-negative integer")
+            for key in ("total_ms", "self_ms"):
+                if not is_number(span.get(key)):
+                    fail(f"{origin}: span '{name}'.{key} is not a number")
+
+    if "stages" in doc:
+        if not isinstance(doc["stages"], list):
+            fail(f"{origin}: 'stages' is not an array")
+        for i, stage in enumerate(doc["stages"]):
+            if not isinstance(stage, dict):
+                fail(f"{origin}: stages[{i}] is not an object")
+            if not isinstance(stage.get("name"), str):
+                fail(f"{origin}: stages[{i}].name is not a string")
+            for key in ("batches", "updates", "bytes", "peak_resident_updates"):
+                value = stage.get(key)
+                if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                    fail(f"{origin}: stages[{i}].{key} is not a non-negative integer")
+            for key in ("wall_ms", "self_ms"):
+                if not is_number(stage.get(key)):
+                    fail(f"{origin}: stages[{i}].{key} is not a number")
+
 
 def scheduling_dependent(name):
-    """True for metrics in the reserved "exec.", "ckpt.", and "feed."
-    namespaces, whose values may vary with thread count, scheduling,
-    where in a sweep a run was killed, or the streaming batch size
-    (pool telemetry, cache hits, snapshot sizes and resume bookkeeping,
-    feed batch counts and residency gauges)."""
+    """True for metrics in the reserved "exec.", "ckpt.", "feed.",
+    "span.", and "prof." namespaces, whose values may vary with thread
+    count, scheduling, where in a sweep a run was killed, the streaming
+    batch size, or the resource sampler's cadence (pool telemetry, cache
+    hits, snapshot sizes and resume bookkeeping, feed batch counts and
+    residency gauges, span wall times, RSS samples)."""
     return (name.startswith("exec.") or name.startswith("ckpt.")
-            or name.startswith("feed."))
+            or name.startswith("feed.") or name.startswith("span.")
+            or name.startswith("prof."))
 
 
 def deterministic_view(doc):
     """The subset of a document that must be identical across same-seed runs."""
-    return {
+    view = {
         "experiment": doc["experiment"],
         "claim": doc["claim"],
         "phase_names": [p["name"] for p in doc["phases"]],
@@ -165,6 +217,14 @@ def deterministic_view(doc):
         "comparisons": doc["comparisons"],
         "results": doc["results"],
     }
+    if "stages" in doc:
+        # Stage counts are deterministic; only the wall-time fields vary.
+        view["stages"] = [
+            {key: value for key, value in stage.items()
+             if not key.endswith("_ms")}
+            for stage in doc["stages"]
+        ]
+    return view
 
 
 def diff(a, b, path=""):

@@ -14,6 +14,10 @@
 # bench: feed-driven benches run natively on the streaming data plane in
 # n-record batches instead of the materialized adapters (0 or unset =
 # materialized; output is byte-identical either way — docs/ARCHITECTURE.md).
+# Pass QUICKSAND_BENCH_PROFILE=1 to forward --profile to every bench: span
+# aggregation, the per-stage flight recorder, and the RSS sampler come on,
+# breakdown tables are printed, and the JSON grows "spans"/"stages"
+# sections plus histogram quantiles (docs/OBSERVABILITY.md).
 # micro_substrates runs with --benchmark_min_time=0.01 to keep the sweep
 # fast; drop that override for real performance numbers.
 # fault_sweep (picked up by the same glob) additionally writes
@@ -62,6 +66,9 @@ for bin in "${benches[@]}"; do
   fi
   if [[ -n "${QUICKSAND_BENCH_FEED_BATCH:-}" ]]; then
     args+=(--feed-batch "$QUICKSAND_BENCH_FEED_BATCH")
+  fi
+  if [[ "${QUICKSAND_BENCH_PROFILE:-0}" == "1" ]]; then
+    args+=(--profile)
   fi
   if [[ "$name" == "micro_substrates" ]]; then
     args+=(--benchmark_min_time=0.01)

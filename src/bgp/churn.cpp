@@ -6,6 +6,7 @@
 
 #include "exec/parallel.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/stats.hpp"
 
 namespace quicksand::bgp {
@@ -244,6 +245,7 @@ ChurnAnalyzer AnalyzeChurn(std::span<const BgpUpdate> initial_rib,
 ChurnAnalyzer AnalyzeChurnStream(feed::UpdateStream initial_rib,
                                  feed::UpdateStream updates, ChurnParams params,
                                  std::size_t threads) {
+  const obs::ScopedSpan span("bgp.churn.analyze");
   // Drain both streams serially (interning happens here, single-threaded),
   // partitioning by session and preserving each session's relative (time)
   // order. A (session, prefix) state only ever sees its own session's
@@ -273,6 +275,7 @@ ChurnAnalyzer AnalyzeChurnStream(feed::UpdateStream initial_rib,
   std::vector<ChurnAnalyzer> analyzed = exec::ParallelMap(
       threads, partitions.size(),
       [&](std::size_t i) {
+        const obs::ScopedSpan partition_span("bgp.churn.partition");
         ChurnAnalyzer analyzer(params);
         for (const feed::UpdateRec& rec : partitions[i]->first) {
           analyzer.ConsumeRecord(rec, *rib_table);

@@ -12,7 +12,7 @@
 #include "netbase/rng.hpp"
 #include "obs/logger.hpp"
 #include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+#include "obs/span.hpp"
 
 namespace quicksand::bgp {
 
@@ -127,7 +127,7 @@ std::optional<ObservationTable> MakeAlternate(
 
 GeneratedDynamics GenerateDynamics(const Topology& topology, const CollectorSet& collectors,
                                    const DynamicsParams& params) {
-  const obs::ScopedPhase trace_phase(obs::GlobalTrace(), "bgp.generate_dynamics");
+  const obs::ScopedSpan span("bgp.generate_dynamics");
   const AsGraph& graph = topology.graph;
   const std::size_t prefix_count = topology.prefix_origins.size();
   GeneratedDynamics out;

@@ -1,0 +1,103 @@
+#include "bgp/feed_profile.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/stopwatch.hpp"
+
+namespace quicksand::bgp::feed {
+
+namespace {
+
+/// Hand-off bytes for a batch: the compact record footprint, the quantity
+/// the binary codec work on the ROADMAP will shrink.
+std::uint64_t BatchBytes(const std::vector<UpdateRec>& batch) {
+  return static_cast<std::uint64_t>(batch.size()) * sizeof(UpdateRec);
+}
+
+}  // namespace
+
+UpdateStream ProfiledStream(std::string name, UpdateStream stream) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  if (!recorder.enabled()) return stream;
+  obs::FlightRecorder::Stage* cell = &recorder.GetStage(name);
+  auto inner = std::make_shared<UpdateStream>(std::move(stream));
+  auto table = inner->paths();
+  return UpdateStream(std::move(table),
+                      [inner, cell](std::vector<UpdateRec>& out) {
+                        const obs::Stopwatch watch;
+                        const bool ok = inner->Next(out);
+                        cell->AddWall(watch.ElapsedUs());
+                        if (ok) cell->AddBatch(out.size(), BatchBytes(out));
+                        return ok;
+                      });
+}
+
+FeedStage ProfiledStage(std::string name, FeedStage stage) {
+  return [name = std::move(name), stage = std::move(stage)](UpdateStream upstream) {
+    obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+    if (!recorder.enabled()) return stage(std::move(upstream));
+    obs::FlightRecorder::Stage* cell = &recorder.GetStage(name);
+
+    // Time the stage's pulls on its upstream separately, so the cell can
+    // report self = inclusive - upstream.
+    auto up = std::make_shared<UpdateStream>(std::move(upstream));
+    auto up_table = up->paths();
+    UpdateStream timed_up(std::move(up_table),
+                          [up, cell](std::vector<UpdateRec>& out) {
+                            const obs::Stopwatch watch;
+                            const bool ok = up->Next(out);
+                            cell->AddUpstream(watch.ElapsedUs());
+                            return ok;
+                          });
+
+    auto out_stream = std::make_shared<UpdateStream>(stage(std::move(timed_up)));
+    auto out_table = out_stream->paths();
+    return UpdateStream(std::move(out_table),
+                        [out_stream, cell](std::vector<UpdateRec>& batch) {
+                          const obs::Stopwatch watch;
+                          const bool ok = out_stream->Next(batch);
+                          cell->AddWall(watch.ElapsedUs());
+                          if (ok) cell->AddBatch(batch.size(), BatchBytes(batch));
+                          return ok;
+                        });
+  };
+}
+
+UpdateStream TalliedStream(UpdateStream stream, std::shared_ptr<StreamTally> tally) {
+  auto inner = std::make_shared<UpdateStream>(std::move(stream));
+  auto table = inner->paths();
+  return UpdateStream(
+      std::move(table),
+      [inner, tally = std::move(tally)](std::vector<UpdateRec>& out) {
+        const obs::Stopwatch watch;
+        const bool ok = inner->Next(out);
+        tally->wall_us.fetch_add(watch.ElapsedUs(), std::memory_order_relaxed);
+        if (ok) {
+          tally->batches.fetch_add(1, std::memory_order_relaxed);
+          tally->items.fetch_add(out.size(), std::memory_order_relaxed);
+          const auto size = static_cast<std::uint64_t>(out.size());
+          std::uint64_t peak = tally->peak_batch.load(std::memory_order_relaxed);
+          while (size > peak && !tally->peak_batch.compare_exchange_weak(
+                                    peak, size, std::memory_order_relaxed)) {
+          }
+        }
+        return ok;
+      });
+}
+
+void RecordSinkStage(const std::string& name, const StreamTally& tally,
+                     std::int64_t wall_us) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  if (!recorder.enabled()) return;
+  obs::FlightRecorder::Stage& cell = recorder.GetStage(name);
+  const std::uint64_t items = tally.items.load(std::memory_order_relaxed);
+  cell.AddWall(wall_us);
+  cell.AddUpstream(tally.wall_us.load(std::memory_order_relaxed));
+  cell.AddCounts(tally.batches.load(std::memory_order_relaxed), items,
+                 items * sizeof(UpdateRec),
+                 tally.peak_batch.load(std::memory_order_relaxed));
+}
+
+}  // namespace quicksand::bgp::feed

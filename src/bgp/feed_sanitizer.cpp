@@ -4,11 +4,13 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace quicksand::bgp {
 
 SanitizedFeed SanitizeFeed(const std::vector<BgpUpdate>& initial_rib,
                            std::vector<BgpUpdate> updates, const SanitizerParams& params) {
+  const obs::ScopedSpan span("bgp.sanitize_feed");
   SanitizedFeed result;
   if (params.repair_ordering) {
     for (std::size_t i = 1; i < updates.size(); ++i) {

@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/span.hpp"
+
 namespace quicksand::bgp {
 
 namespace {
@@ -82,6 +84,7 @@ std::vector<AsIndex> RoutingState::AsesRoutedTo(AsIndex origin) const {
 
 RoutingState ComputeRoutes(const AsGraph& graph, std::span<const OriginSpec> origins,
                            const ComputationOptions& options) {
+  const obs::ScopedSpan span("bgp.compute_routes");
   const std::size_t n = graph.AsCount();
   if (!options.tie_break_salts.empty() && options.tie_break_salts.size() != n) {
     throw std::invalid_argument("tie_break_salts size must equal AsCount");

@@ -5,7 +5,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+#include "obs/span.hpp"
 
 namespace quicksand::bgp {
 
@@ -100,7 +100,7 @@ std::vector<Prefix> AllocatePrefixes(std::uint32_t& cursor, std::size_t count, R
 }  // namespace
 
 Topology GenerateTopology(const TopologyParams& params) {
-  const obs::ScopedPhase trace_phase(obs::GlobalTrace(), "bgp.generate_topology");
+  const obs::ScopedSpan span("bgp.generate_topology");
   if (params.tier1_count == 0) {
     throw std::invalid_argument("GenerateTopology: need at least one tier-1 AS");
   }

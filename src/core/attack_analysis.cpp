@@ -6,7 +6,7 @@
 #include "exec/parallel.hpp"
 #include "netbase/rng.hpp"
 #include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+#include "obs/span.hpp"
 
 namespace quicksand::core {
 
@@ -46,7 +46,7 @@ HijackAnalysisResult AnalyzeHijack(const bgp::AsGraph& graph, const bgp::AttackS
 }
 
 DeanonResult RunCorrelationDeanonymization(const DeanonExperimentParams& params) {
-  const obs::ScopedPhase trace_phase(obs::GlobalTrace(), "core.correlation_deanon");
+  const obs::ScopedSpan span("core.correlation_deanon");
   static obs::Counter& experiments =
       obs::MetricsRegistry::Global().GetCounter("core.attack.deanon_experiments");
   experiments.Increment();

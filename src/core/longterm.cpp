@@ -3,12 +3,14 @@
 #include <stdexcept>
 
 #include "exec/parallel.hpp"
+#include "obs/span.hpp"
 #include "netbase/rng.hpp"
 
 namespace quicksand::core {
 
 LongTermResult SimulateLongTermExposure(const tor::Consensus& consensus,
                                         const LongTermParams& params) {
+  const obs::ScopedSpan span("core.longterm_exposure");
   if (params.clients == 0 || params.instances == 0) {
     throw std::invalid_argument("SimulateLongTermExposure: need clients and instances");
   }

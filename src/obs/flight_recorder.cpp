@@ -1,0 +1,34 @@
+#include "obs/flight_recorder.hpp"
+
+namespace quicksand::obs {
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+FlightRecorder::Stage& FlightRecorder::GetStage(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [stage_name, cell] : stages_) {
+    if (stage_name == name) return *cell;
+  }
+  stages_.emplace_back(std::string(name), std::make_unique<Stage>());
+  return *stages_.back().second;
+}
+
+std::vector<std::pair<std::string, StageStats>> FlightRecorder::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, StageStats>> out;
+  out.reserve(stages_.size());
+  for (const auto& [name, cell] : stages_) {
+    out.emplace_back(name, cell->Snapshot());
+  }
+  return out;
+}
+
+void FlightRecorder::Reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stages_.clear();
+}
+
+}  // namespace quicksand::obs

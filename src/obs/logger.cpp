@@ -1,6 +1,7 @@
 #include "obs/logger.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -24,6 +25,26 @@ std::atomic<int>& LevelStore() {
   return level;
 }
 
+bool ParseEnvTimestamps() {
+  const char* raw = std::getenv("QUICKSAND_LOG_NO_TS");
+  return raw == nullptr || std::string(raw) != "1";
+}
+
+std::atomic<bool>& TimestampStore() {
+  static std::atomic<bool> enabled{ParseEnvTimestamps()};
+  return enabled;
+}
+
+/// Milliseconds since the process first logged (a stable, monotonic
+/// reference; absolute wall-clock dates add nothing to a seeded run).
+double ElapsedSinceStartMs() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
 }  // namespace
 
 std::string_view ToString(LogLevel level) noexcept {
@@ -44,8 +65,24 @@ void SetGlobalLogLevel(LogLevel level) noexcept {
   LevelStore().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+bool LogTimestampsEnabled() noexcept {
+  return TimestampStore().load(std::memory_order_relaxed);
+}
+
+void SetLogTimestamps(bool enabled) noexcept {
+  TimestampStore().store(enabled, std::memory_order_relaxed);
+}
+
 void Log(LogLevel level, std::string_view component, std::string_view message) {
   if (!LogEnabled(level) || level == LogLevel::kOff) return;
+  if (LogTimestampsEnabled()) {
+    std::fprintf(stderr, "[quicksand %.*s +%.3fms] %.*s: %.*s\n",
+                 static_cast<int>(ToString(level).size()), ToString(level).data(),
+                 ElapsedSinceStartMs(),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(message.size()), message.data());
+    return;
+  }
   std::fprintf(stderr, "[quicksand %.*s] %.*s: %.*s\n",
                static_cast<int>(ToString(level).size()), ToString(level).data(),
                static_cast<int>(component.size()), component.data(),

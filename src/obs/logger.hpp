@@ -4,6 +4,13 @@
 // stays clean. Enable with the QUICKSAND_LOG environment variable
 // ("debug", "info", or "warn"); output goes to stderr.
 //
+// Each line carries the wall time since process start
+// ("[quicksand info +12.345ms] ..."), which is what makes interleaved
+// logs usable next to a --profile span waterfall. Set
+// QUICKSAND_LOG_NO_TS=1 to suppress the timestamp — two runs of a seeded
+// pipeline then produce byte-identical log output, which is how CI jobs
+// and tests diff logs.
+//
 // Guard expensive message construction at the callsite:
 //   if (obs::LogEnabled(obs::LogLevel::kDebug))
 //     obs::Log(obs::LogLevel::kDebug, "bgp.dynamics", "emitted " + ...);
@@ -27,6 +34,13 @@ enum class LogLevel : int {
 
 /// Overrides the threshold (tests, harnesses).
 void SetGlobalLogLevel(LogLevel level) noexcept;
+
+/// Whether log lines carry the "+<elapsed>ms" timestamp. Initialized once
+/// from QUICKSAND_LOG_NO_TS (set to "1" -> false, i.e. byte-diffable).
+[[nodiscard]] bool LogTimestampsEnabled() noexcept;
+
+/// Overrides the timestamp setting (tests, harnesses).
+void SetLogTimestamps(bool enabled) noexcept;
 
 /// True iff a message at `level` would be emitted.
 [[nodiscard]] inline bool LogEnabled(LogLevel level) noexcept {

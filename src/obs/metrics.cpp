@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -46,6 +47,39 @@ void Histogram::Reset() noexcept {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
 }
+
+double EstimateQuantile(const std::vector<Histogram::Bucket>& buckets, double q) {
+  std::uint64_t total = 0;
+  for (const Histogram::Bucket& bucket : buckets) total += bucket.count;
+  if (total == 0 || buckets.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  double last_finite_bound = 0.0;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const Histogram::Bucket& bucket = buckets[i];
+    const bool overflow = std::isinf(bucket.upper_bound);
+    if (!overflow) last_finite_bound = bucket.upper_bound;
+    const std::uint64_t next = cumulative + bucket.count;
+    if (static_cast<double>(next) >= target && bucket.count > 0) {
+      if (overflow) return last_finite_bound;
+      double lower;
+      if (i == 0) {
+        lower = bucket.upper_bound > 0.0 ? 0.0 : bucket.upper_bound;
+      } else {
+        lower = buckets[i - 1].upper_bound;
+      }
+      const double fraction =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(bucket.count);
+      return lower + (bucket.upper_bound - lower) * fraction;
+    }
+    cumulative = next;
+  }
+  return last_finite_bound;
+}
+
+double Histogram::Quantile(double q) const { return EstimateQuantile(Buckets(), q); }
 
 JsonValue MetricsSnapshot::ToJson() const {
   JsonValue root = JsonValue::Object();

@@ -83,6 +83,9 @@ class Histogram {
   /// Per-bucket (non-cumulative) counts, overflow bucket last.
   [[nodiscard]] std::vector<Bucket> Buckets() const;
 
+  /// Estimated q-quantile of the observations; see EstimateQuantile.
+  [[nodiscard]] double Quantile(double q) const;
+
   void Reset() noexcept;
 
  private:
@@ -91,6 +94,19 @@ class Histogram {
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0};
 };
+
+/// Estimates the q-quantile (q in [0, 1]) of a bucketed distribution by
+/// linear interpolation inside the bucket holding the target rank. The
+/// first bucket interpolates up from 0 when its bound is positive
+/// (latency-shaped data), else from the bound itself; a rank landing in
+/// the overflow bucket clamps to the last finite bound (the estimator
+/// never invents a value beyond what the buckets can support). Returns 0
+/// for an empty distribution. Pure
+/// arithmetic over the bucket counts, so deterministic inputs give
+/// deterministic quantiles — `--profile` surfaces p50/p95/p99 through
+/// this instead of dumping raw buckets.
+[[nodiscard]] double EstimateQuantile(const std::vector<Histogram::Bucket>& buckets,
+                                      double q);
 
 /// A name-sorted, point-in-time copy of every registered metric.
 struct MetricsSnapshot {

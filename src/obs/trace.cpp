@@ -39,6 +39,10 @@ class LineParser {
         event.ts_us = ParseInt();
       } else if (key == "depth") {
         event.depth = static_cast<int>(ParseInt());
+      } else if (key == "dur") {
+        event.dur_us = ParseInt();
+      } else if (key == "tid") {
+        event.tid = static_cast<int>(ParseInt());
       } else if (key == "args") {
         Expect('{');
         bool first_arg = true;
@@ -158,11 +162,25 @@ void TraceSink::Instant(std::string_view name,
   Emit(TraceEvent{std::string(name), 'i', clock_.ElapsedUs(), depth_, std::move(args)});
 }
 
+void TraceSink::Complete(std::string_view name, std::int64_t dur_us, int depth,
+                         int tid, std::vector<std::pair<std::string, std::string>> args) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent event{std::string(name), 'X', clock_.ElapsedUs() - dur_us, depth,
+                   std::move(args)};
+  event.dur_us = dur_us;
+  event.tid = tid;
+  Emit(std::move(event));
+}
+
 std::string TraceSink::ToJsonl(const TraceEvent& event) {
   std::string out = "{\"name\":\"" + JsonValue::Escape(event.name) + "\",\"ph\":\"";
   out += event.phase;
   out += "\",\"ts\":" + std::to_string(event.ts_us) +
          ",\"depth\":" + std::to_string(event.depth);
+  // Only complete events carry a duration; only span-attributed events
+  // carry a tid — omitting the defaults keeps pre-span JSONL byte-stable.
+  if (event.phase == 'X') out += ",\"dur\":" + std::to_string(event.dur_us);
+  if (event.tid != 0) out += ",\"tid\":" + std::to_string(event.tid);
   if (!event.args.empty()) {
     out += ",\"args\":{";
     for (std::size_t i = 0; i < event.args.size(); ++i) {
@@ -199,8 +217,9 @@ void TraceSink::WriteChromeTrace(const std::string& path) const {
     e.Set("name", event.name);
     e.Set("ph", std::string(1, event.phase));
     e.Set("ts", event.ts_us);
+    if (event.phase == 'X') e.Set("dur", event.dur_us);
     e.Set("pid", 1);
-    e.Set("tid", 1);
+    e.Set("tid", event.tid == 0 ? 1 : event.tid);
     if (!event.args.empty()) {
       JsonValue args = JsonValue::Object();
       for (const auto& [key, value] : event.args) args.Set(key, value);

@@ -28,10 +28,12 @@ namespace quicksand::obs {
 
 struct TraceEvent {
   std::string name;
-  char phase = 'i';        ///< 'B', 'E', or 'i' (trace_event "ph")
+  char phase = 'i';        ///< 'B', 'E', 'i', or 'X' (trace_event "ph")
   std::int64_t ts_us = 0;  ///< microseconds since sink creation
   int depth = 0;           ///< phase-nesting depth at emission
   std::vector<std::pair<std::string, std::string>> args;
+  std::int64_t dur_us = 0;  ///< duration; meaningful for 'X' complete events
+  int tid = 0;              ///< emitting thread (obs::CurrentThreadId); 0 = main
 
   friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
@@ -53,6 +55,12 @@ class TraceSink {
   /// A point event.
   void Instant(std::string_view name,
                std::vector<std::pair<std::string, std::string>> args = {});
+  /// A self-contained span ('X' complete event) that just finished: its
+  /// start timestamp is now minus `dur_us`. Unlike Begin/End pairs,
+  /// complete events from concurrent threads cannot interleave into a
+  /// torn pairing — obs::ScopedSpan emits these (see obs/span.hpp).
+  void Complete(std::string_view name, std::int64_t dur_us, int depth, int tid,
+                std::vector<std::pair<std::string, std::string>> args = {});
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
     return events_;

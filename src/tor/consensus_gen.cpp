@@ -6,7 +6,7 @@
 
 #include "netbase/rng.hpp"
 #include "obs/metrics.hpp"
-#include "obs/trace.hpp"
+#include "obs/span.hpp"
 
 namespace quicksand::tor {
 
@@ -18,7 +18,7 @@ using netbase::ZipfSampler;
 
 GeneratedConsensus GenerateConsensus(const bgp::Topology& topology,
                                      const ConsensusGenParams& params) {
-  const obs::ScopedPhase trace_phase(obs::GlobalTrace(), "tor.generate_consensus");
+  const obs::ScopedSpan span("tor.generate_consensus");
   if (params.guard_only + params.exit_only + params.guard_exit > params.total_relays) {
     throw std::invalid_argument("GenerateConsensus: flag counts exceed total relays");
   }

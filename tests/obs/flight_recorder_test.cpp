@@ -1,0 +1,92 @@
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exec/parallel.hpp"
+
+namespace quicksand::obs {
+namespace {
+
+/// Clears the process-global recorder around each test.
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::Global().Reset();
+    FlightRecorder::Global().Enable(true);
+  }
+  void TearDown() override {
+    FlightRecorder::Global().Enable(false);
+    FlightRecorder::Global().Reset();
+  }
+};
+
+TEST_F(FlightRecorderTest, RecordsBatchesAndPeak) {
+  FlightRecorder::Stage& stage = FlightRecorder::Global().GetStage("parse");
+  stage.AddBatch(100, 3200);
+  stage.AddBatch(250, 8000);
+  stage.AddBatch(50, 1600);
+  const StageStats stats = stage.Snapshot();
+  EXPECT_EQ(stats.batches, 3u);
+  EXPECT_EQ(stats.items, 400u);
+  EXPECT_EQ(stats.bytes, 12800u);
+  EXPECT_EQ(stats.peak_resident, 250u);
+}
+
+TEST_F(FlightRecorderTest, AddCountsFoldsAggregates) {
+  FlightRecorder::Stage& stage = FlightRecorder::Global().GetStage("churn");
+  stage.AddBatch(10, 320);
+  stage.AddCounts(/*batches=*/5, /*items=*/90, /*bytes=*/2880, /*peak_batch=*/40);
+  const StageStats stats = stage.Snapshot();
+  EXPECT_EQ(stats.batches, 6u);
+  EXPECT_EQ(stats.items, 100u);
+  EXPECT_EQ(stats.bytes, 3200u);
+  EXPECT_EQ(stats.peak_resident, 40u);
+}
+
+TEST_F(FlightRecorderTest, SelfTimeIsWallMinusUpstreamClampedAtZero) {
+  FlightRecorder::Stage& stage = FlightRecorder::Global().GetStage("sanitize");
+  stage.AddWall(1000);
+  stage.AddUpstream(300);
+  EXPECT_EQ(stage.Snapshot().self_us(), 700);
+  stage.AddUpstream(900);  // clock skew between nested timers
+  EXPECT_EQ(stage.Snapshot().self_us(), 0);
+}
+
+TEST_F(FlightRecorderTest, SnapshotPreservesRegistrationOrder) {
+  (void)FlightRecorder::Global().GetStage("parse");
+  (void)FlightRecorder::Global().GetStage("sanitize");
+  (void)FlightRecorder::Global().GetStage("churn");
+  // Re-requesting an existing stage must not move or duplicate it.
+  (void)FlightRecorder::Global().GetStage("parse");
+  const auto snapshot = FlightRecorder::Global().Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].first, "parse");
+  EXPECT_EQ(snapshot[1].first, "sanitize");
+  EXPECT_EQ(snapshot[2].first, "churn");
+}
+
+TEST_F(FlightRecorderTest, ResetDropsStages) {
+  (void)FlightRecorder::Global().GetStage("parse");
+  FlightRecorder::Global().Reset();
+  EXPECT_TRUE(FlightRecorder::Global().Snapshot().empty());
+}
+
+TEST_F(FlightRecorderTest, ConcurrentRecordingLosesNothing) {
+  FlightRecorder::Stage& stage = FlightRecorder::Global().GetStage("mt");
+  constexpr std::size_t kItems = 256;
+  exec::ParallelFor(4, kItems, [&stage](std::size_t i) {
+    stage.AddBatch(i + 1, 8 * (i + 1));
+  });
+  const StageStats stats = stage.Snapshot();
+  EXPECT_EQ(stats.batches, kItems);
+  EXPECT_EQ(stats.items, kItems * (kItems + 1) / 2);
+  EXPECT_EQ(stats.bytes, 8 * kItems * (kItems + 1) / 2);
+  EXPECT_EQ(stats.peak_resident, kItems);
+}
+
+TEST(FlightRecorderEnable, DisabledByDefault) {
+  EXPECT_FALSE(FlightRecorder::Global().enabled());
+}
+
+}  // namespace
+}  // namespace quicksand::obs

@@ -147,5 +147,46 @@ TEST(GlobalRegistry, IsASingleton) {
   EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
 }
 
+TEST(EstimateQuantile, InterpolatesWithinBuckets) {
+  Histogram hist({10.0, 20.0, 40.0});
+  for (int i = 0; i < 10; ++i) hist.Observe(5.0);   // bucket (0, 10]
+  for (int i = 0; i < 10; ++i) hist.Observe(15.0);  // bucket (10, 20]
+  // p50 = rank 10 of 20, the boundary between the two buckets.
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 10.0);
+  // p75 = rank 15: halfway through the second bucket.
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.75), 15.0);
+  // First bucket interpolates up from 0 for latency-shaped data.
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.25), 5.0);
+}
+
+TEST(EstimateQuantile, OverflowClampsToLastFiniteBound) {
+  Histogram hist({1.0, 2.0});
+  hist.Observe(100.0);
+  hist.Observe(200.0);
+  // Every observation is in the overflow bucket; the estimator reports
+  // the last finite bound rather than inventing a value.
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.99), 2.0);
+}
+
+TEST(EstimateQuantile, EmptyAndClampedInputs) {
+  Histogram hist({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 0.0);
+  hist.Observe(0.5);
+  EXPECT_DOUBLE_EQ(hist.Quantile(-1.0), hist.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(hist.Quantile(2.0), hist.Quantile(1.0));
+}
+
+TEST(EstimateQuantile, DeterministicForIdenticalBuckets) {
+  Histogram a({0.5, 1.0, 5.0});
+  Histogram b({0.5, 1.0, 5.0});
+  for (double v : {0.1, 0.7, 0.9, 3.0, 4.9, 0.2}) {
+    a.Observe(v);
+    b.Observe(v);
+  }
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), b.Quantile(q));
+  }
+}
+
 }  // namespace
 }  // namespace quicksand::obs

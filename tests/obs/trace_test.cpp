@@ -72,6 +72,49 @@ TEST(TraceSink, JsonlRoundTrip) {
   }
 }
 
+TEST(TraceSink, CompleteEventsRoundTrip) {
+  TraceSink sink;
+  sink.Complete("span", /*dur_us=*/1234, /*depth=*/2, /*tid=*/3, {{"k", "v"}});
+  sink.Complete("plain", /*dur_us=*/0, /*depth=*/0, /*tid=*/0);
+
+  const auto& events = sink.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_EQ(events[0].dur_us, 1234);
+  EXPECT_EQ(events[0].tid, 3);
+  // The event's ts is its start: emission time minus duration.
+  EXPECT_GE(events[1].ts_us, events[0].ts_us);
+
+  std::string jsonl;
+  for (const TraceEvent& event : events) {
+    jsonl += TraceSink::ToJsonl(event);
+    jsonl += '\n';
+  }
+  // dur is always serialized for 'X' events; tid only when attributed.
+  EXPECT_NE(jsonl.find("\"dur\":1234"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"tid\":3"), std::string::npos);
+  std::istringstream in(jsonl);
+  const std::vector<TraceEvent> parsed = TraceSink::ParseJsonl(in);
+  ASSERT_EQ(parsed.size(), events.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i], events[i]) << "event " << i;
+  }
+}
+
+TEST(TraceSink, NonSpanJsonlOmitsDurAndTid) {
+  // Pre-span serialization must stay byte-stable: B/E/i events carry no
+  // dur or tid keys, so traces from non-profiled runs are unchanged.
+  TraceSink sink;
+  sink.Begin("phase");
+  sink.Instant("tick");
+  sink.End();
+  for (const TraceEvent& event : sink.events()) {
+    const std::string line = TraceSink::ToJsonl(event);
+    EXPECT_EQ(line.find("\"dur\""), std::string::npos) << line;
+    EXPECT_EQ(line.find("\"tid\""), std::string::npos) << line;
+  }
+}
+
 TEST(TraceSink, ParseRejectsMalformedInput) {
   std::istringstream bad("not json\n");
   EXPECT_THROW((void)TraceSink::ParseJsonl(bad), std::runtime_error);
