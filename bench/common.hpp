@@ -22,6 +22,8 @@
 
 #include "bgp/collector.hpp"
 #include "bgp/dynamics_gen.hpp"
+#include "bgp/mrt.hpp"
+#include "bgp/qmrt.hpp"
 #include "bgp/topology_gen.hpp"
 #include "ckpt/sweep.hpp"
 #include "exec/thread_pool.hpp"
@@ -38,6 +40,13 @@
 #include "util/table.hpp"
 
 namespace quicksand::bench {
+
+/// Wire format a bench round-trips its feed through (--format).
+enum class FeedFormat { kText, kQmrt };
+
+[[nodiscard]] inline const char* ToString(FeedFormat format) noexcept {
+  return format == FeedFormat::kQmrt ? "qmrt" : "text";
+}
 
 /// The common measurement world.
 struct Scenario {
@@ -73,6 +82,69 @@ inline bgp::GeneratedDynamics MakeMonthOfDynamics(const Scenario& scenario,
   dp.seed = seed;
   dp.threads = threads;
   return bgp::GenerateDynamics(scenario.topology, scenario.collectors, dp);
+}
+
+/// Serializes `updates` as one whole-dump blob in the selected wire
+/// format. Both formats carry identical content (text→binary→text is a
+/// byte-identical round trip), so a bench's downstream output cannot
+/// depend on the choice — only the serialize/parse wall time does.
+inline std::string SerializeWire(FeedFormat format,
+                                 const std::vector<bgp::BgpUpdate>& updates) {
+  if (format == FeedFormat::kQmrt) return bgp::qmrt::Encode(updates);
+  return bgp::mrt::ToText(updates);
+}
+
+/// Opens `wire` (which must outlive the stream) as a chunked
+/// UpdateStream in the selected format. `batch_size` 0 keeps the default.
+inline bgp::feed::UpdateStream OpenWireStream(
+    FeedFormat format, std::shared_ptr<bgp::feed::AsPathTable> table,
+    std::string_view wire, std::size_t batch_size = 0) {
+  if (format == FeedFormat::kQmrt) {
+    bgp::qmrt::DecodeOptions options;
+    if (batch_size != 0) options.batch_size = batch_size;
+    return bgp::qmrt::DecodeStream(std::move(table), wire, options);
+  }
+  bgp::mrt::ParseStreamOptions options;
+  if (batch_size != 0) options.batch_size = batch_size;
+  return bgp::mrt::ParseStream(std::move(table), wire, options);
+}
+
+/// Bulk-parses `wire` into compact records interned in `table`: the
+/// record-plane form of OpenWireStream for consumers that want the whole
+/// feed resident anyway. QMRT takes the batch decoder (no per-batch
+/// hand-off copies); text drains the chunked parser.
+inline std::vector<bgp::feed::UpdateRec> ParseWireRecords(
+    FeedFormat format, const std::shared_ptr<bgp::feed::AsPathTable>& table,
+    std::string_view wire, std::size_t batch_size = 0) {
+  if (format == FeedFormat::kQmrt) {
+    bgp::qmrt::DecodeOptions options;
+    if (batch_size != 0) options.batch_size = batch_size;
+    return bgp::qmrt::DecodeRecords(*table, wire, options);
+  }
+  bgp::mrt::ParseStreamOptions options;
+  if (batch_size != 0) options.batch_size = batch_size;
+  auto stream = bgp::mrt::ParseStream(table, wire, options);
+  return bgp::feed::Drain(stream);
+}
+
+/// Round-trip check without materializing: true iff `records` under
+/// `table` denote exactly `updates` — every scalar field equal and every
+/// record's interned path resolving to the update's hop vector.
+[[nodiscard]] inline bool RecordsMatchUpdates(
+    const bgp::feed::AsPathTable& table,
+    const std::vector<bgp::feed::UpdateRec>& records,
+    const std::vector<bgp::BgpUpdate>& updates) {
+  if (records.size() != updates.size()) return false;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const bgp::feed::UpdateRec& r = records[i];
+    const bgp::BgpUpdate& u = updates[i];
+    if (r.time != u.time || r.session != u.session || r.type != u.type ||
+        r.prefix != u.prefix) {
+      return false;
+    }
+    if (!(table.Path(r.path) == u.path)) return false;
+  }
+  return true;
 }
 
 /// Standard bench header: what this binary reproduces.
@@ -112,6 +184,12 @@ inline void PrintComparison(util::Table& table, const std::string& metric,
 ///                            byte-identical for every value — only the
 ///                            reserved feed.* metrics reflect the batching
 ///                            (docs/ARCHITECTURE.md)
+///   --format <text|qmrt>     wire format for the bench's serialize/parse
+///                            legs: the textual MRT debug codec (default)
+///                            or the QMRT binary codec. Output is
+///                            byte-identical outside the reserved qmrt.*
+///                            and feed.* namespaces — only wall time
+///                            changes (docs/PERFORMANCE.md)
 ///   --profile                enable the profiling layer: span aggregation,
 ///                            the per-stage flight recorder, and a
 ///                            background RSS sampler. Prints breakdown
@@ -304,6 +382,9 @@ class BenchContext {
   /// batch size for the streaming data plane.
   [[nodiscard]] std::size_t feed_batch() const noexcept { return feed_batch_; }
 
+  /// --format value: the wire format for serialize/parse legs.
+  [[nodiscard]] FeedFormat format() const noexcept { return format_; }
+
   /// True when --profile was given: span aggregation, the flight
   /// recorder, and the resource sampler are live.
   [[nodiscard]] bool profile() const noexcept { return profile_; }
@@ -450,6 +531,16 @@ class BenchContext {
         shard_deadline_ms_ = ParseCount(arg, argv[++i]);
       } else if (arg == "--feed-batch" && i + 1 < argc) {
         feed_batch_ = ParseCount(arg, argv[++i]);
+      } else if (arg == "--format" && i + 1 < argc) {
+        const std::string value = argv[++i];
+        if (value == "text") {
+          format_ = FeedFormat::kText;
+        } else if (value == "qmrt") {
+          format_ = FeedFormat::kQmrt;
+        } else {
+          std::cerr << "invalid --format value: " << value << " (want text or qmrt)\n";
+          std::exit(2);
+        }
       } else if (arg == "--profile") {
         profile_ = true;
       } else if (arg == "--help" || arg == "-h") {
@@ -480,7 +571,8 @@ class BenchContext {
   static const char* Usage() {
     return " [--json <path>] [--trace <path>] [--threads <n>]\n"
            "    [--checkpoint <dir>] [--checkpoint-every <n>] [--resume]\n"
-           "    [--shard-deadline-ms <n>] [--feed-batch <n>] [--profile]\n";
+           "    [--shard-deadline-ms <n>] [--feed-batch <n>]\n"
+           "    [--format <text|qmrt>] [--profile]\n";
   }
 
   std::string experiment_;
@@ -493,6 +585,7 @@ class BenchContext {
   bool resume_ = false;
   std::size_t shard_deadline_ms_ = 0;  // 0 = watchdog disabled
   std::size_t feed_batch_ = 0;         // 0 = materialized adapters
+  FeedFormat format_ = FeedFormat::kText;
   bool profile_ = false;
   std::unique_ptr<ckpt::Watchdog> watchdog_;
   std::unique_ptr<obs::TraceSink> trace_;

@@ -4,7 +4,8 @@
 // (ratio greater than one) on a session", with a heavy tail (one prefix
 // at >2000x the median).
 //
-// Pipeline: month of synthetic updates -> feed sanitizing (ordering
+// Pipeline: month of synthetic updates -> wire round trip in the
+// --format codec (MRT text or binary QMRT) -> feed sanitizing (ordering
 // repair + session-reset filtering; the ablation reports unfiltered
 // numbers too) -> churn analysis -> ratio CCDF. Writes fig3_left.csv.
 
@@ -16,7 +17,6 @@
 #include "bgp/feed.hpp"
 #include "bgp/feed_profile.hpp"
 #include "bgp/feed_sanitizer.hpp"
-#include "bgp/mrt.hpp"
 #include "ckpt/sweep.hpp"
 #include "common.hpp"
 #include "core/report.hpp"
@@ -27,41 +27,40 @@ namespace {
 
 using namespace quicksand;
 
-/// Runs the churn analysis either through the classic materialized
-/// adapter (feed_batch == 0) or natively on the streaming data plane in
-/// `feed_batch`-record chunks. Results are identical either way (the
-/// adapter IS the stream; see docs/ARCHITECTURE.md) — the --feed-batch
-/// smoke in CI holds both modes to that.
-bgp::ChurnAnalyzer Analyze(const std::vector<bgp::BgpUpdate>& initial_rib,
-                           const std::vector<bgp::BgpUpdate>& updates,
+/// Runs the churn analysis on the streaming data plane over records that
+/// already index `table`. Results are identical to the materialized
+/// AnalyzeChurn (the adapter IS the stream; see docs/ARCHITECTURE.md) —
+/// the --feed-batch smoke in CI holds both planes to that.
+bgp::ChurnAnalyzer Analyze(const std::shared_ptr<bgp::feed::AsPathTable>& table,
+                           const std::vector<bgp::BgpUpdate>& initial_rib,
+                           const std::vector<bgp::feed::UpdateRec>& updates,
                            std::size_t threads, std::size_t feed_batch) {
-  if (feed_batch == 0) return bgp::AnalyzeChurn(initial_rib, updates, {}, threads);
-  auto table = std::make_shared<bgp::feed::AsPathTable>();
-  return bgp::AnalyzeChurnStream(bgp::feed::FromVector(table, initial_rib, feed_batch),
-                                 bgp::feed::FromVector(table, updates, feed_batch), {},
+  const std::size_t batch =
+      feed_batch != 0 ? feed_batch : bgp::feed::kDefaultBatchSize;
+  return bgp::AnalyzeChurnStream(bgp::feed::FromVector(table, initial_rib, batch),
+                                 bgp::feed::FromRecords(table, updates, batch), {},
                                  threads);
 }
 
 /// The --profile variant of the filtered pass: the full parse -> sanitize
 /// -> churn pipeline on the streaming data plane, with each stage wrapped
-/// in the flight recorder. The month of updates is serialized to MRT text
-/// first so the parse stage does real work; the text round-trip is exact,
-/// so the ratios match the materialized path. Stage counts (batches,
-/// updates, peak residency) depend only on the feed content and the batch
-/// size — never on `threads` — which is what CI's t1-vs-t4 stage
-/// comparison holds them to.
+/// in the flight recorder. The month of updates is serialized in the
+/// selected wire format first so the parse stage does real work; both
+/// formats round-trip exactly, so the ratios match the materialized path.
+/// Stage counts (batches, updates, peak residency) depend only on the
+/// feed content and the batch size — never on `threads` or the format —
+/// which is what CI's t1-vs-t4 stage comparison holds them to.
 std::vector<double> ProfiledFilteredRatios(const bench::Scenario& scenario,
                                            const bgp::GeneratedDynamics& dynamics,
+                                           bench::FeedFormat format,
                                            std::size_t threads,
                                            std::size_t feed_batch) {
   const std::size_t batch =
       feed_batch != 0 ? feed_batch : bgp::feed::kDefaultBatchSize;
-  const std::string text = bgp::mrt::ToText(dynamics.updates);
+  const std::string wire = bench::SerializeWire(format, dynamics.updates);
   auto table = std::make_shared<bgp::feed::AsPathTable>();
-  bgp::mrt::ParseStreamOptions options;
-  options.batch_size = batch;
   bgp::feed::UpdateStream parsed = bgp::feed::ProfiledStream(
-      "parse", bgp::mrt::ParseStream(table, text, options));
+      "parse", bench::OpenWireStream(format, table, wire, batch));
   bgp::feed::FeedStage sanitize = bgp::feed::ProfiledStage(
       "sanitize",
       bgp::SanitizeStage(dynamics.initial_rib, {}, nullptr, batch));
@@ -80,10 +79,12 @@ std::vector<double> ProfiledFilteredRatios(const bench::Scenario& scenario,
 }
 
 std::vector<double> RatiosFromStream(const bench::Scenario& scenario,
+                                     const std::shared_ptr<bgp::feed::AsPathTable>& table,
                                      const std::vector<bgp::BgpUpdate>& initial_rib,
-                                     const std::vector<bgp::BgpUpdate>& updates,
+                                     const std::vector<bgp::feed::UpdateRec>& updates,
                                      std::size_t threads, std::size_t feed_batch) {
-  const bgp::ChurnAnalyzer analyzer = Analyze(initial_rib, updates, threads, feed_batch);
+  const bgp::ChurnAnalyzer analyzer =
+      Analyze(table, initial_rib, updates, threads, feed_batch);
   return analyzer.RatioToSessionMedian(
       scenario.prefix_map.TorPrefixes(scenario.consensus.consensus));
 }
@@ -104,8 +105,39 @@ int main(int argc, char** argv) {
   std::cout << "  dataset: " << dynamics.updates.size() << " updates on "
             << scenario.collectors.SessionCount() << " sessions over one month\n";
 
+  // The month of updates round-trips through the selected wire format —
+  // the shape of a real collector pipeline (dump -> parse -> analyze).
+  // Wire size is format-dependent and so stays out of the deterministic
+  // JSON; the parsed feed is asserted identical to the generated one, so
+  // everything downstream is format-independent by construction.
+  const std::string wire = ctx.Timed("serialize", [&] {
+    return bench::SerializeWire(ctx.format(), dynamics.updates);
+  });
+  std::cout << "  wire: " << wire.size() << " bytes as "
+            << bench::ToString(ctx.format()) << "\n";
+  // Parse and everything downstream stay on the record plane: one shared
+  // AsPathTable, updates as 24-byte records, hop vectors touched only
+  // where a path is first interned.
+  auto table = std::make_shared<bgp::feed::AsPathTable>();
+  const std::vector<bgp::feed::UpdateRec> parsed = ctx.Timed("parse", [&] {
+    return bench::ParseWireRecords(ctx.format(), table, wire, ctx.feed_batch());
+  });
+  if (!bench::RecordsMatchUpdates(*table, parsed, dynamics.updates)) {
+    std::cerr << "wire round trip diverged from the generated feed\n";
+    return 1;
+  }
+
+  // The t=0 tables, interned after the parse so the wire source keeps the
+  // ids it assigned. The copy of `parsed` exists only because the
+  // ablation below also analyzes the unfiltered feed.
+  std::vector<bgp::feed::UpdateRec> rib_recs;
+  rib_recs.reserve(dynamics.initial_rib.size());
+  for (const bgp::BgpUpdate& u : dynamics.initial_rib) {
+    rib_recs.push_back(bgp::feed::ToRecord(u, *table));
+  }
+  std::vector<bgp::feed::UpdateRec> to_sanitize = parsed;
   const auto filtered = ctx.Timed("sanitize", [&] {
-    return bgp::SanitizeFeed(dynamics.initial_rib, dynamics.updates);
+    return bgp::SanitizeRecords(rib_recs, std::move(to_sanitize));
   });
   std::cout << "  sanitizer: " << filtered.reset_stats.bursts_detected << " bursts, "
             << filtered.reset_stats.burst_updates_removed << " burst updates and "
@@ -125,11 +157,11 @@ int main(int argc, char** argv) {
           // sanitize -> churn pipeline so the stage table has all three
           // rows; the ratios are identical either way.
           if (shard == 0 && ctx.profile()) {
-            return ProfiledFilteredRatios(scenario, dynamics, ctx.threads(),
-                                          ctx.feed_batch());
+            return ProfiledFilteredRatios(scenario, dynamics, ctx.format(),
+                                          ctx.threads(), ctx.feed_batch());
           }
-          return RatiosFromStream(scenario, dynamics.initial_rib,
-                                  shard == 0 ? filtered.updates : dynamics.updates,
+          return RatiosFromStream(scenario, table, dynamics.initial_rib,
+                                  shard == 0 ? filtered.updates : parsed,
                                   ctx.threads(), ctx.feed_batch());
         },
         [](const std::vector<double>& ratios, ckpt::PayloadWriter& payload) {
@@ -173,8 +205,9 @@ int main(int argc, char** argv) {
   ctx.Comparison(
       comparison, "Tor prefixes above median on >=1 session", "90%", [&] {
         // Group ratios per prefix across sessions via a second pass.
-        const bgp::ChurnAnalyzer analyzer = Analyze(
-            dynamics.initial_rib, filtered.updates, ctx.threads(), ctx.feed_batch());
+        const bgp::ChurnAnalyzer analyzer =
+            Analyze(table, dynamics.initial_rib, filtered.updates, ctx.threads(),
+                    ctx.feed_batch());
         const auto tor_prefixes =
             scenario.prefix_map.TorPrefixes(scenario.consensus.consensus);
         std::map<bgp::SessionId, double> medians;

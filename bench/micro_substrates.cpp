@@ -16,6 +16,7 @@
 #include "bgp/hijack.hpp"
 #include "common.hpp"
 #include "bgp/mrt.hpp"
+#include "bgp/qmrt.hpp"
 #include "bgp/route_cache.hpp"
 #include "bgp/route_computation.hpp"
 #include "bgp/topology_gen.hpp"
@@ -207,6 +208,38 @@ void BM_FeedStreamChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_FeedStreamChurn)->Arg(256)->Arg(4096);
 
+void BM_QmrtEncode(benchmark::State& state) {
+  static const std::vector<bgp::BgpUpdate> feed = MakeSyntheticFeed(20000);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string wire = bgp::qmrt::Encode(feed);
+    bytes = wire.size();
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetLabel("20k updates -> " + std::to_string(bytes) + "B binary");
+}
+BENCHMARK(BM_QmrtEncode);
+
+void BM_QmrtStreamDecode(benchmark::State& state) {
+  // Mirror of BM_MrtStreamParse on the binary codec: same synthetic feed,
+  // same streamed-batch shape, so the two labels read as a direct
+  // text-vs-binary parse comparison (docs/PERFORMANCE.md).
+  static const std::string wire = bgp::qmrt::Encode(MakeSyntheticFeed(20000));
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    bgp::qmrt::DecodeOptions options;
+    options.batch_size = batch;
+    bgp::feed::UpdateStream stream = bgp::qmrt::DecodeStream(
+        std::make_shared<bgp::feed::AsPathTable>(), wire, options);
+    std::vector<bgp::feed::UpdateRec> recs;
+    std::size_t decoded = 0;
+    while (stream.Next(recs)) decoded += recs.size();
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetLabel("batch=" + std::to_string(batch) + ", 20k updates");
+}
+BENCHMARK(BM_QmrtStreamDecode)->Arg(256)->Arg(4096);
+
 void BM_MrtParseLine(benchmark::State& state) {
   const std::string line = "1714521600|12|A|78.46.0.0/15|701 3356 1299 24940";
   for (auto _ : state) {
@@ -302,7 +335,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if ((arg == "--json" || arg == "--trace" || arg == "--threads" ||
-         arg == "--feed-batch") &&
+         arg == "--feed-batch" || arg == "--format") &&
         i + 1 < argc) {
       ours.push_back(argv[i]);
       ours.push_back(argv[++i]);
@@ -324,7 +357,8 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
 
   // Streaming residency contract: after the BM_FeedStreamChurn /
-  // BM_MrtStreamParse cases streamed tens of thousands of updates, the
+  // BM_MrtStreamParse / BM_QmrtStreamDecode cases streamed tens of
+  // thousands of updates, the
   // feed.peak_resident_updates gauge — the largest batch any stream ever
   // held — must be bounded by the configured batch size (4096 at most
   // here), NOT the 20k feed length. This is the property that lets the

@@ -183,14 +183,15 @@ def validate(doc, origin):
 
 def scheduling_dependent(name):
     """True for metrics in the reserved "exec.", "ckpt.", "feed.",
-    "span.", and "prof." namespaces, whose values may vary with thread
-    count, scheduling, where in a sweep a run was killed, the streaming
-    batch size, or the resource sampler's cadence (pool telemetry, cache
-    hits, snapshot sizes and resume bookkeeping, feed batch counts and
-    residency gauges, span wall times, RSS samples)."""
+    "span.", "prof.", and "qmrt." namespaces, whose values may vary with
+    thread count, scheduling, where in a sweep a run was killed, the
+    streaming batch size, the selected wire format, or the resource
+    sampler's cadence (pool telemetry, cache hits, snapshot sizes and
+    resume bookkeeping, feed batch counts and residency gauges, span wall
+    times, RSS samples, binary codec block/byte volumes)."""
     return (name.startswith("exec.") or name.startswith("ckpt.")
             or name.startswith("feed.") or name.startswith("span.")
-            or name.startswith("prof."))
+            or name.startswith("prof.") or name.startswith("qmrt."))
 
 
 def deterministic_view(doc):

@@ -14,6 +14,11 @@
 # bench: feed-driven benches run natively on the streaming data plane in
 # n-record batches instead of the materialized adapters (0 or unset =
 # materialized; output is byte-identical either way — docs/ARCHITECTURE.md).
+# Pass QUICKSAND_BENCH_FORMAT=<text|qmrt> to forward --format to every
+# bench: benches with a wire round trip serialize/parse their feed through
+# the textual MRT codec or the binary QMRT codec (unset = text; outputs
+# outside the reserved qmrt.* namespace are byte-identical either way —
+# docs/ARCHITECTURE.md "Wire formats").
 # Pass QUICKSAND_BENCH_PROFILE=1 to forward --profile to every bench: span
 # aggregation, the per-stage flight recorder, and the RSS sampler come on,
 # breakdown tables are printed, and the JSON grows "spans"/"stages"
@@ -66,6 +71,9 @@ for bin in "${benches[@]}"; do
   fi
   if [[ -n "${QUICKSAND_BENCH_FEED_BATCH:-}" ]]; then
     args+=(--feed-batch "$QUICKSAND_BENCH_FEED_BATCH")
+  fi
+  if [[ -n "${QUICKSAND_BENCH_FORMAT:-}" ]]; then
+    args+=(--format "$QUICKSAND_BENCH_FORMAT")
   fi
   if [[ "${QUICKSAND_BENCH_PROFILE:-0}" == "1" ]]; then
     args+=(--profile)

@@ -8,6 +8,7 @@
 
 #include "bgp/route_cache.hpp"
 #include "bgp/route_computation.hpp"
+#include "bgp/sharded_routes.hpp"
 #include "exec/parallel.hpp"
 #include "netbase/rng.hpp"
 #include "obs/logger.hpp"
@@ -154,10 +155,15 @@ GeneratedDynamics GenerateDynamics(const Topology& topology, const CollectorSet&
       distinct_origins.push_back(po.origin);
     }
   }
+  ShardedRouteOptions shard_options;
+  shard_options.threads = params.threads;
+  shard_options.cache = &cache;
+  const std::vector<std::shared_ptr<const RoutingState>> baseline_states =
+      ShardedComputeRoutes(graph, std::span<const AsNumber>(distinct_origins),
+                           shard_options);
   const std::vector<ObservationTable> baselines = exec::ParallelMap(
       params.threads, distinct_origins.size(), [&](std::size_t i) {
-        const auto state = cache.GetOrCompute(graph, distinct_origins[i]);
-        return ObserveAll(collectors, graph, *state);
+        return ObserveAll(collectors, graph, *baseline_states[i]);
       });
 
   // Per-prefix generation. Each task reads shared immutable state plus its

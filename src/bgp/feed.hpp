@@ -69,8 +69,17 @@ class AsPathTable {
   /// Returns the id of `path`, interning it on first sight. Sets `*hit`
   /// (when non-null) to true iff the path was already interned.
   /// Maintains the `feed.intern.hits` / `feed.intern.misses` counters and
-  /// the `feed.paths_interned` gauge.
+  /// the `feed.paths_interned` / `feed.intern.bytes` gauges.
   PathId Intern(const AsPath& path, bool* hit = nullptr);
+
+  /// Pre-reserves index buckets for `expected_paths` distinct paths, so a
+  /// source that knows its path population (a QMRT block table, a sized
+  /// scenario) interns without rehash churn. Never shrinks.
+  void Reserve(std::size_t expected_paths);
+
+  /// Approximate heap footprint of the interned entries and their index —
+  /// the value the `feed.intern.bytes` gauge reports.
+  [[nodiscard]] std::size_t ApproxBytes() const noexcept { return approx_bytes_; }
 
   [[nodiscard]] const AsPath& Path(PathId id) const { return entries_[id].path; }
 
@@ -102,6 +111,7 @@ class AsPathTable {
   // deque: entry references stay valid while the table grows.
   std::deque<Entry> entries_;
   std::unordered_map<AsPath, PathId> index_;
+  std::size_t approx_bytes_ = 0;
 };
 
 /// One update on the stream: BgpUpdate with the owning AsPath replaced by
@@ -121,6 +131,11 @@ struct UpdateRec {
 
 /// Interns `update.path` into `table` and returns the compact record.
 [[nodiscard]] UpdateRec ToRecord(const BgpUpdate& update, AsPathTable& table);
+
+/// Stable sort by (time, session, prefix) — SortUpdates on the record
+/// plane. The path is not part of the key in either form, so both sorts
+/// produce the same permutation of the same feed.
+void SortRecords(std::vector<UpdateRec>& records);
 
 /// A pull-based chunked stream of UpdateRec batches.
 ///

@@ -29,6 +29,29 @@ SanitizedFeed SanitizeFeed(const std::vector<BgpUpdate>& initial_rib,
   return result;
 }
 
+SanitizedRecords SanitizeRecords(const std::vector<feed::UpdateRec>& initial_rib,
+                                 std::vector<feed::UpdateRec> updates,
+                                 const SanitizerParams& params) {
+  const obs::ScopedSpan span("bgp.sanitize_feed");
+  SanitizedRecords result;
+  if (params.repair_ordering) {
+    for (std::size_t i = 1; i < updates.size(); ++i) {
+      if (updates[i].time < updates[i - 1].time) ++result.out_of_order_repaired;
+    }
+    if (result.out_of_order_repaired > 0) {
+      feed::SortRecords(updates);
+      obs::MetricsRegistry::Global()
+          .GetCounter("bgp.sanitizer.out_of_order_repaired")
+          .Increment(result.out_of_order_repaired);
+    }
+  }
+  FilteredRecords filtered =
+      FilterSessionRecords(initial_rib, std::move(updates), params.reset);
+  result.updates = std::move(filtered.updates);
+  result.reset_stats = filtered.stats;
+  return result;
+}
+
 feed::FeedStage SanitizeStage(std::vector<BgpUpdate> initial_rib, SanitizerParams params,
                               std::shared_ptr<SanitizeStageStats> stats,
                               std::size_t batch_size) {
@@ -44,7 +67,7 @@ feed::FeedStage SanitizeStage(std::vector<BgpUpdate> initial_rib, SanitizerParam
       std::shared_ptr<SanitizeStageStats> stats;
       feed::UpdateStream upstream;
       bool drained = false;
-      std::vector<feed::UpdateRec> records;  ///< sanitized, re-interned
+      std::vector<feed::UpdateRec> records;  ///< sanitized
       std::size_t next = 0;
     };
     auto table = upstream.paths();
@@ -58,17 +81,26 @@ feed::FeedStage SanitizeStage(std::vector<BgpUpdate> initial_rib, SanitizerParam
         std::move(table),
         [state = std::move(state), raw_table, batch_size](std::vector<feed::UpdateRec>& out) {
           if (!state->drained) {
-            // Lazy whole-feed transform on first pull.
-            SanitizedFeed sanitized = SanitizeFeed(
-                *state->rib, feed::Materialize(std::move(state->upstream)), state->params);
+            // Lazy whole-feed transform on first pull, entirely on the
+            // record plane: the upstream's records already index the
+            // stream table, the RIB is interned into that same table, and
+            // the sanitized records are re-emitted as-is — no
+            // materialization and no re-interning round trip.
+            std::vector<feed::UpdateRec> drained = feed::Drain(state->upstream);
+            // Intern the RIB only after the drain so stream records keep
+            // the ids the source assigned them.
+            std::vector<feed::UpdateRec> rib_recs;
+            rib_recs.reserve(state->rib->size());
+            for (const BgpUpdate& u : *state->rib) {
+              rib_recs.push_back(feed::ToRecord(u, *raw_table));
+            }
+            SanitizedRecords sanitized =
+                SanitizeRecords(rib_recs, std::move(drained), state->params);
             if (state->stats) {
               state->stats->reset_stats = sanitized.reset_stats;
               state->stats->out_of_order_repaired = sanitized.out_of_order_repaired;
             }
-            state->records.reserve(sanitized.updates.size());
-            for (const BgpUpdate& u : sanitized.updates) {
-              state->records.push_back(feed::ToRecord(u, *raw_table));
-            }
+            state->records = std::move(sanitized.updates);
             state->drained = true;
           }
           if (state->next >= state->records.size()) return false;

@@ -50,6 +50,23 @@ struct SanitizedFeed {
                                          std::vector<BgpUpdate> updates,
                                          const SanitizerParams& params = {});
 
+/// A cleaned record stream plus everything the sanitizer did to it.
+struct SanitizedRecords {
+  std::vector<feed::UpdateRec> updates;
+  ResetFilterStats reset_stats;
+  /// Input adjacencies that violated time order and were repaired.
+  std::size_t out_of_order_repaired = 0;
+};
+
+/// Record-plane SanitizeFeed: ordering repair (SortRecords) followed by
+/// FilterSessionRecords, never touching a hop vector. REQUIRES that
+/// `initial_rib` and `updates` index the same AsPathTable (see
+/// FilterSessionRecords). Emits the record sequence SanitizeFeed would
+/// emit on the materialized feed, with the same metrics.
+[[nodiscard]] SanitizedRecords SanitizeRecords(
+    const std::vector<feed::UpdateRec>& initial_rib,
+    std::vector<feed::UpdateRec> updates, const SanitizerParams& params = {});
+
 /// What the stage form did to the feed (filled once the stage's output
 /// stream is first pulled).
 struct SanitizeStageStats {

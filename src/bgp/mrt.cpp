@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "util/errno_context.hpp"
 
 namespace quicksand::bgp::mrt {
 
@@ -266,14 +267,19 @@ feed::UpdateStream ParseStream(std::shared_ptr<feed::AsPathTable> table,
 feed::UpdateStream ParseFileStream(std::shared_ptr<feed::AsPathTable> table,
                                    std::string path, ParseStreamOptions options) {
   auto in = std::make_shared<std::ifstream>(path, std::ios::binary);
-  if (!*in) throw std::runtime_error("mrt: cannot open '" + path + "'");
+  if (!*in) {
+    throw std::runtime_error("mrt: cannot open '" + path + "': " + util::ErrnoDetail());
+  }
   const std::size_t chunk_bytes = options.chunk_bytes == 0 ? 1 : options.chunk_bytes;
   return MakeParserStream(
       std::move(table), options,
       [in = std::move(in), chunk_bytes, path = std::move(path)](std::string& chunk) {
         chunk.resize(chunk_bytes);
         in->read(chunk.data(), static_cast<std::streamsize>(chunk_bytes));
-        if (in->bad()) throw std::runtime_error("mrt: read failed for '" + path + "'");
+        if (in->bad()) {
+          throw std::runtime_error("mrt: read failed for '" + path +
+                                   "': " + util::ErrnoDetail());
+        }
         const auto got = static_cast<std::size_t>(in->gcount());
         chunk.resize(got);
         return got > 0;
@@ -300,22 +306,32 @@ std::size_t WriteStream(std::ostream& out, feed::UpdateStream stream) {
 
 void WriteFile(const std::string& path, const std::vector<BgpUpdate>& updates) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("mrt: cannot open '" + path + "' for writing");
+  if (!out) {
+    throw std::runtime_error("mrt: cannot open '" + path +
+                             "' for writing: " + util::ErrnoDetail());
+  }
   StreamWriter writer(out);
   for (const BgpUpdate& u : updates) writer.Write(u);
-  if (!out) throw std::runtime_error("mrt: write failed for '" + path + "'");
+  if (!out) {
+    throw std::runtime_error("mrt: write failed for '" + path + "': " + util::ErrnoDetail());
+  }
 }
 
 std::vector<BgpUpdate> ReadFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("mrt: cannot open '" + path + "'");
+  if (!in) {
+    throw std::runtime_error("mrt: cannot open '" + path + "': " + util::ErrnoDetail());
+  }
   std::vector<BgpUpdate> out;
   StreamParser parser;
   std::string chunk;
   while (true) {
     chunk.resize(kFileChunkBytes);
     in.read(chunk.data(), static_cast<std::streamsize>(kFileChunkBytes));
-    if (in.bad()) throw std::runtime_error("mrt: read failed for '" + path + "'");
+    if (in.bad()) {
+      throw std::runtime_error("mrt: read failed for '" + path +
+                               "': " + util::ErrnoDetail());
+    }
     const auto got = static_cast<std::size_t>(in.gcount());
     if (got == 0) break;
     chunk.resize(got);

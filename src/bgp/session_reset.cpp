@@ -4,14 +4,54 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include <map>
+#include <iterator>
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 namespace quicksand::bgp {
 
 namespace {
+
+/// A prefix packed into 38 bits: network address in the high word, length
+/// in the low 6 bits. Ascending packed order is exactly Prefix's
+/// lexicographic (network, length) order.
+std::uint64_t PackPrefix(const netbase::Prefix& p) noexcept {
+  return (std::uint64_t{p.network().value()} << 6) |
+         static_cast<std::uint64_t>(p.length());
+}
+
+/// Session ids below this use dense vectors for the per-session lookaside
+/// tables (the CollectorSet contract numbers sessions densely from 0);
+/// anything larger — hostile or synthetic ids parsed from text — falls
+/// back to hashing so a single huge id cannot force a giant allocation.
+constexpr SessionId kDenseSessionLimit = 1u << 22;
+
+/// Per-session lookaside: vector indexed by session id in the dense
+/// (normal) case, hash map in the sparse fallback. operator[] value-
+/// initializes on first touch in both modes, like unordered_map.
+template <typename V>
+class PerSession {
+ public:
+  explicit PerSession(SessionId max_session) {
+    if (max_session < kDenseSessionLimit) {
+      dense_.resize(static_cast<std::size_t>(max_session) + 1);
+    } else {
+      use_map_ = true;
+    }
+  }
+
+  V& operator[](SessionId session) {
+    if (!use_map_) return dense_[session];
+    return map_[session];
+  }
+
+ private:
+  std::vector<V> dense_;
+  std::unordered_map<SessionId, V> map_;
+  bool use_map_ = false;
+};
 
 struct BurstInterval {
   std::int64_t begin = 0;
@@ -19,26 +59,31 @@ struct BurstInterval {
 };
 
 /// Detects table-transfer bursts per session with a sliding window over
-/// announcement timestamps.
-std::unordered_map<SessionId, std::vector<BurstInterval>> DetectBursts(
-    const std::vector<BgpUpdate>& updates,
-    const std::unordered_map<SessionId, std::size_t>& table_sizes,
-    const ResetFilterParams& params) {
-  std::unordered_map<SessionId, std::vector<std::int64_t>> announce_times;
-  for (const BgpUpdate& u : updates) {
-    if (u.type == UpdateType::kAnnounce) {
-      announce_times[u.session].push_back(u.time.seconds);
-    }
+/// announcement timestamps. Works on either update plane: it only reads
+/// the (time, session, type) fields common to BgpUpdate and UpdateRec.
+/// Fills `bursts` (empty vector = no bursts for that session) and appends
+/// every session owning at least one interval to `burst_sessions`.
+template <typename UpdateT>
+void DetectBursts(const std::vector<UpdateT>& updates,
+                  PerSession<std::size_t>& table_sizes, SessionId max_session,
+                  const ResetFilterParams& params,
+                  PerSession<std::vector<BurstInterval>>& bursts,
+                  std::vector<SessionId>& burst_sessions) {
+  PerSession<std::vector<std::int64_t>> announce_times(max_session);
+  std::vector<SessionId> announce_sessions;
+  for (const UpdateT& u : updates) {
+    if (u.type != UpdateType::kAnnounce) continue;
+    std::vector<std::int64_t>& times = announce_times[u.session];
+    if (times.empty()) announce_sessions.push_back(u.session);
+    times.push_back(u.time.seconds);
   }
 
-  std::unordered_map<SessionId, std::vector<BurstInterval>> bursts;
-  for (auto& [session, times] : announce_times) {
-    std::size_t threshold = params.min_burst_updates;
-    if (auto it = table_sizes.find(session); it != table_sizes.end()) {
-      threshold = std::max(threshold,
-                           static_cast<std::size_t>(params.burst_table_fraction *
-                                                    static_cast<double>(it->second)));
-    }
+  for (const SessionId session : announce_sessions) {
+    const std::vector<std::int64_t>& times = announce_times[session];
+    const std::size_t threshold = std::max(
+        params.min_burst_updates,
+        static_cast<std::size_t>(params.burst_table_fraction *
+                                 static_cast<double>(table_sizes[session])));
     std::vector<BurstInterval>& intervals = bursts[session];
     std::size_t left = 0;
     for (std::size_t right = 0; right < times.size(); ++right) {
@@ -53,61 +98,176 @@ std::unordered_map<SessionId, std::vector<BurstInterval>> DetectBursts(
         }
       }
     }
-    if (intervals.empty()) bursts.erase(session);
+    if (!intervals.empty()) burst_sessions.push_back(session);
   }
-  return bursts;
 }
 
-bool InBurst(const std::vector<BurstInterval>* intervals, std::int64_t t,
+bool InBurst(const std::vector<BurstInterval>& intervals, std::int64_t t,
              std::size_t& cursor) {
-  if (intervals == nullptr) return false;
-  while (cursor < intervals->size() && (*intervals)[cursor].end < t) ++cursor;
-  return cursor < intervals->size() && (*intervals)[cursor].begin <= t;
+  while (cursor < intervals.size() && intervals[cursor].end < t) ++cursor;
+  return cursor < intervals.size() && intervals[cursor].begin <= t;
 }
 
-}  // namespace
+/// Canonical (time, session, prefix) stable sort, either plane. The path
+/// is deliberately not part of the key, so both instantiations reproduce
+/// the exact permutation SortUpdates has always produced.
+void CanonicalSort(std::vector<BgpUpdate>& updates) { SortUpdates(updates); }
+void CanonicalSort(std::vector<feed::UpdateRec>& records) {
+  feed::SortRecords(records);
+}
 
-FilteredUpdates FilterSessionResets(const std::vector<BgpUpdate>& initial_rib,
-                                    const std::vector<BgpUpdate>& updates,
-                                    const ResetFilterParams& params) {
-  for (std::size_t i = 1; i < updates.size(); ++i) {
-    if (updates[i].time < updates[i - 1].time) {
-      throw std::invalid_argument("FilterSessionResets: updates not time-ordered");
+/// The (session, prefix) -> optional<path> session-state table, the
+/// filter's hottest structure (one probe per input update). Open
+/// addressing with linear probing over power-of-two capacity: one cache
+/// line per hit beats the node allocation and pointer chase of
+/// unordered_map by ~4x here. Entries are never erased (a withdrawn
+/// prefix stores nullopt), so no tombstones. References returned by
+/// Slot() are invalidated by the next Slot() call (growth may rehash).
+template <typename PathT>
+class StateTable {
+ public:
+  explicit StateTable(std::size_t expected) {
+    std::size_t capacity = 64;
+    while (capacity * 5 < expected * 8) capacity <<= 1;
+    slots_.resize(capacity);
+  }
+
+  std::optional<PathT>& Slot(SessionId session, const netbase::Prefix& prefix) {
+    if ((size_ + 1) * 8 > slots_.size() * 5) Grow();
+    const std::uint64_t key = PackPrefix(prefix);
+    std::size_t i = IndexFor(session, key, slots_.size());
+    while (true) {
+      SlotT& slot = slots_[i];
+      if (slot.prefix_key == kFreeSlot) {
+        slot.prefix_key = key;
+        slot.session = session;
+        ++size_;
+        return slot.value;
+      }
+      if (slot.prefix_key == key && slot.session == session) return slot.value;
+      i = (i + 1) & (slots_.size() - 1);
     }
   }
 
+ private:
+  struct SlotT {
+    std::uint64_t prefix_key = kFreeSlot;
+    SessionId session = 0;
+    std::optional<PathT> value;
+  };
+  /// Packed prefixes occupy 38 bits, so all-ones can mark a free slot.
+  static constexpr std::uint64_t kFreeSlot = ~std::uint64_t{0};
+
+  static std::size_t IndexFor(SessionId session, std::uint64_t key,
+                              std::size_t capacity) noexcept {
+    std::uint64_t x = key ^ (std::uint64_t{session} << 38);
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31)) & (capacity - 1);
+  }
+
+  void Grow() {
+    std::vector<SlotT> old;
+    old.swap(slots_);
+    slots_.resize(old.size() * 2);
+    for (SlotT& slot : old) {
+      if (slot.prefix_key == kFreeSlot) continue;
+      std::size_t i = IndexFor(slot.session, slot.prefix_key, slots_.size());
+      while (slots_[i].prefix_key != kFreeSlot) i = (i + 1) & (slots_.size() - 1);
+      slots_[i] = std::move(slot);
+    }
+  }
+
+  std::vector<SlotT> slots_;
+  std::size_t size_ = 0;
+};
+
+/// The filter, generic over the update plane. `UpdateT` is `BgpUpdate`
+/// (paths inline, compared structurally) or `feed::UpdateRec` (paths as
+/// ids in one shared AsPathTable, compared as integers). Interning is
+/// canonical — equal paths get equal ids — so id equality on the record
+/// plane decides exactly the same "does this announce change state?"
+/// question the materialized plane answers by comparing hop vectors,
+/// and both instantiations emit the same filtered sequence.
+/// Consumes `updates` and filters in place: survivors are compacted to
+/// the front of the same buffer (two-pointer sweep, no output copy) and
+/// the handful of burst survivors is merged back in at the end.
+template <typename UpdateT, typename ResultT>
+ResultT FilterImpl(const std::vector<UpdateT>& initial_rib,
+                   std::vector<UpdateT> updates, const ResetFilterParams& params) {
+  using PathT = decltype(UpdateT{}.path);
+
+  // One pass validates time order and finds the session-id range for the
+  // dense per-session tables below.
+  SessionId max_session = 0;
+  for (const UpdateT& u : initial_rib) max_session = std::max(max_session, u.session);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    if (i > 0 && updates[i].time < updates[i - 1].time) {
+      throw std::invalid_argument("FilterSessionResets: updates not time-ordered");
+    }
+    max_session = std::max(max_session, updates[i].session);
+  }
+
   // Session tables at t=0 (path per prefix), used for duplicate detection,
-  // and their sizes for the burst threshold.
-  using Key = std::pair<SessionId, netbase::Prefix>;
-  std::map<Key, std::optional<AsPath>> state;
-  std::unordered_map<SessionId, std::size_t> table_sizes;
-  for (const BgpUpdate& u : initial_rib) {
-    state[{u.session, u.prefix}] = u.path;
+  // and their sizes for the burst threshold. The table is only ever probed
+  // by key — never iterated — so its layout is free to be hash order;
+  // output depends solely on per-key lookups. Sized for the RIB plus
+  // headroom: feeds mostly touch prefixes the sessions already carry, and
+  // growth amortizes the RIB-less case.
+  StateTable<PathT> state(initial_rib.size() + initial_rib.size() / 2 + 64);
+  PerSession<std::size_t> table_sizes(max_session);
+  for (const UpdateT& u : initial_rib) {
+    state.Slot(u.session, u.prefix) = u.path;
     ++table_sizes[u.session];
   }
 
-  const auto bursts = DetectBursts(updates, table_sizes, params);
+  PerSession<std::vector<BurstInterval>> bursts(max_session);
+  std::vector<SessionId> burst_sessions;
+  DetectBursts(updates, table_sizes, max_session, params, bursts, burst_sessions);
 
-  FilteredUpdates result;
+  ResultT result;
   result.stats.input_updates = updates.size();
-  for (const auto& [session, intervals] : bursts) {
-    result.stats.bursts_detected += intervals.size();
-    (void)session;
+  for (const SessionId session : burst_sessions) {
+    result.stats.bursts_detected += bursts[session].size();
   }
 
-  // Per-session burst scan cursors and buffered burst content.
-  std::unordered_map<SessionId, std::size_t> cursors;
+  // Per-session burst scan cursors and buffered burst content. Buffered
+  // survivors are keyed by packed prefix and emitted in ascending prefix
+  // order at flush time (sorted then — each burst flushes once), which
+  // reproduces the historical prefix-ordered buffer iteration.
+  PerSession<std::size_t> cursors(max_session);
   struct BurstBuffer {
     std::int64_t flush_after = 0;
     // Last update per prefix within the burst, plus how many were buffered.
-    std::map<netbase::Prefix, std::pair<BgpUpdate, std::size_t>> final_updates;
+    std::unordered_map<std::uint64_t, std::pair<UpdateT, std::size_t>> final_updates;
   };
-  std::unordered_map<SessionId, BurstBuffer> buffers;
+  PerSession<BurstBuffer> buffers(max_session);
+
+  // Burst survivors are collected separately from the pass-through
+  // updates: pass-throughs come out in input order (sorted whenever the
+  // input was canonically sorted, which the emit loop verifies as it
+  // goes), so the canonical order of the combined output is a merge of
+  // two sorted runs instead of a full re-sort. Equal (time, session,
+  // prefix) keys can only pair two pass-throughs — a burst survivor's
+  // timestamp lies inside one of its session's disjoint burst intervals,
+  // where every pass-through of that session is buffered, and two
+  // survivors of one session come from different intervals — so the merge
+  // reproduces the stable sort of the interleaved sequence exactly.
+  std::vector<UpdateT> flushed;
+  std::vector<std::pair<std::uint64_t, std::pair<UpdateT, std::size_t>*>> flush_order;
 
   auto flush = [&](SessionId session, BurstBuffer& buffer) {
-    for (auto& [prefix, entry] : buffer.final_updates) {
-      auto& [update, count] = entry;
-      auto& current = state[{session, prefix}];
+    flush_order.clear();
+    flush_order.reserve(buffer.final_updates.size());
+    for (auto& [key, entry] : buffer.final_updates) {
+      flush_order.emplace_back(key, &entry);
+    }
+    std::sort(flush_order.begin(), flush_order.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [key, entry] : flush_order) {
+      auto& [update, count] = *entry;
+      auto& current = state.Slot(session, update.prefix);
       const bool is_announce = update.type == UpdateType::kAnnounce;
       const bool changes_state =
           is_announce ? (!current || !(*current == update.path)) : current.has_value();
@@ -118,7 +278,7 @@ FilteredUpdates FilterSessionResets(const std::vector<BgpUpdate>& initial_rib,
         } else {
           current.reset();
         }
-        result.updates.push_back(std::move(update));
+        flushed.push_back(std::move(update));
       } else {
         // Net no-op: the whole burst group is an artifact.
         result.stats.burst_updates_removed += count;
@@ -127,28 +287,43 @@ FilteredUpdates FilterSessionResets(const std::vector<BgpUpdate>& initial_rib,
     buffer.final_updates.clear();
   };
 
-  for (const BgpUpdate& u : updates) {
-    const auto burst_it = bursts.find(u.session);
-    const std::vector<BurstInterval>* intervals =
-        burst_it == bursts.end() ? nullptr : &burst_it->second;
-    BurstBuffer& buffer = buffers[u.session];
-    if (!buffer.final_updates.empty() && u.time.seconds > buffer.flush_after) {
-      flush(u.session, buffer);
-    }
-    if (InBurst(intervals, u.time.seconds, cursors[u.session])) {
-      const auto& interval = (*intervals)[cursors[u.session]];
-      buffer.flush_after = interval.end;
-      auto [it, inserted] =
-          buffer.final_updates.try_emplace(u.prefix, std::make_pair(u, std::size_t{1}));
-      if (!inserted) {
-        it->second.first = u;
-        ++it->second.second;
+  const auto key_less = [](const UpdateT& a, const UpdateT& b) {
+    return std::tie(a.time.seconds, a.session, a.prefix) <
+           std::tie(b.time.seconds, b.session, b.prefix);
+  };
+  bool pass_through_sorted = true;
+
+  // Two-pointer in-place compaction: `write` trails `read`, dropped and
+  // buffered updates leave no hole. A buffered update is moved out before
+  // the slot can be overwritten (write <= read always).
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < updates.size(); ++read) {
+    UpdateT& u = updates[read];
+    const std::vector<BurstInterval>& intervals = bursts[u.session];
+    if (!intervals.empty()) {
+      // Only sessions with detected bursts ever buffer, so the buffer and
+      // cursor bookkeeping is skipped entirely for everyone else.
+      BurstBuffer& buffer = buffers[u.session];
+      if (!buffer.final_updates.empty() && u.time.seconds > buffer.flush_after) {
+        flush(u.session, buffer);
       }
-      continue;
+      if (InBurst(intervals, u.time.seconds, cursors[u.session])) {
+        const auto& interval = intervals[cursors[u.session]];
+        buffer.flush_after = interval.end;
+        // try_emplace leaves its arguments untouched when the key exists,
+        // so the move only happens on actual insertion.
+        auto [it, inserted] = buffer.final_updates.try_emplace(
+            PackPrefix(u.prefix), std::move(u), std::size_t{1});
+        if (!inserted) {
+          it->second.first = std::move(u);
+          ++it->second.second;
+        }
+        continue;
+      }
     }
     // Outside bursts: drop state no-ops (duplicate announcements and
     // withdrawals of prefixes the session does not carry).
-    auto& current = state[{u.session, u.prefix}];
+    auto& current = state.Slot(u.session, u.prefix);
     if (u.type == UpdateType::kAnnounce) {
       if (current && *current == u.path) {
         ++result.stats.duplicates_removed;
@@ -162,12 +337,36 @@ FilteredUpdates FilterSessionResets(const std::vector<BgpUpdate>& initial_rib,
       }
       current.reset();
     }
-    result.updates.push_back(u);
+    if (pass_through_sorted && write > 0 && key_less(u, updates[write - 1])) {
+      pass_through_sorted = false;
+    }
+    if (write != read) updates[write] = std::move(u);
+    ++write;
   }
-  for (auto& [session, buffer] : buffers) {
+  for (const SessionId session : burst_sessions) {
+    BurstBuffer& buffer = buffers[session];
     if (!buffer.final_updates.empty()) flush(session, buffer);
   }
-  SortUpdates(result.updates);
+  updates.resize(write);
+  if (!flushed.empty() || !pass_through_sorted) {
+    CanonicalSort(flushed);
+    // Every burst survivor replaces at least one buffered (dropped)
+    // update, so write + flushed fits in the original capacity — no
+    // reallocation here.
+    const auto mid = static_cast<std::ptrdiff_t>(write);
+    updates.insert(updates.end(), std::make_move_iterator(flushed.begin()),
+                   std::make_move_iterator(flushed.end()));
+    if (pass_through_sorted) {
+      std::inplace_merge(updates.begin(), updates.begin() + mid, updates.end(),
+                         key_less);
+    } else {
+      // Time-ordered but not canonically sorted input: fall back to the
+      // historical full stable sort. No equal keys pair across the two
+      // runs (see above), so concatenation order is unobservable.
+      CanonicalSort(updates);
+    }
+  }
+  result.updates = std::move(updates);
   result.stats.output_updates = result.updates.size();
 
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
@@ -188,6 +387,21 @@ FilteredUpdates FilterSessionResets(const std::vector<BgpUpdate>& initial_rib,
                     {"bursts", std::to_string(result.stats.bursts_detected)}});
   }
   return result;
+}
+
+}  // namespace
+
+FilteredUpdates FilterSessionResets(const std::vector<BgpUpdate>& initial_rib,
+                                    const std::vector<BgpUpdate>& updates,
+                                    const ResetFilterParams& params) {
+  return FilterImpl<BgpUpdate, FilteredUpdates>(initial_rib, updates, params);
+}
+
+FilteredRecords FilterSessionRecords(const std::vector<feed::UpdateRec>& initial_rib,
+                                     std::vector<feed::UpdateRec> updates,
+                                     const ResetFilterParams& params) {
+  return FilterImpl<feed::UpdateRec, FilteredRecords>(initial_rib, std::move(updates),
+                                                      params);
 }
 
 }  // namespace quicksand::bgp

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "bgp/feed.hpp"
 #include "bgp/update.hpp"
 
 namespace quicksand::bgp {
@@ -54,5 +55,25 @@ struct FilteredUpdates {
 [[nodiscard]] FilteredUpdates FilterSessionResets(
     const std::vector<BgpUpdate>& initial_rib, const std::vector<BgpUpdate>& updates,
     const ResetFilterParams& params = {});
+
+/// A filtered record stream plus its statistics.
+struct FilteredRecords {
+  std::vector<feed::UpdateRec> updates;
+  ResetFilterStats stats;
+};
+
+/// Record-plane FilterSessionResets: same algorithm, same statistics and
+/// metrics, but updates carry interned path ids instead of hop vectors,
+/// so the duplicate check is an integer compare and no path is ever
+/// copied. REQUIRES that `initial_rib` and `updates` were interned into
+/// the SAME AsPathTable: interning is canonical, so within one table
+/// id equality is path equality — across tables it is meaningless.
+/// Produces exactly the record sequence FilterSessionResets would produce
+/// on the materialized feed. Takes `updates` by value and filters it in
+/// place — survivors are compacted into the same buffer, so the hot path
+/// never copies the feed.
+[[nodiscard]] FilteredRecords FilterSessionRecords(
+    const std::vector<feed::UpdateRec>& initial_rib,
+    std::vector<feed::UpdateRec> updates, const ResetFilterParams& params = {});
 
 }  // namespace quicksand::bgp

@@ -1,0 +1,62 @@
+#pragma once
+
+// Sharded batch route computation.
+//
+// Stable-state computations are independent per destination prefix — the
+// same independence `RouteCache` keys on — so a batch of them (the
+// dynamics generator's baselines, a hijack sweep's per-victim states, an
+// Internet-scale scenario's full table) shards trivially. This module is
+// the one place that sharding lives: shards dispatch through
+// `exec::ParallelMap`, whose index-ordered merge and thread-independent
+// chunk layout keep the result vector byte-identical at any `--threads`
+// value (docs/PERFORMANCE.md).
+//
+// A shared `RouteCache` is optional: with one, repeated shards (many
+// prefixes of one origin AS, recurring link-failure variants) collapse
+// into lookups; without one, every shard computes directly and no
+// cross-shard synchronization happens at all.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bgp/as_graph.hpp"
+#include "bgp/route_cache.hpp"
+#include "bgp/route_computation.hpp"
+
+namespace quicksand::bgp {
+
+/// One shard: the origin set announcing one destination prefix, plus the
+/// perturbation to compute it under. Pointed-to/viewed state (disabled
+/// links, salt vectors) must outlive the ShardedComputeRoutes call.
+struct RouteShard {
+  std::vector<OriginSpec> origins;
+  const LinkSet* disabled_links = nullptr;
+  std::span<const std::uint64_t> tie_break_salts = {};
+  /// Cache description of `tie_break_salts` (ignored without a cache).
+  SaltKey salts;
+};
+
+struct ShardedRouteOptions {
+  /// Worker threads (0 = hardware concurrency, 1 = inline).
+  std::size_t threads = 1;
+  /// Consecutive shards per worker claim (0 = automatic).
+  std::size_t grain = 0;
+  /// Optional shared memoizer. Null: every shard computes directly.
+  RouteCache* cache = nullptr;
+};
+
+/// Computes every shard's stable routing state; slot i of the result is
+/// shard i's state regardless of scheduling. Propagates ComputeRoutes'
+/// std::invalid_argument (first failing shard wins, like ParallelMap).
+[[nodiscard]] std::vector<std::shared_ptr<const RoutingState>> ShardedComputeRoutes(
+    const AsGraph& graph, std::span<const RouteShard> shards,
+    const ShardedRouteOptions& options = {});
+
+/// Convenience: one unperturbed single-origin shard per entry — the shape
+/// of dynamics-generation baselines and full-table builds.
+[[nodiscard]] std::vector<std::shared_ptr<const RoutingState>> ShardedComputeRoutes(
+    const AsGraph& graph, std::span<const AsNumber> origins,
+    const ShardedRouteOptions& options = {});
+
+}  // namespace quicksand::bgp

@@ -32,6 +32,22 @@ AsRole Topology::RoleOf(AsNumber asn) const {
   return it->second;
 }
 
+TopologyParams TopologyParams::InternetScale(std::size_t as_count) {
+  TopologyParams params;  // keeps the default knobs (peering probs etc.)
+  constexpr std::size_t kCore = 12;  // fixed tier-1 clique at any scale
+  params.tier1_count = kCore;
+  if (as_count <= kCore + 4) as_count = kCore + 4;
+  // Apportion the edge by the default mix's proportions (90:260:70:180).
+  const std::size_t edge = as_count - kCore;
+  const double unit = static_cast<double>(edge) / (90.0 + 260.0 + 70.0 + 180.0);
+  params.transit_count = std::max<std::size_t>(1, static_cast<std::size_t>(90.0 * unit));
+  params.eyeball_count = std::max<std::size_t>(1, static_cast<std::size_t>(260.0 * unit));
+  params.hosting_count = std::max<std::size_t>(1, static_cast<std::size_t>(70.0 * unit));
+  params.content_count = std::max<std::size_t>(
+      1, edge - params.transit_count - params.eyeball_count - params.hosting_count);
+  return params;
+}
+
 std::vector<Prefix> Topology::PrefixesOf(AsNumber asn) const {
   std::vector<Prefix> out;
   auto it = prefixes_of_as.find(asn);

@@ -50,6 +50,13 @@ struct TopologyParams {
   /// Mean prefixes originated per stub AS (transit ASes originate more).
   double mean_stub_prefixes = 1.6;
   std::uint64_t seed = 42;
+
+  /// Preset scaled to `as_count` total ASes (tens of thousands work; the
+  /// feed substrates are sized for it). The tier-1 core stays a small
+  /// fixed clique — the real Internet's core does not grow with the edge
+  /// — while transit and the three stub populations keep the default
+  /// mix's proportions. as_count below the core size is clamped up.
+  [[nodiscard]] static TopologyParams InternetScale(std::size_t as_count);
 };
 
 /// One originated prefix.

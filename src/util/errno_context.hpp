@@ -1,0 +1,23 @@
+#pragma once
+
+// Errno-to-text helper for I/O error messages.
+//
+// File-touching APIs in this codebase report failures as
+// "<layer>: cannot open '<path>': <cause>" so a batch job that dies on a
+// missing dump names the file and the OS reason, not just "cannot open".
+
+#include <cerrno>
+#include <string>
+#include <system_error>
+
+namespace quicksand::util {
+
+/// Human-readable description of an errno value (default: the current
+/// errno). Capture immediately after the failing call — later library
+/// calls may clobber errno.
+inline std::string ErrnoDetail(int err = errno) {
+  if (err == 0) return "unknown error";
+  return std::generic_category().message(err);
+}
+
+}  // namespace quicksand::util

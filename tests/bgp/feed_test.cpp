@@ -16,6 +16,7 @@
 #include "bgp/feed_sanitizer.hpp"
 #include "bgp/update.hpp"
 #include "core/monitor.hpp"
+#include "obs/metrics.hpp"
 #include "fault/injector.hpp"
 
 namespace quicksand::bgp {
@@ -325,6 +326,33 @@ TEST(Feed, MonitorConsumeStreamMatchesConsumeLoop) {
   EXPECT_EQ(stream_raised, direct_raised);
   EXPECT_EQ(streamed.alerts(), materialized.alerts());
   EXPECT_EQ(streamed.SuppressedDuplicates(), materialized.SuppressedDuplicates());
+}
+
+TEST(AsPathTable, ReservePreSizesTheIndex) {
+  feed::AsPathTable table;
+  table.Reserve(10000);
+  // A size hint makes room up front; interning under the hint must not
+  // perturb dedup, and a smaller later hint must be a no-op.
+  const feed::PathId a = table.Intern(AsPath{1, 2, 3});
+  table.Reserve(1);
+  EXPECT_EQ(table.Intern(AsPath{1, 2, 3}), a);
+}
+
+TEST(AsPathTable, ApproxBytesGrowsWithInternedPathsAndFeedsTheGauge) {
+  feed::AsPathTable table;
+  EXPECT_EQ(table.ApproxBytes(), 0u);
+  (void)table.Intern(AsPath{701, 3356, 24940});
+  const std::size_t one = table.ApproxBytes();
+  EXPECT_GT(one, 0u);
+  (void)table.Intern(AsPath{701, 3356, 24940});  // hit: no growth
+  EXPECT_EQ(table.ApproxBytes(), one);
+  (void)table.Intern(AsPath{7018, 701, 3356, 1299, 24940});
+  EXPECT_GT(table.ApproxBytes(), one);
+  // The last miss published this table's footprint to the gauge.
+  EXPECT_EQ(static_cast<std::size_t>(obs::MetricsRegistry::Global()
+                                         .GetGauge("feed.intern.bytes")
+                                         .value()),
+            table.ApproxBytes());
 }
 
 }  // namespace

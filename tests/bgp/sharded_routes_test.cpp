@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "bgp/route_cache.hpp"
+#include "bgp/route_computation.hpp"
+#include "bgp/sharded_routes.hpp"
+#include "bgp/topology_gen.hpp"
+
+namespace quicksand::bgp {
+namespace {
+
+const Topology& SmallTopology() {
+  static const Topology topology = [] {
+    TopologyParams params;
+    params.tier1_count = 3;
+    params.transit_count = 8;
+    params.eyeball_count = 12;
+    params.hosting_count = 5;
+    params.content_count = 8;
+    params.seed = 7;
+    return GenerateTopology(params);
+  }();
+  return topology;
+}
+
+std::vector<AsPath> AllPaths(const RoutingState& state) {
+  std::vector<AsPath> paths;
+  for (AsIndex as = 0; as < state.graph().AsCount(); ++as) {
+    paths.push_back(state.PathOf(as));
+  }
+  return paths;
+}
+
+TEST(ShardedRoutes, MatchesDirectComputationPerShard) {
+  const Topology& topo = SmallTopology();
+  const std::vector<AsNumber> origins(topo.hostings.begin(), topo.hostings.end());
+  const auto states = ShardedComputeRoutes(topo.graph, origins);
+  ASSERT_EQ(states.size(), origins.size());
+  for (std::size_t i = 0; i < origins.size(); ++i) {
+    EXPECT_EQ(AllPaths(*states[i]), AllPaths(ComputeRoutes(topo.graph, origins[i])))
+        << "origin " << origins[i];
+  }
+}
+
+TEST(ShardedRoutes, ResultIsIdenticalAtAnyThreadCount) {
+  const Topology& topo = SmallTopology();
+  std::vector<AsNumber> origins(topo.hostings.begin(), topo.hostings.end());
+  origins.insert(origins.end(), topo.contents.begin(), topo.contents.end());
+
+  ShardedRouteOptions serial;
+  serial.threads = 1;
+  const auto reference = ShardedComputeRoutes(topo.graph, origins, serial);
+  for (const std::size_t threads : {2u, 4u, 7u}) {
+    ShardedRouteOptions options;
+    options.threads = threads;
+    const auto states = ShardedComputeRoutes(topo.graph, origins, options);
+    ASSERT_EQ(states.size(), reference.size());
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      EXPECT_EQ(AllPaths(*states[i]), AllPaths(*reference[i]))
+          << "threads=" << threads << " shard=" << i;
+    }
+  }
+}
+
+TEST(ShardedRoutes, SharedCacheCollapsesRepeatedShards) {
+  const Topology& topo = SmallTopology();
+  RouteCache cache;
+  ShardedRouteOptions options;
+  options.cache = &cache;
+  const AsNumber origin = topo.hostings.front();
+  const std::vector<AsNumber> origins = {origin, topo.hostings.back(), origin};
+  const auto states = ShardedComputeRoutes(topo.graph, origins, options);
+  ASSERT_EQ(states.size(), 3u);
+  // Identical shards come back as the same cached state object.
+  EXPECT_EQ(states[0].get(), states[2].get());
+  EXPECT_NE(states[0].get(), states[1].get());
+}
+
+TEST(ShardedRoutes, HonorsPerShardPerturbations) {
+  const Topology& topo = SmallTopology();
+  const AsNumber origin = topo.hostings.front();
+  // Shard 0 plain; shard 1 with the topology's tie-break salts. Both must
+  // compute, and the salted shard must match a direct salted computation.
+  std::vector<RouteShard> shards(2);
+  shards[0].origins = {OriginSpec{origin, 1, 0}};
+  shards[1].origins = {OriginSpec{origin, 1, 0}};
+  shards[1].tie_break_salts = topo.policy_salts;
+  const auto states = ShardedComputeRoutes(topo.graph, shards);
+  ASSERT_EQ(states.size(), 2u);
+
+  ComputationOptions salted;
+  salted.tie_break_salts = topo.policy_salts;
+  EXPECT_EQ(AllPaths(*states[0]), AllPaths(ComputeRoutes(topo.graph, origin)));
+  EXPECT_EQ(AllPaths(*states[1]),
+            AllPaths(ComputeRoutes(topo.graph, shards[1].origins, salted)));
+}
+
+}  // namespace
+}  // namespace quicksand::bgp

@@ -349,5 +349,26 @@ TEST(Mrt, ReadMissingFileThrows) {
   EXPECT_THROW((void)mrt::ReadFile("/nonexistent/mrt.txt"), std::runtime_error);
 }
 
+TEST(Mrt, FileErrorsCarryPathAndErrnoContext) {
+  // Open/read failures must say which file and why (strerror text), for
+  // every file entry point: whole-file read, streaming read, and write.
+  const std::string path = "mrt_test_missing_dir/nope.txt";
+  const auto expect_context = [&](auto&& fn) {
+    try {
+      fn();
+      FAIL() << "expected missing-file error";
+    } catch (const std::runtime_error& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find(path), std::string::npos) << what;
+      EXPECT_NE(what.find("No such file"), std::string::npos) << what;
+    }
+  };
+  expect_context([&] { (void)mrt::ReadFile(path); });
+  expect_context([&] {
+    (void)mrt::ParseFileStream(std::make_shared<feed::AsPathTable>(), path);
+  });
+  expect_context([&] { mrt::WriteFile(path, {}); });
+}
+
 }  // namespace
 }  // namespace quicksand::bgp
