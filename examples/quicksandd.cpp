@@ -1,0 +1,124 @@
+// quicksandd (docs/DAEMON.md): run the resident monitor daemon against a
+// generated world and serve the length-prefixed query protocol over a
+// unix socket.
+//
+// The replay half is exactly the chaos harness's loop — seeded world,
+// fault schedule, session supervision, bounded ingest, periodic
+// snapshots — but after the replay finishes the process stays resident
+// and answers queries until a client sends "shutdown" or the process is
+// signalled. Query it with the bundled one-liner client mode:
+//
+//   ./quicksandd /tmp/quicksand.sock &           # daemon + replay
+//   ./quicksandd /tmp/quicksand.sock ping        # client: one request
+//   ./quicksandd /tmp/quicksand.sock health
+//   ./quicksandd /tmp/quicksand.sock "alerts 0"
+//   ./quicksandd /tmp/quicksand.sock "exposure 42 10.0.0.0/8"
+//
+// A killed daemon restarted with the same arguments warm-restarts from
+// its snapshot (checkpoint path derived from the socket path) and reaches
+// the same state.
+
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bgp/collector.hpp"
+#include "bgp/dynamics_gen.hpp"
+#include "bgp/topology_gen.hpp"
+#include "daemon/driver.hpp"
+#include "daemon/quicksandd.hpp"
+#include "daemon/server.hpp"
+#include "fault/injector.hpp"
+
+int main(int argc, char** argv) {
+  using namespace quicksand;
+
+  if (argc < 2) {
+    std::cerr << "usage: quicksandd <socket-path>            # serve\n"
+              << "       quicksandd <socket-path> <request>  # query\n";
+    return 2;
+  }
+  const std::string socket_path = argv[1];
+
+  // Client mode: frame one request, print the response.
+  if (argc >= 3) {
+    std::string request = argv[2];
+    for (int i = 3; i < argc; ++i) request += std::string(" ") + argv[i];
+    try {
+      for (const std::string& response :
+           daemon::QueryUnixSocket(socket_path, {request})) {
+        std::cout << response << "\n";
+      }
+    } catch (const std::runtime_error& error) {
+      std::cerr << "query failed: " << error.what() << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  // Server mode: build the world, replay a faulted week into the daemon,
+  // then serve queries over the socket.
+  bgp::TopologyParams topology_params;
+  topology_params.tier1_count = 3;
+  topology_params.transit_count = 12;
+  topology_params.eyeball_count = 15;
+  topology_params.hosting_count = 6;
+  topology_params.content_count = 10;
+  topology_params.seed = 17;
+  const bgp::Topology topo = bgp::GenerateTopology(topology_params);
+  bgp::CollectorParams collector_params;
+  collector_params.collector_count = 2;
+  collector_params.sessions_per_collector = 6;
+  collector_params.seed = 18;
+  const bgp::CollectorSet collectors = bgp::CollectorSet::Create(topo, collector_params);
+  const std::int64_t window_s = 7 * netbase::duration::kDay;
+  bgp::DynamicsParams dynamics_params;
+  dynamics_params.window = window_s;
+  dynamics_params.seed = 19;
+  const bgp::GeneratedDynamics dynamics =
+      bgp::GenerateDynamics(topo, collectors, dynamics_params);
+
+  daemon::DaemonConfig config;
+  config.churn.window_end_s = window_s;
+  for (const bgp::BgpUpdate& update : dynamics.initial_rib) {
+    config.monitored_prefixes.insert(update.prefix);
+    if (config.monitored_prefixes.size() >= 8) break;
+  }
+  config.checkpoint_path = socket_path + ".ckpt";
+  config.checkpoint_every_s = 6 * netbase::duration::kHour;
+
+  daemon::Daemon daemon(config);
+  daemon::ReplayConfig replay;
+  replay.end_s = window_s;
+  replay.step_s = 60;
+  const fault::FaultPlan plan = fault::FaultPlan::Scaled(0.3, 33, window_s);
+  daemon::ReplayDriver driver(daemon, plan, dynamics.initial_rib, dynamics.updates,
+                              replay);
+
+  const daemon::RestoreResult restore = daemon.TryRestore();
+  if (restore.restored) {
+    std::cout << "warm restart from " << config.checkpoint_path << " at t="
+              << restore.snapshot_time_s << "\n";
+    driver.AlignToRestore(restore.snapshot_time_s);
+  } else {
+    if (!restore.error.empty()) {
+      std::cout << "snapshot rejected (" << restore.error << "); starting fresh\n";
+    }
+    driver.Prime();
+  }
+  driver.Run();
+  std::cout << "replayed to t=" << driver.Now() << ": "
+            << daemon.monitor().alerts().size() << " alerts, "
+            << daemon.SnapshotsWritten() << " snapshots\n";
+
+  daemon::UnixSocketServer server(socket_path);
+  std::cout << "serving on " << socket_path << " (ctrl-c to stop)\n";
+  // Simulated time is frozen at the end of the replay window; every
+  // request is stamped with it so deadlines stay meaningful.
+  const std::int64_t now = driver.Now();
+  for (;;) {
+    static_cast<void>(server.ServeOne(daemon, [now] { return now; }));
+  }
+  return 0;
+}

@@ -183,15 +183,20 @@ def validate(doc, origin):
 
 def scheduling_dependent(name):
     """True for metrics in the reserved "exec.", "ckpt.", "feed.",
-    "span.", "prof.", and "qmrt." namespaces, whose values may vary with
-    thread count, scheduling, where in a sweep a run was killed, the
-    streaming batch size, the selected wire format, or the resource
+    "span.", "prof.", "qmrt.", and "daemon." namespaces, whose values may
+    vary with thread count, scheduling, where in a sweep a run was killed,
+    the streaming batch size, the selected wire format, or the resource
     sampler's cadence (pool telemetry, cache hits, snapshot sizes and
     resume bookkeeping, feed batch counts and residency gauges, span wall
-    times, RSS samples, binary codec block/byte volumes)."""
+    times, RSS samples, binary codec block/byte volumes). "daemon." covers
+    the resident monitor's supervision/ingest/query counters: a killed-
+    and-restored run legitimately re-counts offers and retries, so the
+    warm-restart contract is alert-dump byte identity, never counter
+    equality (docs/DAEMON.md)."""
     return (name.startswith("exec.") or name.startswith("ckpt.")
             or name.startswith("feed.") or name.startswith("span.")
-            or name.startswith("prof.") or name.startswith("qmrt."))
+            or name.startswith("prof.") or name.startswith("qmrt.")
+            or name.startswith("daemon."))
 
 
 def deterministic_view(doc):

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Kill-mid-ingest chaos smoke for quicksandd (docs/DAEMON.md).
+#
+# Three legs, mirroring scripts/resume_smoke.sh for the resident daemon:
+#   equiv  — rate-0 replay; the bench's built-in self-check asserts the
+#            daemon's incremental churn/alert state equals the batch
+#            pipeline on the same feed (exit 1 on divergence)
+#   crash  — faulted replay (--rate 0.3: real session flaps and outage
+#            losses) with --checkpoint; the QUICKSAND_DAEMON_KILL_AFTER
+#            hook SIGKILLs the process a few steps after the 3rd snapshot,
+#            leaving un-snapshotted work in flight
+#   resume — --resume restores from the snapshot the killed run left
+#            behind and replays the remainder; its final alert dump must
+#            be byte-identical (cmp) to an uninterrupted run's
+#
+# Usage: scripts/daemon_chaos_smoke.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  defaults to "build"
+#   OUT_DIR    defaults to "daemon_chaos_out" (wiped on entry)
+
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=$(cd "${1:-"$repo_root/build"}" && pwd)
+out_dir="${2:-"$repo_root/daemon_chaos_out"}"
+rm -rf "$out_dir"
+mkdir -p "$out_dir"
+out_dir=$(cd "$out_dir" && pwd)
+
+bin="$build_dir/bench/daemon_chaos"
+if [[ ! -x "$bin" ]]; then
+  echo "error: $bin not found — build first:" >&2
+  echo "  cmake --build $build_dir -j --target daemon_chaos" >&2
+  exit 1
+fi
+
+days=7
+rate=0.3
+
+echo "==> rate-0 batch equivalence self-check"
+"$bin" --rate 0 --days "$days" --json "$out_dir/equiv.json" \
+    > "$out_dir/equiv.log"
+
+echo "==> uninterrupted faulted run (rate $rate, the reference)"
+"$bin" --rate "$rate" --days "$days" --alerts-out "$out_dir/alerts_full.txt" \
+    > "$out_dir/full.log"
+
+echo "==> crash: SIGKILL a few steps after the 3rd snapshot"
+set +e
+QUICKSAND_DAEMON_KILL_AFTER=3 "$bin" --rate "$rate" --days "$days" \
+    --checkpoint "$out_dir/ck.snap" > "$out_dir/crash.log" 2>&1
+status=$?
+set -e
+if [[ $status -ne 137 ]]; then
+  echo "error: expected the killed run to die with SIGKILL (137), got $status" >&2
+  cat "$out_dir/crash.log" >&2
+  exit 1
+fi
+if [[ ! -f "$out_dir/ck.snap" ]]; then
+  echo "error: killed run left no snapshot behind" >&2
+  exit 1
+fi
+
+echo "==> resume from the snapshot and replay the remainder"
+"$bin" --rate "$rate" --days "$days" --checkpoint "$out_dir/ck.snap" --resume \
+    --alerts-out "$out_dir/alerts_resumed.txt" --json "$out_dir/resume.json" \
+    > "$out_dir/resume.log"
+grep -q "restored from snapshot" "$out_dir/resume.log" || {
+  echo "error: resume run did not restore from the snapshot" >&2
+  cat "$out_dir/resume.log" >&2
+  exit 1
+}
+
+echo "==> alert dumps must be byte-identical"
+if ! cmp "$out_dir/alerts_full.txt" "$out_dir/alerts_resumed.txt"; then
+  echo "error: resumed alert stream diverges from the uninterrupted run" >&2
+  exit 1
+fi
+if [[ ! -s "$out_dir/alerts_full.txt" ]]; then
+  echo "error: alert dump is empty — the smoke proved nothing" >&2
+  exit 1
+fi
+
+echo "OK: warm restart is alert-stream byte-identical; rate-0 equals batch"

@@ -51,6 +51,9 @@ cd "$out_dir"   # benches write auxiliary CSVs into their cwd
 
 benches=()
 for bin in "$build_dir"/bench/*; do
+  # daemon_chaos speaks its own flags/JSON schema and has a dedicated
+  # driver (scripts/daemon_chaos_smoke.sh) — skip it here.
+  [[ "$(basename "$bin")" == "daemon_chaos" ]] && continue
   [[ -f "$bin" && -x "$bin" ]] && benches+=("$bin")
 done
 if [[ ${#benches[@]} -eq 0 ]]; then

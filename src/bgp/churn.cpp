@@ -134,6 +134,32 @@ void ChurnAnalyzer::CloseIntervals(State& state, std::int64_t now,
   }
 }
 
+std::vector<AsNumber> ChurnAnalyzer::CurrentOnPathAses(
+    const netbase::Prefix& prefix) const {
+  std::vector<AsNumber> out;
+  // states_ is keyed (session, prefix): scan every session's entry for
+  // this prefix. Sessions are few (tens), so the scan is the whole map;
+  // the daemon additionally answers only a handful of prefixes per query.
+  for (const auto& [key, state] : states_) {
+    if (key.prefix != prefix || state.withdrawn) continue;
+    out.insert(out.end(), state.last_announced.begin(), state.last_announced.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool ChurnAnalyzer::IsOnPath(AsNumber as, const netbase::Prefix& prefix) const {
+  for (const auto& [key, state] : states_) {
+    if (key.prefix != prefix || state.withdrawn) continue;
+    if (std::binary_search(state.last_announced.begin(), state.last_announced.end(),
+                           as)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void ChurnAnalyzer::Finish() {
   if (finished_) return;
   finished_ = true;

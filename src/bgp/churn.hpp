@@ -33,6 +33,10 @@
 #include "bgp/update.hpp"
 #include "netbase/sim_time.hpp"
 
+namespace quicksand::daemon {
+struct StateCodec;
+}  // namespace quicksand::daemon
+
 namespace quicksand::bgp {
 
 struct ChurnParams {
@@ -54,6 +58,8 @@ struct SessionPrefixChurn {
   /// traffic exists* (the Section 3.1 convergence observation: "these ASes
   /// can learn about a client's use of the Tor network").
   std::vector<AsNumber> glimpsed_extra_ases;
+
+  friend bool operator==(const SessionPrefixChurn&, const SessionPrefixChurn&) = default;
 };
 
 struct SessionPrefixKey {
@@ -121,6 +127,19 @@ class ChurnAnalyzer {
     return dropped_out_of_order_;
   }
 
+  /// Live query (valid at any point, before or after Finish): the union,
+  /// over all sessions currently announcing `prefix`, of the distinct
+  /// ASes on the latest announced path — i.e. every AS that is on-path
+  /// to `prefix` *right now*. Sorted ascending. Withdrawn (session,
+  /// prefix) states contribute nothing. This is the exposure surface the
+  /// resident daemon serves ("exposure of client AS X to relay set Y
+  /// now") without re-running batch analysis.
+  [[nodiscard]] std::vector<AsNumber> CurrentOnPathAses(
+      const netbase::Prefix& prefix) const;
+
+  /// True iff `as` is on some session's current path to `prefix`.
+  [[nodiscard]] bool IsOnPath(AsNumber as, const netbase::Prefix& prefix) const;
+
   /// Closes all open on-path intervals at the window end. Idempotent.
   void Finish();
 
@@ -159,6 +178,9 @@ class ChurnAnalyzer {
  private:
   friend ChurnAnalyzer AnalyzeChurnStream(feed::UpdateStream, feed::UpdateStream,
                                           ChurnParams, std::size_t);
+  /// The daemon's warm-restart codec serializes analyzer internals
+  /// (src/daemon/state_codec.cpp) without widening the public API.
+  friend struct quicksand::daemon::StateCodec;
 
   struct State {
     bool has_baseline = false;

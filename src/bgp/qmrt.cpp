@@ -16,6 +16,7 @@
 #include "netbase/prefix.hpp"
 #include "obs/metrics.hpp"
 #include "util/errno_context.hpp"
+#include "util/fd_guard.hpp"
 
 namespace quicksand::bgp::qmrt {
 
@@ -613,20 +614,22 @@ struct FileMapping {
 
 std::shared_ptr<FileMapping> MapFile(const std::string& path) {
   auto mapping = std::make_shared<FileMapping>();
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
+  // RAII fd: every exit below — fstat failure, mmap fallback read errors,
+  // even bad_alloc while building an error message — closes exactly once.
+  const util::FdGuard fd(::open(path.c_str(), O_RDONLY));
+  if (!fd.valid()) {
     throw std::runtime_error("qmrt: cannot open '" + path + "': " + util::ErrnoDetail());
   }
   struct ::stat st{};
-  if (::fstat(fd, &st) != 0) {
-    const std::string detail = util::ErrnoDetail();
-    ::close(fd);
-    throw std::runtime_error("qmrt: cannot stat '" + path + "': " + detail);
+  if (::fstat(fd.get(), &st) != 0) {
+    throw std::runtime_error("qmrt: cannot stat '" + path + "': " + util::ErrnoDetail());
   }
   const auto size = static_cast<std::size_t>(st.st_size);
   if (size > 0) {
-    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd.get(), 0);
     if (addr != MAP_FAILED) {
+      // FileMapping owns the mapping from this point; a decode failure
+      // mid-stream unwinds through the stream's shared state and unmaps.
       mapping->addr = addr;
       mapping->size = size;
       ::madvise(addr, size, MADV_SEQUENTIAL);
@@ -636,13 +639,11 @@ std::shared_ptr<FileMapping> MapFile(const std::string& path) {
       mapping->fallback.assign(std::istreambuf_iterator<char>(in),
                                std::istreambuf_iterator<char>());
       if (in.bad() || mapping->fallback.size() != size) {
-        ::close(fd);
         throw std::runtime_error("qmrt: read failed for '" + path +
                                  "': " + util::ErrnoDetail());
       }
     }
   }
-  ::close(fd);
   return mapping;
 }
 

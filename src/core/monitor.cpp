@@ -81,10 +81,13 @@ void RelayMonitor::LearnBaseline(std::span<const bgp::BgpUpdate> initial_rib) {
 void RelayMonitor::LearnBaselineStream(bgp::feed::UpdateStream& stream) {
   std::vector<bgp::feed::UpdateRec> batch;
   while (stream.Next(batch)) {
-    for (const bgp::feed::UpdateRec& rec : batch) {
-      LearnImpl(rec.prefix, rec.type, stream.paths()->Path(rec.path));
-    }
+    for (const bgp::feed::UpdateRec& rec : batch) LearnRecord(rec, *stream.paths());
   }
+}
+
+void RelayMonitor::LearnRecord(const bgp::feed::UpdateRec& rec,
+                               const bgp::feed::AsPathTable& table) {
+  LearnImpl(rec.prefix, rec.type, table.Path(rec.path));
 }
 
 std::vector<Alert> RelayMonitor::Consume(const bgp::BgpUpdate& update) {
@@ -192,6 +195,14 @@ std::vector<Alert> RelayMonitor::ConsumeImpl(netbase::SimTime time,
   }
   alerts_.insert(alerts_.end(), raised.begin(), raised.end());
   return raised;
+}
+
+std::vector<Alert> RelayMonitor::AlertsSince(netbase::SimTime since) const {
+  std::vector<Alert> out;
+  for (const Alert& alert : alerts_) {
+    if (alert.time >= since) out.push_back(alert);
+  }
+  return out;
 }
 
 std::set<netbase::Prefix> RelayMonitor::FlaggedPrefixes() const {

@@ -30,6 +30,10 @@
 #include "netbase/prefix.hpp"
 #include "netbase/prefix_trie.hpp"
 
+namespace quicksand::daemon {
+struct StateCodec;
+}  // namespace quicksand::daemon
+
 namespace quicksand::core {
 
 enum class AlertKind : std::uint8_t {
@@ -109,6 +113,11 @@ class RelayMonitor {
   /// Learns the baseline from a stream instead of a materialized RIB.
   void LearnBaselineStream(bgp::feed::UpdateStream& stream);
 
+  /// Learns one compact baseline record — for callers (the resident
+  /// daemon) that drain one RIB stream into several consumers and so
+  /// cannot hand the stream to LearnBaselineStream.
+  void LearnRecord(const bgp::feed::UpdateRec& rec, const bgp::feed::AsPathTable& table);
+
   /// Alerts suppressed because the same (prefix, suspect, kind) anomaly
   /// had already alerted.
   [[nodiscard]] std::size_t SuppressedDuplicates() const noexcept {
@@ -117,6 +126,11 @@ class RelayMonitor {
 
   /// All alerts raised so far, in arrival order.
   [[nodiscard]] const std::vector<Alert>& alerts() const noexcept { return alerts_; }
+
+  /// Alerts with time >= `since`, in arrival order — the resident
+  /// daemon's "alerts in the last simulated hour" query. Linear scan;
+  /// alert volume is anomaly volume, which stays small by construction.
+  [[nodiscard]] std::vector<Alert> AlertsSince(netbase::SimTime since) const;
 
   /// "How many alerts per kind" without scanning alerts(); O(1).
   [[nodiscard]] const AlertCountSummary& AlertCounts() const noexcept {
@@ -130,6 +144,10 @@ class RelayMonitor {
   [[nodiscard]] std::size_t MonitoredCount() const noexcept { return monitored_.size(); }
 
  private:
+  /// The daemon's warm-restart codec serializes learned baselines and
+  /// idempotence sets (src/daemon/state_codec.cpp).
+  friend struct quicksand::daemon::StateCodec;
+
   void Learn(const bgp::BgpUpdate& update);
   void LearnImpl(const netbase::Prefix& prefix, bgp::UpdateType type,
                  const bgp::AsPath& path);

@@ -1,0 +1,58 @@
+#pragma once
+
+// The daemon's time source seam.
+//
+// quicksandd never reads the wall clock directly: every timer (session
+// hold/keepalive deadlines, reconnect backoff, flap-damping decay,
+// checkpoint cadence, query deadlines) asks a Clock. Tests and the chaos
+// harness install a SimClock they advance by hand, so an entire daemon
+// lifetime — flaps, backoff, restarts — replays deterministically in
+// microseconds; the runnable daemon installs a WallClock.
+//
+// Time is integral seconds, matching netbase::SimTime: second granularity
+// is what the paper's dynamics operate at, and integral seconds snapshot
+// exactly (ckpt payloads never round them).
+
+#include <chrono>
+#include <cstdint>
+
+namespace quicksand::daemon {
+
+/// Abstract monotonic-ish seconds source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in seconds since the epoch the daemon was configured
+  /// with (the simulated measurement window start, or Unix time).
+  [[nodiscard]] virtual std::int64_t NowS() const = 0;
+};
+
+/// Manually advanced clock for tests, benches, and the chaos harness.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(std::int64_t start_s = 0) noexcept : now_s_(start_s) {}
+
+  [[nodiscard]] std::int64_t NowS() const override { return now_s_; }
+
+  void Advance(std::int64_t delta_s) noexcept { now_s_ += delta_s; }
+
+  /// Never moves backwards: replay drivers may call with stale values.
+  void AdvanceTo(std::int64_t t_s) noexcept {
+    if (t_s > now_s_) now_s_ = t_s;
+  }
+
+ private:
+  std::int64_t now_s_ = 0;
+};
+
+/// Real time for the runnable daemon (examples/quicksandd).
+class WallClock final : public Clock {
+ public:
+  [[nodiscard]] std::int64_t NowS() const override {
+    return std::chrono::duration_cast<std::chrono::seconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace quicksand::daemon

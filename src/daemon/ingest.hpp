@@ -1,0 +1,109 @@
+#pragma once
+
+// Bounded per-session ingest queues with backpressure and overload
+// shedding for quicksandd.
+//
+// A resident daemon cannot let one fast (or resync-bursting) peer grow an
+// unbounded buffer: ingestion is admission-controlled per session by a
+// record budget and a byte budget. The shed policy is deliberately simple
+// and documented (docs/DAEMON.md):
+//
+//   * admission is whole-batch: a batch that does not fit is shed in its
+//     entirety (drop-newest). Admitting a partial batch could tear a
+//     resync burst in half, leaving the downstream sanitizer/analyzer a
+//     state no real session would produce; dropping the newest batch
+//     leaves already-queued older data consistent and is exactly the
+//     signature of session loss the analyzers already degrade gracefully
+//     under (docs/ROBUSTNESS.md);
+//   * shedding is deterministic: it depends only on the queue occupancy,
+//     which depends only on the offer/drain sequence — never on wall
+//     clock or thread scheduling;
+//   * every drop, stall, and resumption is counted: `daemon.ingest.*`
+//     tells the whole story in bench JSON.
+//
+// Draining is deterministic too: DrainInto visits sessions in ascending
+// id order, batches in FIFO order. The daemon pumps this on its single
+// consume thread.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "bgp/feed.hpp"
+#include "bgp/update.hpp"
+
+namespace quicksand::daemon {
+
+struct StateCodec;
+
+struct IngestBudget {
+  /// Per-session queued-record cap. 0 = unlimited.
+  std::size_t max_records_per_session = 1 << 16;
+  /// Per-session queued-byte cap (records * sizeof(UpdateRec)). 0 = unlimited.
+  std::size_t max_bytes_per_session = std::size_t{1} << 22;
+  /// Occupancy fraction (of the record budget, summed over sessions) above
+  /// which the daemon reports overload and sheds query load.
+  double overload_fraction = 0.75;
+};
+
+enum class OfferResult : std::uint8_t {
+  kAccepted,
+  kShedOverRecordBudget,
+  kShedOverByteBudget,
+};
+
+/// Per-session ingest accounting, part of the daemon's snapshot state.
+struct IngestSessionTally {
+  std::uint64_t offered_records = 0;   ///< everything the transport handed us
+  std::uint64_t accepted_records = 0;
+  std::uint64_t shed_records = 0;
+  std::uint64_t shed_batches = 0;
+  std::uint64_t stalls = 0;        ///< offers rejected while saturated
+  std::uint64_t resumptions = 0;   ///< first accepted offer after a stall
+};
+
+class IngestQueue {
+ public:
+  explicit IngestQueue(IngestBudget budget = {}) : budget_(budget) {}
+
+  /// Offers one batch for `session`. Sheds (whole batch) if the session's
+  /// record or byte budget would be exceeded; returns what happened.
+  OfferResult Offer(bgp::SessionId session, std::vector<bgp::feed::UpdateRec> batch);
+
+  /// Moves every queued batch out, ascending session id, FIFO per
+  /// session, appending (session, batch) pairs to `out`. Returns records
+  /// drained. Queues are empty afterwards.
+  std::size_t DrainInto(
+      std::vector<std::pair<bgp::SessionId, std::vector<bgp::feed::UpdateRec>>>& out);
+
+  [[nodiscard]] std::size_t QueuedRecords() const noexcept { return queued_records_; }
+  [[nodiscard]] std::size_t QueuedRecords(bgp::SessionId session) const;
+
+  /// True when total occupancy crosses the overload fraction of the
+  /// aggregate record budget — the signal the query plane sheds on.
+  [[nodiscard]] bool Overloaded() const noexcept;
+
+  [[nodiscard]] const IngestBudget& budget() const noexcept { return budget_; }
+
+  /// Accounting per session (sessions appear once they first offer).
+  [[nodiscard]] const std::map<bgp::SessionId, IngestSessionTally>& tallies() const noexcept {
+    return tallies_;
+  }
+
+ private:
+  friend struct StateCodec;
+
+  struct SessionQueue {
+    std::deque<std::vector<bgp::feed::UpdateRec>> batches;
+    std::size_t records = 0;
+    bool stalled = false;  ///< last offer was shed (for resumption counting)
+  };
+
+  IngestBudget budget_;
+  std::map<bgp::SessionId, SessionQueue> queues_;
+  std::map<bgp::SessionId, IngestSessionTally> tallies_;
+  std::size_t queued_records_ = 0;
+};
+
+}  // namespace quicksand::daemon

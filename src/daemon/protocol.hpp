@@ -1,0 +1,96 @@
+#pragma once
+
+// quicksandd's length-prefixed query protocol (wire layer + request
+// grammar). Full specification in docs/DAEMON.md.
+//
+// Framing:
+//
+//   frame := length:u32le payload[length]
+//
+// with length capped at kMaxFrameBytes. The FrameReader is incremental in
+// the StreamParser mould: bytes may arrive in any chunking (1-byte reads,
+// a length header split across reads) and it produces exactly the frames
+// whole-buffer parsing would. Oversized lengths fail *closed*: the reader
+// enters a sticky error state and refuses further input, because a
+// 4-byte length of garbage would otherwise commit the server to buffering
+// gigabytes on behalf of one broken client.
+//
+// Requests are a single text line inside a frame:
+//
+//   ping
+//   health
+//   alerts <since_s>
+//   exposure <client_as> <prefix> [<prefix>...]
+//
+// Responses are text inside one frame: "ok <body>" or "err <reason>".
+// Overloaded daemons reject with "err busy ..." (shed policy); expired
+// deadlines reject with "err deadline ...". Parsing never throws — a
+// malformed request yields a kInvalid request carrying the error text.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/update.hpp"
+#include "netbase/prefix.hpp"
+
+namespace quicksand::daemon {
+
+/// Hard cap on one frame's payload. Queries are one line and responses a
+/// few KB; 1 MiB is generous and bounds a malicious length header.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Serializes one frame (length prefix + payload).
+[[nodiscard]] std::string EncodeFrame(std::string_view payload);
+
+/// Incremental frame decoder; feed arbitrary chunks, pop complete frames.
+class FrameReader {
+ public:
+  /// Appends bytes. No-op once in the error state.
+  void Feed(std::string_view chunk);
+
+  /// Pops the next complete frame into `payload`; false if none is
+  /// buffered (or the reader is poisoned).
+  bool Next(std::string& payload);
+
+  /// Sticky: set when a length header exceeds kMaxFrameBytes. The
+  /// connection must be dropped; the reader will not resynchronize.
+  [[nodiscard]] bool error() const noexcept { return error_; }
+  [[nodiscard]] const std::string& error_detail() const noexcept { return error_detail_; }
+
+  /// Bytes currently buffered (bounded by kMaxFrameBytes + 4 per the
+  /// fail-closed contract).
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  bool error_ = false;
+  std::string error_detail_;
+};
+
+enum class RequestKind : std::uint8_t {
+  kPing,
+  kHealth,
+  kAlerts,
+  kExposure,
+  kInvalid,
+};
+
+struct Request {
+  RequestKind kind = RequestKind::kInvalid;
+  std::string error;  ///< set for kInvalid
+  std::int64_t alerts_since_s = 0;
+  bgp::AsNumber client_as = 0;
+  std::vector<netbase::Prefix> prefixes;
+};
+
+/// Parses one request payload. Never throws.
+[[nodiscard]] Request ParseRequest(std::string_view payload);
+
+/// Canonical response builders.
+[[nodiscard]] std::string ErrResponse(std::string_view reason);
+[[nodiscard]] std::string OkResponse(std::string_view body);
+
+}  // namespace quicksand::daemon

@@ -1,0 +1,149 @@
+#include "daemon/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "daemon/protocol.hpp"
+
+namespace quicksand::daemon {
+
+namespace {
+
+sockaddr_un MakeAddress(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(address.sun_path)) {
+    throw std::runtime_error("unix socket path too long: " + path);
+  }
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+void WriteAll(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t written = ::write(fd, bytes.data(), bytes.size());
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("socket write failed: ") +
+                               std::strerror(errno));
+    }
+    bytes.remove_prefix(static_cast<std::size_t>(written));
+  }
+}
+
+}  // namespace
+
+UnixSocketServer::UnixSocketServer(std::string path) : path_(std::move(path)) {
+  util::FdGuard fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw std::runtime_error(std::string("socket() failed: ") + std::strerror(errno));
+  }
+  ::unlink(path_.c_str());  // stale socket from a previous (crashed) run
+  const sockaddr_un address = MakeAddress(path_);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+    throw std::runtime_error("bind(" + path_ + ") failed: " + std::strerror(errno));
+  }
+  if (::listen(fd.get(), 8) != 0) {
+    throw std::runtime_error("listen(" + path_ + ") failed: " + std::strerror(errno));
+  }
+  listen_fd_ = std::move(fd);
+}
+
+UnixSocketServer::~UnixSocketServer() {
+  listen_fd_.Close();
+  ::unlink(path_.c_str());
+}
+
+std::size_t UnixSocketServer::ServeOne(Daemon& daemon, const NowFn& now) {
+  util::FdGuard conn(::accept(listen_fd_.get(), nullptr, nullptr));
+  if (!conn.valid()) {
+    throw std::runtime_error(std::string("accept failed: ") + std::strerror(errno));
+  }
+  return HandleConnection(conn.get(), daemon, now);
+}
+
+std::size_t UnixSocketServer::HandleConnection(int fd, Daemon& daemon,
+                                               const NowFn& now) {
+  FrameReader reader;
+  std::size_t served = 0;
+  char buffer[4096];
+  // Arrival-stamped deadline per frame: frames decoded from one read all
+  // arrived together; each gets the full per-request grant from that
+  // instant and may still expire behind a long burst on this connection.
+  std::vector<std::pair<std::string, std::int64_t>> pending;
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("socket read failed: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) break;  // client closed
+    reader.Feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    const std::int64_t arrival_s = now();
+    std::string payload;
+    while (reader.Next(payload)) {
+      pending.emplace_back(std::move(payload),
+                           arrival_s + daemon.config().query_deadline_s);
+    }
+    for (auto& [request, deadline_s] : pending) {
+      const std::string response = daemon.HandleRequest(request, now(), deadline_s);
+      WriteAll(fd, EncodeFrame(response));
+      ++served;
+    }
+    pending.clear();
+    if (reader.error()) {
+      // Fail closed: answer with the framing error, then drop the
+      // connection — the reader will not resynchronize a corrupt stream.
+      WriteAll(fd, EncodeFrame(ErrResponse(reader.error_detail())));
+      break;
+    }
+  }
+  return served;
+}
+
+std::vector<std::string> QueryUnixSocket(const std::string& path,
+                                         const std::vector<std::string>& requests) {
+  util::FdGuard fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw std::runtime_error(std::string("socket() failed: ") + std::strerror(errno));
+  }
+  const sockaddr_un address = MakeAddress(path);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address), sizeof address) !=
+      0) {
+    throw std::runtime_error("connect(" + path + ") failed: " + std::strerror(errno));
+  }
+  for (const std::string& request : requests) {
+    WriteAll(fd.get(), EncodeFrame(request));
+  }
+  if (::shutdown(fd.get(), SHUT_WR) != 0) {
+    throw std::runtime_error(std::string("shutdown failed: ") + std::strerror(errno));
+  }
+  std::vector<std::string> responses;
+  FrameReader reader;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd.get(), buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("socket read failed: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) break;
+    reader.Feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    std::string payload;
+    while (reader.Next(payload)) responses.push_back(std::move(payload));
+    if (reader.error()) {
+      throw std::runtime_error("response framing error: " + reader.error_detail());
+    }
+  }
+  return responses;
+}
+
+}  // namespace quicksand::daemon

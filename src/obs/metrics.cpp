@@ -109,8 +109,12 @@ JsonValue MetricsSnapshot::ToJson() const {
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
-  static MetricsRegistry registry;
-  return registry;
+  // Intentionally leaked, like exec::ThreadPool::Shared(): the shared
+  // pool's workers (also leaked) may still touch counters after main
+  // returns, so the registry must outlive every static destructor —
+  // destroying it at exit is a use-after-free TSan rightly flags.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
 }
 
 std::vector<double> MetricsRegistry::DefaultLatencyBucketsMs() {

@@ -1,0 +1,58 @@
+#pragma once
+
+// RAII ownership of a POSIX file descriptor.
+//
+// The mmap-backed codec paths (qmrt::DecodeFileStream) open raw fds and
+// must not leak them on *any* exit path — including exceptions thrown
+// between open() and the point the mapping takes over (fstat failure,
+// mmap fallback reads, allocation failures in error-message formatting).
+// Manual close() calls on each branch rot; this guard makes the closed
+// state structural.
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace quicksand::util {
+
+/// Owns one fd; closes it on destruction unless released. Move-only.
+class FdGuard {
+ public:
+  FdGuard() noexcept = default;
+  explicit FdGuard(int fd) noexcept : fd_(fd) {}
+
+  FdGuard(FdGuard&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  FdGuard& operator=(FdGuard&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+
+  ~FdGuard() { Close(); }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Gives up ownership without closing (e.g. handing the fd to a
+  /// mapping that outlives the guard).
+  [[nodiscard]] int Release() noexcept { return std::exchange(fd_, -1); }
+
+  /// Closes now (idempotent). EINTR on close is not retried: POSIX leaves
+  /// the fd state unspecified and Linux always releases it.
+  void Close() noexcept {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace quicksand::util

@@ -20,6 +20,7 @@
 #include <thread>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "netbase/rng.hpp"
 #include "obs/metrics.hpp"
@@ -63,12 +64,35 @@ struct RetryStats {
   return backoff * factor;
 }
 
+/// Bucket bounds for the `util.retry.attempts` histogram: attempt counts
+/// are small integers, so exact low buckets tell the whole story.
+[[nodiscard]] inline std::vector<double> RetryAttemptBuckets() {
+  return {1, 2, 3, 4, 6, 8, 12, 16};
+}
+
+/// Records one finished retried operation in the `obs` histograms. Only
+/// called for operations that actually failed at least once, so fault-free
+/// runs register nothing (the lazy-registration contract of
+/// docs/ROBUSTNESS.md). `util.retry.attempts` counts are exact integers
+/// (deterministic for seeded runs at any thread count); the per-sleep
+/// distribution lands in `util.retry.backoff_ms`, whose `_ms` suffix marks
+/// it wall-clock-shaped and comparison-exempt. The old opaque totals
+/// (`util.retry.retries` / `util.retry.giveups`) stay for compatibility.
+inline void ObserveRetryOutcome(const RetryStats& tally) {
+  obs::MetricsRegistry::Global()
+      .GetHistogram("util.retry.attempts", RetryAttemptBuckets())
+      .Observe(static_cast<double>(tally.attempts));
+}
+
 /// Calls `fn` up to policy.max_attempts times, backing off between
 /// attempts. Any exception from `fn` triggers a retry; the last attempt's
 /// exception propagates. Returns fn's value (void allowed). `stats`, when
-/// given, receives the attempt/backoff tally. Global counters:
-/// `util.retry.retries` and `util.retry.giveups` (registered only when a
-/// failure actually occurs, so fault-free runs leave no trace).
+/// given, receives the attempt/backoff tally. Global metrics (registered
+/// only when a failure actually occurs, so fault-free runs leave no
+/// trace): the `util.retry.retries` / `util.retry.giveups` counters, plus
+/// `util.retry.attempts` and `util.retry.backoff_ms` histograms — session
+/// reconnect and retried-I/O behavior is a visible distribution in bench
+/// JSON, not just an opaque total.
 template <typename Fn>
 auto Retry(const RetryPolicy& policy, netbase::Rng& rng, Fn&& fn,
            RetryStats* stats = nullptr) {
@@ -79,16 +103,19 @@ auto Retry(const RetryPolicy& policy, netbase::Rng& rng, Fn&& fn,
     try {
       if constexpr (std::is_void_v<std::invoke_result_t<Fn&>>) {
         fn();
+        if (local.retries > 0) ObserveRetryOutcome(local);
         if (stats != nullptr) *stats = local;
         return;
       } else {
         auto result = fn();
+        if (local.retries > 0) ObserveRetryOutcome(local);
         if (stats != nullptr) *stats = local;
         return result;
       }
     } catch (...) {
       if (attempt >= max_attempts) {
         obs::MetricsRegistry::Global().GetCounter("util.retry.giveups").Increment();
+        ObserveRetryOutcome(local);
         if (stats != nullptr) *stats = local;
         throw;
       }
@@ -96,6 +123,10 @@ auto Retry(const RetryPolicy& policy, netbase::Rng& rng, Fn&& fn,
       obs::MetricsRegistry::Global().GetCounter("util.retry.retries").Increment();
       const double backoff = BackoffMs(policy, attempt, rng);
       local.total_backoff_ms += backoff;
+      obs::MetricsRegistry::Global()
+          .GetHistogram("util.retry.backoff_ms",
+                        obs::MetricsRegistry::DefaultLatencyBucketsMs())
+          .Observe(backoff);
       if (policy.sleeper) {
         policy.sleeper(backoff);
       } else {

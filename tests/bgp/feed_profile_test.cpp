@@ -58,14 +58,14 @@ TEST(FeedProfileDisabled, WrappersAreIdentity) {
   // stream contents pass through untouched.
   obs::FlightRecorder::Global().Reset();
   auto table = std::make_shared<feed::AsPathTable>();
-  const auto plain = Records(feed::FromVector(table, SampleFeed(), 3));
+  const auto plain = Records(feed::FromOwnedVector(table, SampleFeed(), 3));
   const auto wrapped = Records(feed::ProfiledStream(
-      "parse", feed::FromVector(table, SampleFeed(), 3)));
+      "parse", feed::FromOwnedVector(table, SampleFeed(), 3)));
   EXPECT_EQ(plain, wrapped);
   feed::FeedStage identity = feed::ProfiledStage(
       "noop", [](feed::UpdateStream stream) { return stream; });
   const auto staged =
-      Records(identity(feed::FromVector(table, SampleFeed(), 3)));
+      Records(identity(feed::FromOwnedVector(table, SampleFeed(), 3)));
   EXPECT_EQ(plain, staged);
   EXPECT_TRUE(obs::FlightRecorder::Global().Snapshot().empty());
 }
@@ -73,7 +73,7 @@ TEST(FeedProfileDisabled, WrappersAreIdentity) {
 TEST_F(FeedProfileTest, ProfiledStreamCountsBatches) {
   auto table = std::make_shared<feed::AsPathTable>();
   const auto records = Records(feed::ProfiledStream(
-      "parse", feed::FromVector(table, SampleFeed(), 4)));
+      "parse", feed::FromOwnedVector(table, SampleFeed(), 4)));
   EXPECT_EQ(records.size(), 10u);
   const auto snapshot = obs::FlightRecorder::Global().Snapshot();
   ASSERT_EQ(snapshot.size(), 1u);
@@ -91,7 +91,7 @@ TEST_F(FeedProfileTest, ProfiledStageSeparatesUpstreamTime) {
   feed::FeedStage identity = feed::ProfiledStage(
       "noop", [](feed::UpdateStream stream) { return stream; });
   const auto records =
-      Records(identity(feed::FromVector(table, SampleFeed(), 5)));
+      Records(identity(feed::FromOwnedVector(table, SampleFeed(), 5)));
   EXPECT_EQ(records.size(), 10u);
   const auto snapshot = obs::FlightRecorder::Global().Snapshot();
   ASSERT_EQ(snapshot.size(), 1u);
@@ -105,14 +105,14 @@ TEST_F(FeedProfileTest, ProfiledStageSeparatesUpstreamTime) {
   EXPECT_LE(stats.self_us(), stats.wall_us);
   // Stream content is unchanged by the wrapper.
   auto bare_table = std::make_shared<feed::AsPathTable>();
-  EXPECT_EQ(records, Records(feed::FromVector(bare_table, SampleFeed(), 5)));
+  EXPECT_EQ(records, Records(feed::FromOwnedVector(bare_table, SampleFeed(), 5)));
 }
 
 TEST_F(FeedProfileTest, TalliedStreamAndSinkRecording) {
   auto table = std::make_shared<feed::AsPathTable>();
   auto tally = std::make_shared<feed::StreamTally>();
   feed::UpdateStream tallied =
-      feed::TalliedStream(feed::FromVector(table, SampleFeed(), 4), tally);
+      feed::TalliedStream(feed::FromOwnedVector(table, SampleFeed(), 4), tally);
   const obs::Stopwatch watch;
   const auto records = Records(std::move(tallied));
   EXPECT_EQ(records.size(), 10u);

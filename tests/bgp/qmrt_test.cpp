@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -193,6 +195,57 @@ std::vector<BgpUpdate> DecodeLenient(std::string_view wire,
     for (const feed::UpdateRec& rec : recs) got.push_back(feed::ToBgpUpdate(rec, *table));
   }
   return got;
+}
+
+/// Open descriptors right now (the /proc scan's own fd is opened and
+/// closed inside the call, so before/after counts compare cleanly).
+std::size_t OpenFdCount() {
+  std::size_t count = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(QmrtFdLifetime, ErrorPathsLeakNoDescriptors) {
+  // Regression for the fd/mmap RAII audit: every throwing exit out of
+  // DecodeFileStream / ReadFile / ParseFileStream must release the file
+  // descriptor (util::FdGuard) — a leak here compounds per retry in the
+  // resident daemon until open() starts failing with EMFILE.
+  const std::string corrupt_path = "qmrt_test_fdleak.qmrt";
+  {
+    TwoBlocks two = MakeTwoBlocks();
+    two.wire.resize(two.wire.size() - 5);  // truncated final block
+    std::ofstream out(corrupt_path, std::ios::binary | std::ios::trunc);
+    out << two.wire;
+  }
+
+  auto exercise_error_paths = [&] {
+    EXPECT_THROW((void)qmrt::ReadFile(corrupt_path), std::runtime_error);
+    EXPECT_THROW((void)qmrt::ReadFile("qmrt_test_missing_dir/nope.qmrt"),
+                 std::runtime_error);
+    {
+      // Strict stream over a corrupt file: open/mmap succeed, the pull
+      // throws mid-stream; the guard must still unwind the mapping + fd.
+      auto table = std::make_shared<feed::AsPathTable>();
+      feed::UpdateStream stream = qmrt::DecodeFileStream(table, corrupt_path);
+      std::vector<feed::UpdateRec> recs;
+      EXPECT_THROW(while (stream.Next(recs)) {}, std::runtime_error);
+    }
+    EXPECT_THROW((void)qmrt::DecodeFileStream(std::make_shared<feed::AsPathTable>(),
+                                              "qmrt_test_missing_dir/nope.qmrt"),
+                 std::runtime_error);
+    EXPECT_THROW((void)mrt::ParseFileStream(std::make_shared<feed::AsPathTable>(),
+                                            "qmrt_test_missing_dir/nope.mrt"),
+                 std::runtime_error);
+  };
+
+  exercise_error_paths();  // warm-up: let lazy runtime fds settle
+  const std::size_t before = OpenFdCount();
+  for (int round = 0; round < 32; ++round) exercise_error_paths();
+  EXPECT_EQ(OpenFdCount(), before);
+  std::remove(corrupt_path.c_str());
 }
 
 TEST(QmrtCorruption, TruncatedBlockFailsClosed) {

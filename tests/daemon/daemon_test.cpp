@@ -1,0 +1,334 @@
+// Tentpole acceptance tests for quicksandd:
+//   * with fault rate 0, the resident daemon's incremental churn/alert
+//     state equals the batch pipeline's results on the same feed;
+//   * a daemon killed mid-ingest and restored from its snapshot emits a
+//     byte-identical subsequent alert stream;
+//   * queries answer, shed under overload, and reject expired deadlines;
+//   * the socket server round-trips the real wire path.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "bgp/churn.hpp"
+#include "bgp/collector.hpp"
+#include "bgp/dynamics_gen.hpp"
+#include "bgp/topology_gen.hpp"
+#include "core/monitor.hpp"
+#include "daemon/driver.hpp"
+#include "daemon/quicksandd.hpp"
+#include "daemon/server.hpp"
+#include "fault/injector.hpp"
+
+namespace quicksand::daemon {
+namespace {
+
+constexpr std::int64_t kWindow = 7 * netbase::duration::kDay;
+
+struct SmallWorld {
+  bgp::Topology topology;
+  bgp::CollectorSet collectors;
+  bgp::GeneratedDynamics dynamics;
+};
+
+SmallWorld MakeSmallWorld(std::int64_t window_s) {
+  SmallWorld world;
+  bgp::TopologyParams tp;
+  tp.tier1_count = 3;
+  tp.transit_count = 12;
+  tp.eyeball_count = 15;
+  tp.hosting_count = 6;
+  tp.content_count = 10;
+  tp.seed = 17;
+  world.topology = bgp::GenerateTopology(tp);
+  bgp::CollectorParams cp;
+  cp.collector_count = 2;
+  cp.sessions_per_collector = 6;
+  cp.seed = 18;
+  world.collectors = bgp::CollectorSet::Create(world.topology, cp);
+  bgp::DynamicsParams dp;
+  dp.window = window_s;
+  dp.seed = 19;
+  world.dynamics = bgp::GenerateDynamics(world.topology, world.collectors, dp);
+  return world;
+}
+
+std::unordered_set<netbase::Prefix> PickMonitored(const SmallWorld& world,
+                                                  std::size_t count) {
+  std::unordered_set<netbase::Prefix> monitored;
+  for (const bgp::BgpUpdate& update : world.dynamics.initial_rib) {
+    monitored.insert(update.prefix);
+    if (monitored.size() >= count) break;
+  }
+  return monitored;
+}
+
+DaemonConfig MakeConfig(const SmallWorld& world, std::int64_t window_s,
+                        std::size_t monitored_count = 8) {
+  DaemonConfig config;
+  config.churn.window_end_s = window_s;
+  config.monitored_prefixes = PickMonitored(world, monitored_count);
+  config.seed = 4711;
+  return config;
+}
+
+/// Alert identity modulo arrival order: the monitor's documented contract
+/// is an order-insensitive alert *set* per anomaly (kind, prefixes,
+/// suspect); time/session record which arrival won the idempotence race.
+using AlertKey = std::tuple<int, netbase::Prefix, netbase::Prefix, bgp::AsNumber>;
+
+std::vector<AlertKey> AlertKeys(const std::vector<core::Alert>& alerts) {
+  std::vector<AlertKey> keys;
+  keys.reserve(alerts.size());
+  for (const core::Alert& alert : alerts) {
+    keys.emplace_back(static_cast<int>(alert.kind), alert.monitored_prefix,
+                      alert.announced_prefix, alert.suspect);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Daemon, RateZeroMatchesBatchPipeline) {
+  const SmallWorld world = MakeSmallWorld(kWindow);
+  const fault::FaultPlan plan = fault::FaultPlan::Scaled(0.0, 1, kWindow);
+
+  DaemonConfig config = MakeConfig(world, kWindow);
+  Daemon daemon(config);
+  ReplayConfig replay;
+  replay.end_s = kWindow;
+  replay.step_s = 60;
+  ReplayDriver driver(daemon, plan, world.dynamics.initial_rib,
+                      world.dynamics.updates, replay);
+  EXPECT_EQ(driver.stream_stats().dropped(), 0u) << "rate 0 must be pass-through";
+  driver.Prime();
+  driver.Run();
+
+  // Batch reference on the identical (pass-through) feed. PerturbStream
+  // at rate 0 re-sorts canonically; reuse it so both pipelines see the
+  // same update sequence.
+  const fault::FaultInjector injector(plan);
+  fault::FaultedStream base =
+      injector.PerturbStream(world.dynamics.initial_rib, world.dynamics.updates);
+  bgp::ChurnParams churn_params;
+  churn_params.window_end_s = kWindow;
+  bgp::ChurnAnalyzer batch_churn =
+      bgp::AnalyzeChurn(world.dynamics.initial_rib, base.updates, churn_params);
+
+  daemon.churn().Finish();
+  const auto& live_entries = daemon.churn().entries();
+  const auto& batch_entries = batch_churn.entries();
+  ASSERT_EQ(live_entries.size(), batch_entries.size());
+  EXPECT_TRUE(live_entries == batch_entries)
+      << "resident churn state must equal batch AnalyzeChurn";
+  EXPECT_EQ(daemon.churn().DroppedOutOfOrder(), batch_churn.DroppedOutOfOrder());
+
+  core::RelayMonitor batch_monitor(config.monitored_prefixes, config.monitor);
+  batch_monitor.LearnBaseline(world.dynamics.initial_rib);
+  for (const bgp::BgpUpdate& update : base.updates) {
+    static_cast<void>(batch_monitor.Consume(update));
+  }
+  EXPECT_GT(batch_monitor.alerts().size(), 0u)
+      << "world should churn enough to raise alerts, or the test is vacuous";
+  EXPECT_EQ(AlertKeys(daemon.monitor().alerts()), AlertKeys(batch_monitor.alerts()));
+  EXPECT_EQ(daemon.monitor().AlertCounts().total(), batch_monitor.AlertCounts().total());
+
+  // Every session established exactly once and never flapped.
+  for (const auto& [session, tally] : daemon.ingest().tallies()) {
+    EXPECT_EQ(daemon.Session(session).flaps(), 0u);
+    EXPECT_EQ(daemon.Session(session).establishments(), 1u);
+    EXPECT_EQ(tally.shed_records, 0u);
+  }
+}
+
+TEST(Daemon, WarmRestartEmitsByteIdenticalAlertStream) {
+  const SmallWorld world = MakeSmallWorld(kWindow);
+  // Faults on: outages, losses and resync bursts make the replay
+  // genuinely adversarial; determinism makes them reproducible.
+  const fault::FaultPlan plan = fault::FaultPlan::Scaled(0.05, 33, kWindow);
+  ReplayConfig replay;
+  replay.end_s = kWindow;
+  replay.step_s = 60;
+
+  // Reference: uninterrupted run (checkpointing on — snapshots must not
+  // perturb behavior).
+  const std::string ref_ckpt = TempPath("quicksandd_test_ref.ckpt");
+  std::filesystem::remove(ref_ckpt);
+  DaemonConfig ref_config = MakeConfig(world, kWindow);
+  ref_config.checkpoint_path = ref_ckpt;
+  ref_config.checkpoint_every_s = 6 * netbase::duration::kHour;
+  Daemon reference(ref_config);
+  ReplayDriver ref_driver(reference, plan, world.dynamics.initial_rib,
+                          world.dynamics.updates, replay);
+  ref_driver.Prime();
+  ref_driver.Run();
+  const std::string expected_alerts = reference.DumpAlerts();
+  EXPECT_GT(reference.SnapshotsWritten(), 1u);
+  EXPECT_FALSE(expected_alerts.empty());
+
+  // Killed run: same config, different checkpoint file; stop abruptly a
+  // few steps after the second snapshot (un-snapshotted work in flight).
+  const std::string kill_ckpt = TempPath("quicksandd_test_kill.ckpt");
+  std::filesystem::remove(kill_ckpt);
+  DaemonConfig kill_config = ref_config;
+  kill_config.checkpoint_path = kill_ckpt;
+  std::int64_t snapshot_time = -1;
+  {
+    Daemon victim(kill_config);
+    ReplayDriver driver(victim, plan, world.dynamics.initial_rib,
+                        world.dynamics.updates, replay);
+    driver.Prime();
+    while (victim.SnapshotsWritten() < 2 && !driver.Done()) driver.Step();
+    ASSERT_EQ(victim.SnapshotsWritten(), 2u);
+    snapshot_time = driver.Now();
+    for (int i = 0; i < 7 && !driver.Done(); ++i) driver.Step();
+    // The victim is abandoned here — state lost, snapshot file remains.
+  }
+
+  Daemon resumed(kill_config);
+  const RestoreResult restore = resumed.TryRestore();
+  ASSERT_TRUE(restore.restored) << restore.error;
+  EXPECT_EQ(restore.snapshot_time_s, snapshot_time);
+  ReplayDriver resumed_driver(resumed, plan, world.dynamics.initial_rib,
+                              world.dynamics.updates, replay);
+  resumed_driver.AlignToRestore(restore.snapshot_time_s);
+  resumed_driver.Run();
+
+  EXPECT_EQ(resumed.DumpAlerts(), expected_alerts)
+      << "restored daemon must emit the byte-identical alert stream";
+
+  // The analyzer state also converges exactly, not just the alert log.
+  resumed.churn().Finish();
+  reference.churn().Finish();
+  EXPECT_TRUE(resumed.churn().entries() == reference.churn().entries());
+
+  std::filesystem::remove(ref_ckpt);
+  std::filesystem::remove(kill_ckpt);
+}
+
+TEST(Daemon, RestoreRejectsForeignAndCorruptSnapshots) {
+  const SmallWorld world = MakeSmallWorld(netbase::duration::kDay);
+  const std::string path = TempPath("quicksandd_test_reject.ckpt");
+  std::filesystem::remove(path);
+
+  DaemonConfig config = MakeConfig(world, netbase::duration::kDay);
+  config.checkpoint_path = path;
+  Daemon daemon(config);
+  // No file at all: not restored, not an error.
+  const RestoreResult missing = daemon.TryRestore();
+  EXPECT_FALSE(missing.restored);
+  EXPECT_TRUE(missing.error.empty());
+
+  ASSERT_TRUE(daemon.WriteSnapshot(1000));
+
+  // A different seed is a different replay identity: refuse.
+  DaemonConfig foreign = config;
+  foreign.seed = config.seed + 1;
+  Daemon other(foreign);
+  const RestoreResult mismatch = other.TryRestore();
+  EXPECT_FALSE(mismatch.restored);
+  EXPECT_NE(mismatch.error.find("fingerprint"), std::string::npos);
+
+  // Truncate the file: checksum rejects, daemon starts fresh.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "quicksand-ckpt-v1\ngarbage\n";
+  }
+  Daemon fresh(config);
+  const RestoreResult corrupt = fresh.TryRestore();
+  EXPECT_FALSE(corrupt.restored);
+  EXPECT_FALSE(corrupt.error.empty());
+  std::filesystem::remove(path);
+}
+
+TEST(Daemon, QueriesAnswerShedAndExpire) {
+  const SmallWorld world = MakeSmallWorld(netbase::duration::kDay);
+  const fault::FaultPlan plan = fault::FaultPlan::Scaled(0.0, 1, netbase::duration::kDay);
+  DaemonConfig config = MakeConfig(world, netbase::duration::kDay);
+  Daemon daemon(config);
+  ReplayConfig replay;
+  replay.end_s = netbase::duration::kDay;
+  replay.step_s = 60;
+  ReplayDriver driver(daemon, plan, world.dynamics.initial_rib,
+                      world.dynamics.updates, replay);
+  driver.Prime();
+  driver.Run();
+  const std::int64_t now = driver.Now();
+
+  EXPECT_EQ(daemon.HandleRequest("ping", now), "ok pong");
+  EXPECT_EQ(daemon.HandleRequest("bogus", now).substr(0, 3), "err");
+
+  const std::string health = daemon.HandleRequest("health", now);
+  EXPECT_EQ(health.substr(0, 3), "ok ");
+  EXPECT_NE(health.find("sessions=12"), std::string::npos);
+  EXPECT_NE(health.find("state=established"), std::string::npos);
+
+  const std::string alerts = daemon.HandleRequest("alerts 0", now);
+  EXPECT_NE(alerts.find("count=" + std::to_string(daemon.monitor().alerts().size())),
+            std::string::npos);
+  // "alerts in the last simulated hour" is the same query with a since.
+  const std::string recent =
+      daemon.HandleRequest("alerts " + std::to_string(now - 3600), now);
+  EXPECT_EQ(recent.substr(0, 3), "ok ");
+
+  // Exposure answers straight from live churn state.
+  const netbase::Prefix target = *config.monitored_prefixes.begin();
+  const std::vector<bgp::AsNumber> on_path = daemon.churn().CurrentOnPathAses(target);
+  ASSERT_FALSE(on_path.empty());
+  const std::string exposed = daemon.HandleRequest(
+      "exposure " + std::to_string(on_path.front()) + " " + target.ToString(), now);
+  EXPECT_NE(exposed.find("exposed=1"), std::string::npos);
+  const std::string unexposed =
+      daemon.HandleRequest("exposure 4294900000 " + target.ToString(), now);
+  EXPECT_NE(unexposed.find("exposed=0"), std::string::npos);
+
+  // Expired deadline: rejected, not served stale.
+  EXPECT_EQ(daemon.HandleRequest("alerts 0", now, now - 1).substr(0, 12), "err deadline");
+
+  // Overload: cheap queries answer, expensive ones shed.
+  DaemonConfig tiny = MakeConfig(world, netbase::duration::kDay);
+  tiny.budget.max_records_per_session = 8;
+  tiny.budget.overload_fraction = 0.5;
+  Daemon overloaded(tiny);
+  static_cast<void>(overloaded.OfferBatch(1, std::vector<bgp::feed::UpdateRec>(6)));
+  ASSERT_TRUE(overloaded.ingest().Overloaded());
+  EXPECT_EQ(overloaded.HandleRequest("ping", 0), "ok pong");
+  EXPECT_EQ(overloaded.HandleRequest("alerts 0", 0).substr(0, 8), "err busy");
+  EXPECT_EQ(overloaded.HandleRequest("health", 0).substr(0, 3), "ok ");
+}
+
+TEST(Daemon, UnixSocketServerRoundTrips) {
+  const SmallWorld world = MakeSmallWorld(netbase::duration::kDay);
+  DaemonConfig config = MakeConfig(world, netbase::duration::kDay);
+  Daemon daemon(config);
+
+  const std::string socket_path =
+      TempPath("quicksandd_test_" + std::to_string(::getpid()) + ".sock");
+  UnixSocketServer server(socket_path);
+  std::thread serve([&] {
+    static_cast<void>(server.ServeOne(daemon, [] { return std::int64_t{0}; }));
+  });
+  const std::vector<std::string> responses =
+      QueryUnixSocket(socket_path, {"ping", "health", "alerts 0", "nonsense"});
+  serve.join();
+
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_EQ(responses[0], "ok pong");
+  EXPECT_EQ(responses[1].substr(0, 2), "ok");
+  EXPECT_EQ(responses[2].substr(0, 2), "ok");
+  EXPECT_EQ(responses[3].substr(0, 3), "err");
+}
+
+}  // namespace
+}  // namespace quicksand::daemon

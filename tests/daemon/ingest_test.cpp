@@ -1,0 +1,132 @@
+// Bounded-ingest tests: whole-batch shedding at the record and byte
+// budgets, stall/resumption accounting, deterministic ascending-session
+// FIFO draining, and the overload signal the query plane sheds on.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "daemon/ingest.hpp"
+
+namespace quicksand::daemon {
+namespace {
+
+std::vector<bgp::feed::UpdateRec> Batch(std::size_t records, std::int64_t t0 = 0) {
+  std::vector<bgp::feed::UpdateRec> batch(records);
+  for (std::size_t i = 0; i < records; ++i) {
+    batch[i].time = netbase::SimTime{t0 + static_cast<std::int64_t>(i)};
+  }
+  return batch;
+}
+
+IngestBudget SmallBudget() {
+  IngestBudget budget;
+  budget.max_records_per_session = 10;
+  budget.max_bytes_per_session = 0;  // unlimited; record cap governs
+  budget.overload_fraction = 0.5;
+  return budget;
+}
+
+TEST(IngestQueue, AcceptsWithinBudgetAndTallies) {
+  IngestQueue queue(SmallBudget());
+  EXPECT_EQ(queue.Offer(3, Batch(4)), OfferResult::kAccepted);
+  EXPECT_EQ(queue.Offer(3, Batch(6)), OfferResult::kAccepted);
+  EXPECT_EQ(queue.QueuedRecords(), 10u);
+  EXPECT_EQ(queue.QueuedRecords(3), 10u);
+  const IngestSessionTally& tally = queue.tallies().at(3);
+  EXPECT_EQ(tally.offered_records, 10u);
+  EXPECT_EQ(tally.accepted_records, 10u);
+  EXPECT_EQ(tally.shed_records, 0u);
+  EXPECT_EQ(tally.stalls, 0u);
+}
+
+TEST(IngestQueue, ShedsWholeBatchOverRecordBudget) {
+  IngestQueue queue(SmallBudget());
+  EXPECT_EQ(queue.Offer(1, Batch(8)), OfferResult::kAccepted);
+  // 8 + 3 > 10: the whole batch is shed, nothing is torn in half.
+  EXPECT_EQ(queue.Offer(1, Batch(3)), OfferResult::kShedOverRecordBudget);
+  EXPECT_EQ(queue.QueuedRecords(1), 8u);
+  const IngestSessionTally& tally = queue.tallies().at(1);
+  EXPECT_EQ(tally.offered_records, 11u);
+  EXPECT_EQ(tally.accepted_records, 8u);
+  EXPECT_EQ(tally.shed_records, 3u);
+  EXPECT_EQ(tally.shed_batches, 1u);
+  EXPECT_EQ(tally.stalls, 1u);
+}
+
+TEST(IngestQueue, ShedsOverByteBudget) {
+  IngestBudget budget;
+  budget.max_records_per_session = 0;  // unlimited
+  budget.max_bytes_per_session = 4 * sizeof(bgp::feed::UpdateRec);
+  IngestQueue queue(budget);
+  EXPECT_EQ(queue.Offer(1, Batch(4)), OfferResult::kAccepted);
+  EXPECT_EQ(queue.Offer(1, Batch(1)), OfferResult::kShedOverByteBudget);
+}
+
+TEST(IngestQueue, StallAndResumptionCountOncePerEpisode) {
+  IngestQueue queue(SmallBudget());
+  EXPECT_EQ(queue.Offer(1, Batch(10)), OfferResult::kAccepted);
+  // Saturated: several rejected offers are ONE stall episode.
+  EXPECT_EQ(queue.Offer(1, Batch(1)), OfferResult::kShedOverRecordBudget);
+  EXPECT_EQ(queue.Offer(1, Batch(1)), OfferResult::kShedOverRecordBudget);
+  EXPECT_EQ(queue.tallies().at(1).stalls, 1u);
+  EXPECT_EQ(queue.tallies().at(1).resumptions, 0u);
+
+  std::vector<std::pair<bgp::SessionId, std::vector<bgp::feed::UpdateRec>>> drained;
+  EXPECT_EQ(queue.DrainInto(drained), 10u);
+  EXPECT_EQ(queue.Offer(1, Batch(2)), OfferResult::kAccepted);
+  EXPECT_EQ(queue.tallies().at(1).resumptions, 1u);
+
+  // A second saturation is a second episode.
+  EXPECT_EQ(queue.Offer(1, Batch(9)), OfferResult::kShedOverRecordBudget);
+  EXPECT_EQ(queue.tallies().at(1).stalls, 2u);
+}
+
+TEST(IngestQueue, DrainsAscendingSessionFifo) {
+  IngestQueue queue(SmallBudget());
+  EXPECT_EQ(queue.Offer(5, Batch(2, 100)), OfferResult::kAccepted);
+  EXPECT_EQ(queue.Offer(2, Batch(3, 200)), OfferResult::kAccepted);
+  EXPECT_EQ(queue.Offer(5, Batch(1, 300)), OfferResult::kAccepted);
+
+  std::vector<std::pair<bgp::SessionId, std::vector<bgp::feed::UpdateRec>>> drained;
+  EXPECT_EQ(queue.DrainInto(drained), 6u);
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0].first, 2u);
+  EXPECT_EQ(drained[0].second.size(), 3u);
+  EXPECT_EQ(drained[1].first, 5u);
+  EXPECT_EQ(drained[1].second[0].time.seconds, 100);
+  EXPECT_EQ(drained[2].first, 5u);
+  EXPECT_EQ(drained[2].second[0].time.seconds, 300);
+  EXPECT_EQ(queue.QueuedRecords(), 0u);
+}
+
+TEST(IngestQueue, OverloadSignalTracksAggregateOccupancy) {
+  IngestQueue queue(SmallBudget());  // cap 10/session, overload at 50%
+  EXPECT_FALSE(queue.Overloaded());
+  EXPECT_EQ(queue.Offer(1, Batch(4)), OfferResult::kAccepted);
+  EXPECT_FALSE(queue.Overloaded());  // 4 < 0.5 * 10 * 1 session
+  EXPECT_EQ(queue.Offer(1, Batch(2)), OfferResult::kAccepted);
+  EXPECT_TRUE(queue.Overloaded());  // 6 >= 5
+  // A second session doubles the aggregate budget; same occupancy clears.
+  EXPECT_EQ(queue.Offer(2, Batch(1)), OfferResult::kAccepted);
+  EXPECT_FALSE(queue.Overloaded());  // 7 < 0.5 * 10 * 2
+
+  std::vector<std::pair<bgp::SessionId, std::vector<bgp::feed::UpdateRec>>> drained;
+  queue.DrainInto(drained);
+  EXPECT_FALSE(queue.Overloaded());
+}
+
+TEST(IngestQueue, UnlimitedBudgetsNeverShed) {
+  IngestBudget budget;
+  budget.max_records_per_session = 0;
+  budget.max_bytes_per_session = 0;
+  IngestQueue queue(budget);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(queue.Offer(1, Batch(1000)), OfferResult::kAccepted);
+  }
+  EXPECT_EQ(queue.QueuedRecords(), 100'000u);
+  EXPECT_FALSE(queue.Overloaded()) << "no budget, no overload signal";
+}
+
+}  // namespace
+}  // namespace quicksand::daemon

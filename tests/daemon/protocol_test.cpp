@@ -1,0 +1,181 @@
+// Adversarial framing tests for the daemon's length-prefixed protocol:
+// arbitrary chunk boundaries (1-byte reads, split length headers) must
+// decode exactly what whole-buffer parsing decodes, and oversized frames
+// must fail closed before their body is buffered.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "daemon/protocol.hpp"
+#include "netbase/rng.hpp"
+
+namespace quicksand::daemon {
+namespace {
+
+std::vector<std::string> DecodeAll(FrameReader& reader) {
+  std::vector<std::string> frames;
+  std::string payload;
+  while (reader.Next(payload)) frames.push_back(payload);
+  return frames;
+}
+
+std::string MultiFrameWire(const std::vector<std::string>& payloads) {
+  std::string wire;
+  for (const std::string& payload : payloads) wire += EncodeFrame(payload);
+  return wire;
+}
+
+TEST(FrameReader, RoundTripsWholeBuffer) {
+  const std::vector<std::string> payloads = {"ping", "", "alerts 3600",
+                                             std::string(1000, 'x')};
+  FrameReader reader;
+  reader.Feed(MultiFrameWire(payloads));
+  EXPECT_EQ(DecodeAll(reader), payloads);
+  EXPECT_FALSE(reader.error());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReader, OneByteAtATimeMatchesWholeBuffer) {
+  const std::vector<std::string> payloads = {"health", "exposure 7 10.0.0.0/8", ""};
+  const std::string wire = MultiFrameWire(payloads);
+  FrameReader reader;
+  std::vector<std::string> frames;
+  std::string payload;
+  for (const char byte : wire) {
+    reader.Feed(std::string_view(&byte, 1));
+    while (reader.Next(payload)) frames.push_back(payload);
+  }
+  EXPECT_EQ(frames, payloads);
+  EXPECT_FALSE(reader.error());
+}
+
+TEST(FrameReader, LengthHeaderSplitAcrossFeeds) {
+  const std::string wire = EncodeFrame("ping");
+  // Split inside the 4-byte length prefix: 2 bytes, then the rest.
+  FrameReader reader;
+  reader.Feed(wire.substr(0, 2));
+  std::string payload;
+  EXPECT_FALSE(reader.Next(payload));
+  reader.Feed(wire.substr(2));
+  ASSERT_TRUE(reader.Next(payload));
+  EXPECT_EQ(payload, "ping");
+}
+
+TEST(FrameReader, RandomChunkingMatchesWholeBuffer) {
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 50; ++i) payloads.push_back(std::string(i * 7 % 200, 'a' + i % 26));
+  const std::string wire = MultiFrameWire(payloads);
+  netbase::Rng rng(20260809);
+  for (int trial = 0; trial < 20; ++trial) {
+    FrameReader reader;
+    std::vector<std::string> frames;
+    std::string payload;
+    std::size_t at = 0;
+    while (at < wire.size()) {
+      const std::size_t chunk = static_cast<std::size_t>(rng.UniformInt(1, 17));
+      const std::size_t take = std::min(chunk, wire.size() - at);
+      reader.Feed(std::string_view(wire).substr(at, take));
+      at += take;
+      while (reader.Next(payload)) frames.push_back(payload);
+    }
+    EXPECT_EQ(frames, payloads) << "trial " << trial;
+    EXPECT_FALSE(reader.error());
+  }
+}
+
+TEST(FrameReader, OversizedLengthFailsClosedBeforeBodyArrives) {
+  FrameReader reader;
+  // Header declaring kMaxFrameBytes+1, fed byte by byte: the reader must
+  // poison itself the moment the 4th header byte lands, without waiting
+  // for (or buffering) any body bytes.
+  const std::string header = EncodeFrame("").substr(0, 4);
+  std::string oversized;
+  const std::uint32_t length = kMaxFrameBytes + 1;
+  oversized.push_back(static_cast<char>(length & 0xFF));
+  oversized.push_back(static_cast<char>((length >> 8) & 0xFF));
+  oversized.push_back(static_cast<char>((length >> 16) & 0xFF));
+  oversized.push_back(static_cast<char>((length >> 24) & 0xFF));
+  for (const char byte : oversized) reader.Feed(std::string_view(&byte, 1));
+  EXPECT_TRUE(reader.error());
+  EXPECT_EQ(reader.buffered(), 0u);
+  EXPECT_NE(reader.error_detail().find("exceeds cap"), std::string::npos);
+  // Sticky: no resynchronization, further input is refused.
+  std::string payload;
+  EXPECT_FALSE(reader.Next(payload));
+  reader.Feed(EncodeFrame("ping"));
+  EXPECT_FALSE(reader.Next(payload));
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReader, OversizedSecondFrameDetectedAfterFirstPops) {
+  FrameReader reader;
+  std::string wire = EncodeFrame("ok");
+  const std::uint32_t length = kMaxFrameBytes + 7;
+  wire.push_back(static_cast<char>(length & 0xFF));
+  wire.push_back(static_cast<char>((length >> 8) & 0xFF));
+  wire.push_back(static_cast<char>((length >> 16) & 0xFF));
+  wire.push_back(static_cast<char>((length >> 24) & 0xFF));
+  reader.Feed(wire);
+  std::string payload;
+  ASSERT_TRUE(reader.Next(payload));
+  EXPECT_EQ(payload, "ok");
+  EXPECT_TRUE(reader.error());
+  EXPECT_FALSE(reader.Next(payload));
+}
+
+TEST(FrameReader, MaxSizeFrameIsAccepted) {
+  const std::string body(kMaxFrameBytes, 'z');
+  FrameReader reader;
+  reader.Feed(EncodeFrame(body));
+  std::string payload;
+  ASSERT_TRUE(reader.Next(payload));
+  EXPECT_EQ(payload.size(), kMaxFrameBytes);
+  EXPECT_FALSE(reader.error());
+}
+
+TEST(ParseRequest, Grammar) {
+  EXPECT_EQ(ParseRequest("ping").kind, RequestKind::kPing);
+  EXPECT_EQ(ParseRequest("health").kind, RequestKind::kHealth);
+
+  const Request alerts = ParseRequest("alerts 3600");
+  EXPECT_EQ(alerts.kind, RequestKind::kAlerts);
+  EXPECT_EQ(alerts.alerts_since_s, 3600);
+
+  const Request exposure = ParseRequest("exposure 42 10.0.0.0/8 192.168.0.0/16");
+  EXPECT_EQ(exposure.kind, RequestKind::kExposure);
+  EXPECT_EQ(exposure.client_as, 42u);
+  ASSERT_EQ(exposure.prefixes.size(), 2u);
+  EXPECT_EQ(exposure.prefixes[0].ToString(), "10.0.0.0/8");
+  EXPECT_EQ(exposure.prefixes[1].ToString(), "192.168.0.0/16");
+}
+
+TEST(ParseRequest, RejectsMalformedInputWithoutThrowing) {
+  EXPECT_EQ(ParseRequest("").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequest("   ").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequest("launch-missiles").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequest("ping now").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequest("alerts").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequest("alerts yesterday").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequest("alerts -5").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequest("exposure 42").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequest("exposure zero 10.0.0.0/8").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequest("exposure 0 10.0.0.0/8").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequest("exposure 42 10.0.0.1/8").kind, RequestKind::kInvalid);
+  for (const char* bad :
+       {"", "   ", "launch-missiles", "alerts yesterday", "exposure 42 nonsense"}) {
+    EXPECT_FALSE(ParseRequest(bad).error.empty() &&
+                 ParseRequest(bad).kind == RequestKind::kInvalid)
+        << "invalid request should carry an error: '" << bad << "'";
+  }
+}
+
+TEST(Responses, CanonicalForms) {
+  EXPECT_EQ(OkResponse(""), "ok");
+  EXPECT_EQ(OkResponse("pong"), "ok pong");
+  EXPECT_EQ(ErrResponse("busy"), "err busy");
+}
+
+}  // namespace
+}  // namespace quicksand::daemon
