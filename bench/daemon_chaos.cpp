@@ -47,6 +47,7 @@
 #include "fault/injector.hpp"
 #include "obs/json.hpp"
 #include "util/atomic_file.hpp"
+#include "util/parse_num.hpp"
 
 namespace {
 
@@ -205,10 +206,15 @@ int main(int argc, char** argv) {
   const std::int64_t window_s = options.days * netbase::duration::kDay;
 
   // SIGKILL after the n-th snapshot plus a few steps of un-snapshotted
-  // work — the crash the smoke script recovers from.
-  long kill_after = 0;
-  if (const char* env = std::getenv("QUICKSAND_DAEMON_KILL_AFTER")) {
-    kill_after = std::strtol(env, nullptr, 10);
+  // work — the crash the smoke script recovers from. Fail closed on a
+  // malformed value: a typo'd hook silently parsing to 0 would turn the
+  // chaos leg into a no-op that still reports success.
+  std::int64_t kill_after = 0;
+  try {
+    kill_after = util::EnvInt64("QUICKSAND_DAEMON_KILL_AFTER", 0);
+  } catch (const std::exception& error) {
+    std::cerr << "daemon_chaos: " << error.what() << "\n";
+    return 2;
   }
 
   const World world = MakeWorld(window_s);

@@ -1,0 +1,142 @@
+// xmat — the crash-safe experiment-matrix runner (docs/ROBUSTNESS.md).
+//
+// Expands a declarative matrix config into cells, executes each cell as
+// an isolated child process (deadline-killed, retried, quarantined), and
+// merges the per-cell quicksand-bench-v1 summaries into one
+// quicksand-xmat-v1 document with explicit gaps for quarantined cells:
+//
+//   xmat --config grid.conf --bench-dir build/bench --out matrix_out
+//   xmat --config grid.conf --bench-dir build/bench --out matrix_out --resume
+//
+// Exit codes: 0 = matrix complete (gaps are reported, not fatal; pass
+// --fail-on-gaps to make them exit 4), 2 = usage/config error, 1 =
+// runner-level failure.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "util/parse_num.hpp"
+#include "util/table.hpp"
+#include "xmat/config.hpp"
+#include "xmat/merge.hpp"
+#include "xmat/runner.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: xmat --config <file> --out <dir> [--bench-dir <dir>]\n"
+    "            [--resume] [--jobs <n>] [--merge-only] [--list]\n"
+    "            [--fail-on-gaps]\n"
+    "  --config <file>   declarative matrix config (see docs/ROBUSTNESS.md)\n"
+    "  --out <dir>       output tree: manifest.journal, cells/, logs/,\n"
+    "                    matrix.json, matrix_summary.txt\n"
+    "  --bench-dir <dir> directory holding the cell binary (default: .)\n"
+    "  --resume          replay the journal; done cells are skipped and the\n"
+    "                    merged output is byte-identical to an uninterrupted run\n"
+    "  --jobs <n>        cells to run concurrently (default 1)\n"
+    "  --merge-only      skip execution, just re-merge an existing tree\n"
+    "  --list            print the expanded cells and exit\n"
+    "  --fail-on-gaps    exit 4 if any cell ended quarantined\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace quicksand;
+
+  std::string config_path;
+  std::string out_dir;
+  std::string bench_dir = ".";
+  bool resume = false;
+  bool merge_only = false;
+  bool list_only = false;
+  bool fail_on_gaps = false;
+  std::size_t jobs = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--config" && i + 1 < argc) {
+      config_path = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--bench-dir" && i + 1 < argc) {
+      bench_dir = argv[++i];
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--merge-only") {
+      merge_only = true;
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--fail-on-gaps") {
+      fail_on_gaps = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      const auto parsed = util::ParseU64(argv[++i]);
+      if (!parsed.has_value() || *parsed == 0) {
+        std::cerr << "invalid --jobs value: " << argv[i] << "\n";
+        return 2;
+      }
+      jobs = static_cast<std::size_t>(*parsed);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n" << kUsage;
+      return 2;
+    }
+  }
+  if (config_path.empty() || out_dir.empty()) {
+    std::cerr << "--config and --out are required\n" << kUsage;
+    return 2;
+  }
+
+  try {
+    const xmat::MatrixConfig config = xmat::LoadMatrixConfig(config_path);
+    const std::vector<xmat::Cell> cells = xmat::ExpandCells(config);
+
+    if (list_only) {
+      util::Table table({"cell", "coordinates"});
+      for (const xmat::Cell& cell : cells) table.AddRow({cell.id, cell.Label()});
+      std::cout << config.bench << ": " << cells.size() << " cells\n"
+                << table.Render();
+      return 0;
+    }
+
+    if (!merge_only) {
+      xmat::RunnerOptions options;
+      options.out_dir = out_dir;
+      options.bench_dir = bench_dir;
+      options.resume = resume;
+      options.jobs = jobs;
+      std::cout << "xmat: " << config.bench << " × " << cells.size()
+                << " cells → " << out_dir << (resume ? " (resume)" : "") << "\n";
+      const xmat::RunSummary summary = xmat::RunMatrix(config, options);
+      std::cout << "xmat: " << summary.done << "/" << summary.cells << " done";
+      if (summary.skipped_done > 0) {
+        std::cout << " (" << summary.skipped_done << " resumed from journal)";
+      }
+      if (summary.retries > 0) std::cout << ", " << summary.retries << " retries";
+      if (summary.deadline_kills > 0) {
+        std::cout << ", " << summary.deadline_kills << " deadline kills";
+      }
+      if (summary.quarantined > 0) {
+        std::cout << ", " << summary.quarantined << " QUARANTINED";
+      }
+      std::cout << "\n";
+    }
+
+    const xmat::MergeResult merged = xmat::MergeMatrix(config, out_dir);
+    const std::string json_path = xmat::WriteMergedMatrix(merged, out_dir);
+    std::cout << "\n" << merged.table << "\n"
+              << "merged " << merged.merged << " cells ("
+              << merged.gaps << " gaps) into " << json_path << "\n";
+    if (merged.gaps > 0) {
+      std::cout << "WARNING: " << merged.gaps
+                << " cells are coverage gaps (see \"gaps\" in matrix.json)\n";
+      if (fail_on_gaps) return 4;
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "xmat: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -18,7 +18,8 @@ Comparison ignores everything that is allowed to vary between runs of
 the same seed: per-phase wall times, total_wall_ms, the top-level
 "threads" field, any histogram whose name ends in "_ms" (the reserved
 wall-clock namespace), and any metric whose name starts with "exec.",
-"ckpt.", "feed.", "span.", or "prof." (the reserved namespaces:
+"ckpt.", "feed.", "span.", "prof.", "qmrt.", "daemon.", or "xmat."
+(the reserved namespaces:
 thread-pool and cache counters legitimately depend on thread count and
 scheduling, checkpoint telemetry depends on where a run was killed,
 streaming-feed telemetry — batch counts, peak resident updates, intern
@@ -183,7 +184,7 @@ def validate(doc, origin):
 
 def scheduling_dependent(name):
     """True for metrics in the reserved "exec.", "ckpt.", "feed.",
-    "span.", "prof.", "qmrt.", and "daemon." namespaces, whose values may
+    "span.", "prof.", "qmrt.", "daemon.", and "xmat." namespaces, whose values may
     vary with thread count, scheduling, where in a sweep a run was killed,
     the streaming batch size, the selected wire format, or the resource
     sampler's cadence (pool telemetry, cache hits, snapshot sizes and
@@ -192,11 +193,15 @@ def scheduling_dependent(name):
     the resident monitor's supervision/ingest/query counters: a killed-
     and-restored run legitimately re-counts offers and retries, so the
     warm-restart contract is alert-dump byte identity, never counter
-    equality (docs/DAEMON.md)."""
+    equality (docs/DAEMON.md). "xmat." covers the experiment-matrix
+    runner: attempt, retry, and deadline-kill counts legitimately differ
+    between an uninterrupted matrix and a killed-and-resumed one — the
+    matrix contract is merged-artifact byte identity (docs/ROBUSTNESS.md
+    "Experiment matrix")."""
     return (name.startswith("exec.") or name.startswith("ckpt.")
             or name.startswith("feed.") or name.startswith("span.")
             or name.startswith("prof.") or name.startswith("qmrt.")
-            or name.startswith("daemon."))
+            or name.startswith("daemon.") or name.startswith("xmat."))
 
 
 def deterministic_view(doc):

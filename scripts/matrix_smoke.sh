@@ -1,0 +1,155 @@
+#!/usr/bin/env bash
+# Chaos integration test for the xmat experiment-matrix runner
+# (docs/ROBUSTNESS.md "Experiment matrix").
+#
+# Leg A — quarantine & gap reporting: a matrix with a seed axis runs with
+#   QUICKSAND_MATRIX_DEMO_ABORT_SEED pointed at one seed, so every cell
+#   on that seed crashes on every attempt (std::_Exit(42)). Asserts those
+#   cells exhaust their retries, end quarantined, and surface in the
+#   merged matrix.json "gaps" array with attempts and last_error — and
+#   that the other cells still merged.
+#
+# Leg B — flaky retry: QUICKSAND_MATRIX_DEMO_FLAKY_DIR makes every cell
+#   crash exactly once (sentinel file per seed) and then succeed. Asserts
+#   the runner retried each cell to completion and the merged matrix is
+#   byte-identical to a chaos-free reference run.
+#
+# Leg C — runner SIGKILL + resume, at --threads 1 and 4 (the cell-level
+#   thread count rides an axis; the runner also runs --jobs $t): a
+#   reference matrix runs uninterrupted; a second tree is killed mid-
+#   matrix via QUICKSAND_XMAT_KILL_AFTER (raise(SIGKILL) on the runner —
+#   no destructors, no journal flush beyond the last atomic Record);
+#   xmat --resume replays the journal and finishes. Asserts the resumed
+#   tree's matrix.json is byte-identical to the reference.
+#
+# Usage: scripts/matrix_smoke.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  defaults to "build"
+#   OUT_DIR    defaults to "matrix_smoke_out" (wiped per leg)
+
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=$(cd "${1:-"$repo_root/build"}" && pwd)
+mkdir -p "${2:-"$repo_root/matrix_smoke_out"}"
+out_dir=$(cd "${2:-"$repo_root/matrix_smoke_out"}" && pwd)
+
+xmat="$build_dir/examples/xmat"
+bench_dir="$build_dir/bench"
+for bin in "$xmat" "$bench_dir/matrix_demo"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not found — build first:" >&2
+    echo "  cmake --build $build_dir -j --target xmat matrix_demo" >&2
+    exit 1
+  fi
+done
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# The matrix under test: 2 fault rates x 2 attacks x 3 seeds = 12 cells.
+# retry_backoff_ms is tiny to keep the chaos legs fast.
+write_config() {  # $1 = path, extra axis lines on stdin
+  cat > "$1" <<'EOF'
+bench = matrix_demo
+timeout_ms = 120000
+retries = 2
+retry_backoff_ms = 5
+summary_key = alerts
+
+arg.days = 1
+arg.countermeasure = monitor
+
+axis.fault_rate = 0 0.02
+axis.attack = none hijack
+axis.seed = 1 2 3
+EOF
+  cat >> "$1"
+}
+
+gap_count() {  # $1 = matrix.json
+  python3 - "$1" <<'EOF'
+import json, sys
+print(json.load(open(sys.argv[1]))["totals"]["gaps"])
+EOF
+}
+
+echo "== leg A: injected cell crashes -> quarantine + gap report =="
+leg_a="$out_dir/leg_a"
+rm -rf "$leg_a" && mkdir -p "$leg_a"
+write_config "$leg_a/matrix.conf" </dev/null
+QUICKSAND_MATRIX_DEMO_ABORT_SEED=2 \
+  "$xmat" --config "$leg_a/matrix.conf" --bench-dir "$bench_dir" \
+          --out "$leg_a/run" > "$leg_a/run.log" 2>&1 \
+  || fail "leg A runner exited non-zero (gaps are reported, not fatal)"
+python3 - "$leg_a/run/matrix.json" <<'EOF' || fail "leg A gap report wrong"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+gaps = doc["gaps"]
+# 2 fault rates x 2 attacks on the poisoned seed = 4 quarantined cells.
+assert doc["totals"]["cells"] == 12, doc["totals"]
+assert doc["totals"]["merged"] == 8, doc["totals"]
+assert len(gaps) == 4, [g["id"] for g in gaps]
+for gap in gaps:
+    assert gap["status"] == "quarantined", gap
+    assert gap["coordinates"]["seed"] == "2", gap
+    assert gap["attempts"] == 3, gap   # 1 try + 2 retries, all crashed
+    assert "42" in gap["last_error"], gap
+merged_seeds = {c["coordinates"]["seed"] for c in doc["cells"]}
+assert merged_seeds == {"1", "3"}, merged_seeds
+EOF
+echo "   ok: 4/12 cells quarantined after 3 attempts each, reported as gaps"
+
+echo "== leg B: flaky cells (crash once, then succeed) -> retried to done =="
+leg_b="$out_dir/leg_b"
+rm -rf "$leg_b" && mkdir -p "$leg_b/sentinels"
+write_config "$leg_b/matrix.conf" </dev/null
+"$xmat" --config "$leg_b/matrix.conf" --bench-dir "$bench_dir" \
+        --out "$leg_b/clean" > "$leg_b/clean.log" 2>&1 \
+  || fail "leg B clean run failed"
+QUICKSAND_MATRIX_DEMO_FLAKY_DIR="$leg_b/sentinels" \
+  "$xmat" --config "$leg_b/matrix.conf" --bench-dir "$bench_dir" \
+          --out "$leg_b/flaky" > "$leg_b/flaky.log" 2>&1 \
+  || fail "leg B flaky run failed"
+[[ "$(gap_count "$leg_b/flaky/matrix.json")" == 0 ]] \
+  || fail "leg B flaky run left gaps"
+grep -q "retries" "$leg_b/flaky.log" || fail "leg B runner reported no retries"
+cmp "$leg_b/clean/matrix.json" "$leg_b/flaky/matrix.json" \
+  || fail "leg B flaky merge differs from clean merge"
+echo "   ok: every flaky cell retried to done; merge byte-identical to clean run"
+
+echo "== leg C: runner SIGKILL mid-matrix -> --resume -> byte-identical =="
+for t in 1 4; do
+  leg_c="$out_dir/leg_c_t$t"
+  rm -rf "$leg_c" && mkdir -p "$leg_c"
+  write_config "$leg_c/matrix.conf" <<EOF
+
+arg.threads = $t
+EOF
+  "$xmat" --config "$leg_c/matrix.conf" --bench-dir "$bench_dir" \
+          --out "$leg_c/full" --jobs "$t" > "$leg_c/full.log" 2>&1 \
+    || fail "leg C t$t reference run failed"
+
+  # SIGKILL the runner after 5 of 12 cells. No error handling runs; the
+  # journal's last atomic publish is all that survives.
+  set +e
+  QUICKSAND_XMAT_KILL_AFTER=5 \
+    "$xmat" --config "$leg_c/matrix.conf" --bench-dir "$bench_dir" \
+            --out "$leg_c/crash" --jobs "$t" > "$leg_c/crash.log" 2>&1
+  status=$?
+  set -e
+  [[ $status -eq 137 ]] || fail "leg C t$t: expected SIGKILL (137), got $status"
+  [[ ! -f "$leg_c/crash/matrix.json" ]] \
+    || fail "leg C t$t: killed runner should not have merged"
+
+  "$xmat" --config "$leg_c/matrix.conf" --bench-dir "$bench_dir" \
+          --out "$leg_c/crash" --resume --jobs "$t" > "$leg_c/resume.log" 2>&1 \
+    || fail "leg C t$t resume failed"
+  grep -q "resumed from journal" "$leg_c/resume.log" \
+    || fail "leg C t$t resume re-ran everything (journal not replayed)"
+  [[ "$(gap_count "$leg_c/crash/matrix.json")" == 0 ]] \
+    || fail "leg C t$t resumed run left gaps"
+  cmp "$leg_c/full/matrix.json" "$leg_c/crash/matrix.json" \
+    || fail "leg C t$t resumed matrix.json differs from uninterrupted run"
+  echo "   ok: t$t killed at cell 5/12, resumed, matrix.json byte-identical"
+done
+
+echo "matrix smoke: all legs passed"

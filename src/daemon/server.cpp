@@ -25,16 +25,23 @@ sockaddr_un MakeAddress(const std::string& path) {
   return address;
 }
 
-void WriteAll(int fd, std::string_view bytes) {
+/// Sends all of `bytes`, or reports the peer is gone. MSG_NOSIGNAL keeps
+/// a disappeared peer from raising SIGPIPE (which would kill the whole
+/// daemon, not just this connection); EPIPE/ECONNRESET come back as
+/// `false` — a clean "client hung up", not an error. Anything else still
+/// throws.
+[[nodiscard]] bool WriteAll(int fd, std::string_view bytes) {
   while (!bytes.empty()) {
-    const ssize_t written = ::write(fd, bytes.data(), bytes.size());
+    const ssize_t written = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
     if (written < 0) {
       if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
       throw std::runtime_error(std::string("socket write failed: ") +
                                std::strerror(errno));
     }
     bytes.remove_prefix(static_cast<std::size_t>(written));
   }
+  return true;
 }
 
 }  // namespace
@@ -92,16 +99,24 @@ std::size_t UnixSocketServer::HandleConnection(int fd, Daemon& daemon,
       pending.emplace_back(std::move(payload),
                            arrival_s + daemon.config().query_deadline_s);
     }
+    bool peer_gone = false;
     for (auto& [request, deadline_s] : pending) {
       const std::string response = daemon.HandleRequest(request, now(), deadline_s);
-      WriteAll(fd, EncodeFrame(response));
+      if (!WriteAll(fd, EncodeFrame(response))) {
+        // The client disconnected mid-response. Its remaining requests
+        // have no reader; stop serving this connection.
+        peer_gone = true;
+        break;
+      }
       ++served;
     }
     pending.clear();
+    if (peer_gone) break;
     if (reader.error()) {
-      // Fail closed: answer with the framing error, then drop the
-      // connection — the reader will not resynchronize a corrupt stream.
-      WriteAll(fd, EncodeFrame(ErrResponse(reader.error_detail())));
+      // Fail closed: answer with the framing error (best effort — the
+      // peer may already be gone), then drop the connection — the reader
+      // will not resynchronize a corrupt stream.
+      (void)WriteAll(fd, EncodeFrame(ErrResponse(reader.error_detail())));
       break;
     }
   }
@@ -120,7 +135,9 @@ std::vector<std::string> QueryUnixSocket(const std::string& path,
     throw std::runtime_error("connect(" + path + ") failed: " + std::strerror(errno));
   }
   for (const std::string& request : requests) {
-    WriteAll(fd.get(), EncodeFrame(request));
+    if (!WriteAll(fd.get(), EncodeFrame(request))) {
+      throw std::runtime_error("daemon closed the connection mid-request");
+    }
   }
   if (::shutdown(fd.get(), SHUT_WR) != 0) {
     throw std::runtime_error(std::string("shutdown failed: ") + std::strerror(errno));

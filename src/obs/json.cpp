@@ -3,9 +3,205 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/parse_num.hpp"
+
 namespace quicksand::obs {
 
 namespace {
+
+/// Recursive-descent JSON reader. Strict: no trailing commas, no
+/// comments, strings must be valid escapes. Depth-capped so a hostile
+/// document cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] std::optional<JsonValue> Run(std::string* error) {
+    try {
+      JsonValue value = ParseValue(0);
+      SkipWhitespace();
+      if (pos_ != text_.size()) Fail("trailing content after document");
+      return value;
+    } catch (const std::runtime_error& parse_error) {
+      if (error != nullptr) *error = parse_error.what();
+      return std::nullopt;
+    }
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void Fail(const std::string& reason) const {
+    throw std::runtime_error("byte " + std::to_string(pos_) + ": " + reason);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char Peek() const {
+    if (pos_ >= text_.size()) Fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool Consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue ParseValue(int depth) {
+    if (depth > kMaxDepth) Fail("nesting too deep");
+    SkipWhitespace();
+    const char c = Peek();
+    switch (c) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': return JsonValue(ParseString());
+      case 't':
+        if (!Consume("true")) Fail("invalid literal");
+        return JsonValue(true);
+      case 'f':
+        if (!Consume("false")) Fail("invalid literal");
+        return JsonValue(false);
+      case 'n':
+        if (!Consume("null")) Fail("invalid literal");
+        return JsonValue();
+      default: return ParseNumber();
+    }
+  }
+
+  JsonValue ParseObject(int depth) {
+    Expect('{');
+    JsonValue object = JsonValue::Object();
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    for (;;) {
+      SkipWhitespace();
+      std::string key = ParseString();
+      SkipWhitespace();
+      Expect(':');
+      object.Set(std::move(key), ParseValue(depth + 1));
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return object;
+    }
+  }
+
+  JsonValue ParseArray(int depth) {
+    Expect('[');
+    JsonValue array = JsonValue::Array();
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    for (;;) {
+      array.Append(ParseValue(depth + 1));
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return array;
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) Fail("raw control byte in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("unterminated escape");
+      const char escaped = text_[pos_++];
+      switch (escaped) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) Fail("truncated \\u escape");
+          const std::optional<std::uint64_t> code =
+              util::ParseU64(text_.substr(pos_, 4), 16);
+          if (!code.has_value()) Fail("invalid \\u escape");
+          pos_ += 4;
+          AppendUtf8(out, static_cast<std::uint32_t>(*code));
+          break;
+        }
+        default: Fail("invalid escape");
+      }
+    }
+  }
+
+  static void AppendUtf8(std::string& out, std::uint32_t code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    // Integral tokens keep their integral kind so a parse→dump round trip
+    // preserves the builder's int-vs-double formatting distinction.
+    if (token.find_first_of(".eE") == std::string_view::npos) {
+      if (const std::optional<std::int64_t> value = util::ParseI64(token)) {
+        return JsonValue(*value);
+      }
+      if (const std::optional<std::uint64_t> value = util::ParseU64(token)) {
+        return JsonValue(*value);
+      }
+    }
+    const std::optional<double> value = util::ParseF64(token);
+    if (!value.has_value()) Fail("invalid number '" + std::string(token) + "'");
+    return JsonValue(*value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
 
 void AppendDouble(std::string& out, double value) {
   if (!std::isfinite(value)) {
@@ -32,6 +228,35 @@ void Indent(std::string& out, int indent, int depth) {
 }
 
 }  // namespace
+
+std::optional<JsonValue> JsonValue::Parse(std::string_view text, std::string* error) {
+  return Parser(text).Run(error);
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const noexcept {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double JsonValue::AsDouble() const noexcept {
+  switch (kind_) {
+    case Kind::kInt: return static_cast<double>(int_);
+    case Kind::kUint: return static_cast<double>(uint_);
+    case Kind::kDouble: return double_;
+    default: return 0.0;
+  }
+}
+
+std::int64_t JsonValue::AsInt() const noexcept {
+  switch (kind_) {
+    case Kind::kInt: return int_;
+    case Kind::kUint: return static_cast<std::int64_t>(uint_);
+    case Kind::kDouble: return static_cast<std::int64_t>(double_);
+    default: return 0;
+  }
+}
 
 JsonValue& JsonValue::Set(std::string key, JsonValue value) {
   kind_ = Kind::kObject;

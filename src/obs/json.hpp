@@ -4,8 +4,14 @@
 // bench summaries and the trace sink. Insertion order is preserved and
 // doubles are formatted deterministically, so two runs with identical
 // values serialize byte-for-byte identically.
+//
+// Parse() is the matching reader: it accepts full JSON (the superset of
+// what Dump emits), preserves member order, and fails closed with a
+// byte-offset error message — the experiment-matrix merge step
+// (src/xmat/) uses it to re-read per-cell bench summaries.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -48,7 +54,32 @@ class JsonValue {
     return v;
   }
 
+  /// Parses a complete JSON document (trailing whitespace allowed,
+  /// anything else after the value is an error). On failure returns
+  /// nullopt and, when `error` is non-null, a "byte N: reason" message.
+  [[nodiscard]] static std::optional<JsonValue> Parse(std::string_view text,
+                                                     std::string* error = nullptr);
+
   [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+  [[nodiscard]] bool IsObject() const noexcept { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool IsArray() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool IsString() const noexcept { return kind_ == Kind::kString; }
+  [[nodiscard]] bool IsNumber() const noexcept {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint || kind_ == Kind::kDouble;
+  }
+
+  /// Object member lookup (first match, linear); nullptr when absent or
+  /// not an object.
+  [[nodiscard]] const JsonValue* Find(std::string_view key) const noexcept;
+
+  /// The string payload ("" for non-strings).
+  [[nodiscard]] const std::string& AsString() const noexcept { return string_; }
+  /// Numeric payload widened to double (0.0 for non-numbers).
+  [[nodiscard]] double AsDouble() const noexcept;
+  /// Integer payload (0 for non-integer kinds; kUint saturates the cast).
+  [[nodiscard]] std::int64_t AsInt() const noexcept;
+  [[nodiscard]] bool AsBool() const noexcept { return bool_; }
 
   /// Appends an object member (no duplicate-key check; callers own order).
   JsonValue& Set(std::string key, JsonValue value);

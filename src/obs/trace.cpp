@@ -7,6 +7,7 @@
 
 #include "obs/json.hpp"
 #include "util/atomic_file.hpp"
+#include "util/parse_num.hpp"
 
 namespace quicksand::obs {
 
@@ -90,9 +91,15 @@ class LineParser {
           case 'r': out += '\r'; break;
           case 't': out += '\t'; break;
           case 'u': {
+            // Fail closed with the parser's own error, not a raw
+            // std::invalid_argument escaping std::stoi on garbage hex.
             if (pos_ + 4 > line_.size()) throw std::runtime_error("trace: bad \\u");
-            out += static_cast<char>(
-                std::stoi(std::string(line_.substr(pos_, 4)), nullptr, 16));
+            const std::optional<std::uint64_t> code =
+                util::ParseU64(line_.substr(pos_, 4), 16);
+            if (!code.has_value() || *code > 0xFF) {
+              throw std::runtime_error("trace: bad \\u");
+            }
+            out += static_cast<char>(*code);
             pos_ += 4;
             break;
           }

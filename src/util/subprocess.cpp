@@ -1,0 +1,139 @@
+#include "util/subprocess.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <stdexcept>
+
+extern char** environ;
+
+namespace quicksand::util {
+
+namespace {
+
+/// Child-side fatal error: async-signal-safe report, then _Exit(127) (the
+/// shell's "cannot execute" convention, which the parent reaps normally).
+[[noreturn]] void ChildDie(const char* what, const char* detail) {
+  const char* err = strerror(errno);
+  // write(2), not stderr stdio: the child shares the parent's buffers.
+  (void)!::write(STDERR_FILENO, "subprocess: ", 12);
+  (void)!::write(STDERR_FILENO, what, strlen(what));
+  (void)!::write(STDERR_FILENO, " '", 2);
+  (void)!::write(STDERR_FILENO, detail, strlen(detail));
+  (void)!::write(STDERR_FILENO, "': ", 3);
+  (void)!::write(STDERR_FILENO, err, strlen(err));
+  (void)!::write(STDERR_FILENO, "\n", 1);
+  std::_Exit(127);
+}
+
+void ChildRedirect(const std::string& path, int target_fd) {
+  if (path.empty()) return;
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) ChildDie("cannot open redirect", path.c_str());
+  if (::dup2(fd, target_fd) < 0) ChildDie("cannot dup2 redirect", path.c_str());
+  ::close(fd);
+}
+
+}  // namespace
+
+std::string WaitResult::Describe() const {
+  if (exited) return "exit " + std::to_string(exit_code);
+  if (signaled) {
+    const char* name = ::strsignal(term_signal);
+    std::string out = "signal " + std::to_string(term_signal);
+    if (name != nullptr) out += std::string(" (") + name + ")";
+    return out;
+  }
+  return "unknown";
+}
+
+pid_t Spawn(const std::vector<std::string>& argv, const SpawnOptions& options) {
+  if (argv.empty()) throw std::runtime_error("Spawn: empty argv");
+
+  // Build the exec vectors before forking: the child must not allocate.
+  std::vector<char*> child_argv;
+  child_argv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    child_argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  child_argv.push_back(nullptr);
+
+  std::vector<char*> child_env;
+  if (!options.env_extra.empty()) {
+    for (char** entry = environ; *entry != nullptr; ++entry) {
+      child_env.push_back(*entry);
+    }
+    for (const std::string& extra : options.env_extra) {
+      child_env.push_back(const_cast<char*>(extra.c_str()));
+    }
+    child_env.push_back(nullptr);
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error(std::string("Spawn: fork failed: ") +
+                             std::strerror(errno));
+  }
+  if (pid == 0) {
+    // New process group so a deadline kill takes the cell *and* anything
+    // it forked, never the runner (ckpt::Watchdog trip → KillProcessGroup).
+    if (::setpgid(0, 0) != 0) ChildDie("cannot setpgid", argv[0].c_str());
+    if (!options.cwd.empty() && ::chdir(options.cwd.c_str()) != 0) {
+      ChildDie("cannot chdir to", options.cwd.c_str());
+    }
+    ChildRedirect(options.stdout_path, STDOUT_FILENO);
+    ChildRedirect(options.stderr_path.empty() ? options.stdout_path
+                                              : options.stderr_path,
+                  STDERR_FILENO);
+    if (child_env.empty()) {
+      ::execv(child_argv[0], child_argv.data());
+    } else {
+      ::execve(child_argv[0], child_argv.data(), child_env.data());
+    }
+    ChildDie("cannot exec", argv[0].c_str());
+  }
+  // Parent-side setpgid too: closes the race where the watchdog trips
+  // before the child reaches its own setpgid. EACCES means the child
+  // already exec'd (its setpgid won), which is fine.
+  if (::setpgid(pid, pid) != 0 && errno != EACCES && errno != ESRCH) {
+    KillProcessGroup(pid);
+  }
+  return pid;
+}
+
+WaitResult Wait(pid_t pid) {
+  int status = 0;
+  for (;;) {
+    const pid_t reaped = ::waitpid(pid, &status, 0);
+    if (reaped == pid) break;
+    if (reaped < 0 && errno == EINTR) continue;
+    throw std::runtime_error(std::string("Wait: waitpid failed: ") +
+                             std::strerror(errno));
+  }
+  WaitResult result;
+  if (WIFEXITED(status)) {
+    result.exited = true;
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.signaled = true;
+    result.term_signal = WTERMSIG(status);
+  }
+  return result;
+}
+
+void KillProcessGroup(pid_t pid) {
+  if (pid <= 0) return;
+  if (::kill(-pid, SIGKILL) != 0 && errno != ESRCH) {
+    // Group already gone or never formed; fall back to the process itself.
+    (void)::kill(pid, SIGKILL);
+  }
+}
+
+}  // namespace quicksand::util

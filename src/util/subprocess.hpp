@@ -1,0 +1,64 @@
+#pragma once
+
+// Fork/exec child-process management for process-isolated workloads.
+//
+// The experiment-matrix runner (src/xmat/) executes every cell in its own
+// child process so a segfaulting, OOM-killed, or wedged cell can never
+// take down the sweep. This helper owns the POSIX mechanics: spawn with
+// stdout/stderr redirected to log files, the child in its *own process
+// group* (so a deadline kill reaps the cell and everything it forked),
+// and a reap step that reports exactly how the child ended — exit code,
+// or the signal that terminated it.
+//
+// Spawning is deliberately minimal (fork + execv, no shell): argv is
+// passed through verbatim, so there is no quoting surface to get wrong.
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace quicksand::util {
+
+/// How to launch a child (see Spawn).
+struct SpawnOptions {
+  /// Working directory for the child; empty = inherit.
+  std::string cwd;
+  /// Redirect targets; empty = inherit the parent's stream. Both may name
+  /// the same file (opened once, shared).
+  std::string stdout_path;
+  std::string stderr_path;
+  /// Extra "NAME=value" entries appended to the inherited environment.
+  std::vector<std::string> env_extra;
+};
+
+/// How a reaped child ended.
+struct WaitResult {
+  bool exited = false;    ///< true: normal exit, `exit_code` valid
+  int exit_code = 0;
+  bool signaled = false;  ///< true: killed by `term_signal`
+  int term_signal = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return exited && exit_code == 0; }
+
+  /// "exit 3" / "signal 9 (Killed)" — the form the manifest journals.
+  [[nodiscard]] std::string Describe() const;
+};
+
+/// Forks and execs `argv` (argv[0] is the binary path; PATH is not
+/// searched) as the leader of a new process group. Throws
+/// std::runtime_error if the fork or any pre-exec setup step fails; exec
+/// failure itself surfaces as the child exiting 127 with the error on its
+/// stderr. Returns the child pid (== its process group id).
+[[nodiscard]] pid_t Spawn(const std::vector<std::string>& argv,
+                          const SpawnOptions& options = {});
+
+/// Blocks until `pid` exits. Throws std::runtime_error if waitpid fails
+/// (e.g. `pid` is not a child of this process).
+[[nodiscard]] WaitResult Wait(pid_t pid);
+
+/// SIGKILLs the entire process group led by `pid`. Safe to call on an
+/// already-dead group (ESRCH is ignored).
+void KillProcessGroup(pid_t pid);
+
+}  // namespace quicksand::util

@@ -1,0 +1,205 @@
+#include "xmat/config.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "ckpt/snapshot.hpp"
+#include "util/parse_num.hpp"
+
+namespace quicksand::xmat {
+
+namespace {
+
+[[nodiscard]] std::string Trim(std::string_view text) {
+  const auto is_space = [](char c) { return c == ' ' || c == '\t' || c == '\r'; };
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && is_space(text[begin])) ++begin;
+  while (end > begin && is_space(text[end - 1])) --end;
+  return std::string(text.substr(begin, end - begin));
+}
+
+[[nodiscard]] std::vector<std::string> SplitTokens(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(text);
+  std::string token;
+  while (stream >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+[[noreturn]] void Fail(std::size_t line, const std::string& reason) {
+  throw std::runtime_error("matrix config line " + std::to_string(line) + ": " +
+                           reason);
+}
+
+/// Axis and arg names become child flags, so restrict them to the safe
+/// alphabet up front rather than letting a typo exec a strange argv.
+void CheckName(std::size_t line, const std::string& name) {
+  if (name.empty()) Fail(line, "empty axis/arg name");
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) Fail(line, "invalid axis/arg name '" + name + "' (want [a-z0-9_]+)");
+  }
+}
+
+}  // namespace
+
+std::size_t MatrixConfig::CellCount() const noexcept {
+  std::size_t count = 1;
+  for (const Axis& axis : axes) count *= axis.values.size();
+  return count;
+}
+
+std::string Cell::Label() const {
+  std::string label;
+  for (const auto& [name, value] : coordinates) {
+    if (!label.empty()) label += ' ';
+    label += name + '=' + value;
+  }
+  return label;
+}
+
+MatrixConfig ParseMatrixConfig(std::string_view text) {
+  MatrixConfig config;
+  config.fingerprint = ckpt::Fingerprint64(text);
+
+  std::istringstream stream{std::string(text)};
+  std::string raw_line;
+  std::size_t line_number = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line_number;
+    // Strip comments (full-line and trailing) before trimming.
+    const std::size_t hash = raw_line.find('#');
+    if (hash != std::string::npos) raw_line.erase(hash);
+    const std::string line = Trim(raw_line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) Fail(line_number, "expected 'key = value'");
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    if (key.empty()) Fail(line_number, "empty key");
+    if (value.empty()) Fail(line_number, "empty value for '" + key + "'");
+
+    if (key == "bench") {
+      if (!config.bench.empty()) Fail(line_number, "duplicate 'bench'");
+      if (value.find('/') != std::string::npos) {
+        Fail(line_number, "'bench' is a binary name, not a path");
+      }
+      config.bench = value;
+    } else if (key == "timeout_ms") {
+      const auto parsed = util::ParseI64(value);
+      if (!parsed.has_value() || *parsed < 0) {
+        Fail(line_number, "invalid timeout_ms '" + value + "'");
+      }
+      config.timeout_ms = *parsed;
+    } else if (key == "retries") {
+      const auto parsed = util::ParseI64(value);
+      if (!parsed.has_value() || *parsed < 0) {
+        Fail(line_number, "invalid retries '" + value + "'");
+      }
+      config.retries = *parsed;
+    } else if (key == "retry_backoff_ms") {
+      const auto parsed = util::ParseF64(value);
+      if (!parsed.has_value() || *parsed < 0) {
+        Fail(line_number, "invalid retry_backoff_ms '" + value + "'");
+      }
+      config.retry_backoff_ms = *parsed;
+    } else if (key == "summary_key") {
+      config.summary_key = value;
+    } else if (key.rfind("arg.", 0) == 0) {
+      const std::string name = key.substr(4);
+      CheckName(line_number, name);
+      config.args.emplace_back(name, value);
+    } else if (key.rfind("axis.", 0) == 0) {
+      const std::string name = key.substr(5);
+      CheckName(line_number, name);
+      const bool duplicate =
+          std::any_of(config.axes.begin(), config.axes.end(),
+                      [&](const Axis& axis) { return axis.name == name; });
+      if (duplicate) Fail(line_number, "duplicate axis '" + name + "'");
+      Axis axis;
+      axis.name = name;
+      axis.values = SplitTokens(value);
+      if (axis.values.empty()) Fail(line_number, "axis '" + name + "' has no values");
+      config.axes.push_back(std::move(axis));
+    } else {
+      Fail(line_number, "unknown key '" + key + "'");
+    }
+  }
+  if (config.bench.empty()) {
+    throw std::runtime_error("matrix config: missing required 'bench' key");
+  }
+  if (config.axes.empty()) {
+    throw std::runtime_error("matrix config: no 'axis.<name>' lines — nothing to sweep");
+  }
+  return config;
+}
+
+MatrixConfig LoadMatrixConfig(const std::string& path) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) throw std::runtime_error("cannot open matrix config: " + path);
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  try {
+    return ParseMatrixConfig(buffer.str());
+  } catch (const std::runtime_error& error) {
+    throw std::runtime_error(path + ": " + error.what());
+  }
+}
+
+std::vector<Cell> ExpandCells(const MatrixConfig& config) {
+  const std::size_t count = config.CellCount();
+  // Fixed-width ids keep lexicographic and numeric order identical, so
+  // sorted directory listings read in matrix order.
+  int digits = 1;
+  for (std::size_t n = count; n >= 10; n /= 10) ++digits;
+  if (digits < 4) digits = 4;
+  if (digits > 20) digits = 20;  // a size_t has at most 20 decimal digits
+
+  std::vector<Cell> cells;
+  cells.reserve(count);
+  for (std::size_t index = 0; index < count; ++index) {
+    Cell cell;
+    cell.index = index;
+    char id[32];
+    std::snprintf(id, sizeof id, "cell_%0*zu", digits, index);
+    cell.id = id;
+    // Row-major decode, last axis fastest.
+    std::size_t stride = count;
+    std::size_t remainder = index;
+    for (const Axis& axis : config.axes) {
+      stride /= axis.values.size();
+      const std::size_t pick = remainder / stride;
+      remainder %= stride;
+      cell.coordinates.emplace_back(axis.name, axis.values[pick]);
+    }
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+std::vector<std::string> CellArgv(const MatrixConfig& config, const Cell& cell,
+                                  const std::string& bench_path) {
+  const auto flag = [](const std::string& name) {
+    std::string out = "--" + name;
+    std::replace(out.begin(), out.end(), '_', '-');
+    return out;
+  };
+  std::vector<std::string> argv;
+  argv.push_back(bench_path);
+  for (const auto& [name, value] : config.args) {
+    argv.push_back(flag(name));
+    argv.push_back(value);
+  }
+  for (const auto& [name, value] : cell.coordinates) {
+    argv.push_back(flag(name));
+    argv.push_back(value);
+  }
+  return argv;
+}
+
+}  // namespace quicksand::xmat

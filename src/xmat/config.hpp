@@ -1,0 +1,86 @@
+#pragma once
+
+// Declarative experiment-matrix configs (docs/ROBUSTNESS.md "Experiment
+// matrix").
+//
+// A matrix config names one bench binary and spans a cross-product of
+// scenario axes, replacing hand-edited bench main()s as the way sweeps
+// get defined (the romam exp1 layout is the model). The format is
+// line-oriented key = value:
+//
+//   # fault-rate × attack grid over the matrix_demo cell
+//   bench = matrix_demo
+//   timeout_ms = 60000        # per-cell deadline (watchdog SIGKILLs the group)
+//   retries = 2               # re-runs after a failure before quarantine
+//   arg.days = 2              # fixed flag: every cell gets --days 2
+//   axis.fault_rate = 0 0.02 0.05
+//   axis.attack = none hijack intercept
+//   axis.seed = 1 2 3
+//
+// Axes expand in file order with the *last* axis varying fastest, so cell
+// indices — and everything journaled or merged under them — are a pure
+// function of the config text. Every `axis.x`/`arg.x` key becomes a
+// `--x` flag on the cell command line (underscores map to hyphens).
+// Parsing fails closed: unknown reserved keys, empty axes, duplicate
+// axes, and malformed numbers are errors, never defaults.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace quicksand::xmat {
+
+/// One scenario axis: a flag and the values the matrix sweeps it over.
+struct Axis {
+  std::string name;                 ///< config key, e.g. "fault_rate"
+  std::vector<std::string> values;  ///< verbatim value tokens, file order
+};
+
+/// A parsed matrix config.
+struct MatrixConfig {
+  std::string bench;           ///< cell binary name (resolved under --bench-dir)
+  std::int64_t timeout_ms = 120000;  ///< per-cell deadline; 0 disables
+  std::int64_t retries = 2;    ///< re-runs after first failure before quarantine
+  double retry_backoff_ms = 50.0;  ///< base of the capped-exponential backoff
+  std::string summary_key;     ///< results key highlighted in the summary table
+  /// Fixed per-cell flags, file order ("days" → `--days <value>`).
+  std::vector<std::pair<std::string, std::string>> args;
+  /// Scenario axes, file order (last varies fastest).
+  std::vector<Axis> axes;
+  /// Fingerprint over the raw config text: resume refuses a manifest
+  /// journaled under any other config.
+  std::uint64_t fingerprint = 0;
+
+  /// Number of cells in the cross-product (1 when there are no axes).
+  [[nodiscard]] std::size_t CellCount() const noexcept;
+};
+
+/// One expanded cell of the matrix.
+struct Cell {
+  std::size_t index = 0;     ///< row-major cross-product index
+  std::string id;            ///< "cell_0042" — stable across runs
+  /// (axis name, value) in axis order; the cell's coordinates.
+  std::vector<std::pair<std::string, std::string>> coordinates;
+
+  /// "fault_rate=0.02 attack=hijack seed=3" — the human-readable label.
+  [[nodiscard]] std::string Label() const;
+};
+
+/// Parses a config document. Throws std::runtime_error with a
+/// line-numbered message on any malformed input.
+[[nodiscard]] MatrixConfig ParseMatrixConfig(std::string_view text);
+
+/// Loads and parses a config file (read errors and parse errors both
+/// throw std::runtime_error naming the path).
+[[nodiscard]] MatrixConfig LoadMatrixConfig(const std::string& path);
+
+/// Expands the full cross-product, row-major, last axis fastest.
+[[nodiscard]] std::vector<Cell> ExpandCells(const MatrixConfig& config);
+
+/// The cell's child command line: bench path, fixed args, then the cell's
+/// coordinates, each as `--<flag> <value>` with '_' mapped to '-'.
+[[nodiscard]] std::vector<std::string> CellArgv(const MatrixConfig& config,
+                                               const Cell& cell,
+                                               const std::string& bench_path);
+
+}  // namespace quicksand::xmat

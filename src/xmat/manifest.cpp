@@ -1,0 +1,178 @@
+#include "xmat/manifest.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/atomic_file.hpp"
+#include "util/parse_num.hpp"
+
+namespace quicksand::xmat {
+
+namespace {
+
+constexpr std::string_view kHeaderTag = "quicksand-xmat-manifest-v1";
+
+[[nodiscard]] std::string CellName(std::size_t cell) {
+  return "cell_" + std::to_string(cell);
+}
+
+[[nodiscard]] std::optional<CellState> StateFromString(std::string_view text) {
+  if (text == "pending") return CellState::kPending;
+  if (text == "running") return CellState::kRunning;
+  if (text == "done") return CellState::kDone;
+  if (text == "failed") return CellState::kFailed;
+  if (text == "quarantined") return CellState::kQuarantined;
+  return std::nullopt;
+}
+
+/// Journal fields are whitespace-delimited; details like "signal 9
+/// (Killed)" journal with spaces mapped to '_' so a line always splits
+/// into exactly four tokens.
+[[nodiscard]] std::string JournalEscape(const std::string& detail) {
+  std::string out = detail.empty() ? "-" : detail;
+  std::replace_if(
+      out.begin(), out.end(),
+      [](char c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; }, '_');
+  return out;
+}
+
+[[noreturn]] void Corrupt(const std::string& path, std::size_t line,
+                          const std::string& reason) {
+  throw std::runtime_error("manifest " + path + " line " + std::to_string(line) +
+                           ": " + reason);
+}
+
+}  // namespace
+
+const char* ToString(CellState state) noexcept {
+  switch (state) {
+    case CellState::kPending: return "pending";
+    case CellState::kRunning: return "running";
+    case CellState::kDone: return "done";
+    case CellState::kFailed: return "failed";
+    case CellState::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+Manifest::Manifest(std::string path, std::uint64_t fingerprint, std::size_t cells)
+    : path_(std::move(path)), fingerprint_(fingerprint), statuses_(cells) {
+  Publish();
+}
+
+Manifest Manifest::Load(const std::string& path, std::uint64_t fingerprint,
+                        std::size_t cells) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) {
+    throw std::runtime_error("manifest " + path + ": cannot open for resume");
+  }
+
+  Manifest manifest;
+  manifest.path_ = path;
+  manifest.fingerprint_ = fingerprint;
+  manifest.statuses_.assign(cells, CellStatus{});
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    if (line_number == 1) {
+      std::string tag, fp_text, count_text;
+      fields >> tag >> fp_text >> count_text;
+      if (tag != kHeaderTag) Corrupt(path, 1, "bad header tag '" + tag + "'");
+      const auto fp = util::ParseU64(fp_text, 16);
+      const auto count = util::ParseU64(count_text);
+      if (!fp.has_value() || !count.has_value()) Corrupt(path, 1, "bad header");
+      if (*fp != fingerprint) {
+        Corrupt(path, 1, "config fingerprint mismatch (journal written under a "
+                         "different matrix config)");
+      }
+      if (*count != cells) {
+        Corrupt(path, 1,
+                "cell count mismatch: journal has " + std::to_string(*count) +
+                    ", config expands to " + std::to_string(cells));
+      }
+      continue;
+    }
+    std::string cell_text, state_text, attempt_text, detail;
+    fields >> cell_text >> state_text >> attempt_text >> detail;
+    if (detail.empty()) Corrupt(path, line_number, "short transition line");
+    if (cell_text.rfind("cell_", 0) != 0) {
+      Corrupt(path, line_number, "bad cell id '" + cell_text + "'");
+    }
+    const auto cell = util::ParseU64(cell_text.substr(5));
+    if (!cell.has_value() || *cell >= cells) {
+      Corrupt(path, line_number, "cell index out of range: " + cell_text);
+    }
+    const auto state = StateFromString(state_text);
+    if (!state.has_value()) {
+      Corrupt(path, line_number, "unknown state '" + state_text + "'");
+    }
+    const auto attempt = util::ParseI64(attempt_text);
+    if (!attempt.has_value() || *attempt < 0) {
+      Corrupt(path, line_number, "bad attempt count '" + attempt_text + "'");
+    }
+
+    CellStatus& status = manifest.statuses_[*cell];
+    status.state = *state;
+    status.detail = detail == "-" ? "" : detail;
+    // Attempts are charged by terminal outcomes, not by starts: `running`
+    // lines carry the attempt being started, everything else the attempt
+    // that just finished.
+    if (*state != CellState::kRunning) status.attempts = *attempt;
+    manifest.journal_.push_back(line);
+  }
+  if (line_number == 0) Corrupt(path, 0, "empty journal");
+
+  // Cells caught mid-flight by the runner's death go back to pending
+  // without a charged attempt; their journal history is kept.
+  for (CellStatus& status : manifest.statuses_) {
+    if (status.state == CellState::kRunning) {
+      status.state = status.attempts > 0 ? CellState::kFailed : CellState::kPending;
+    }
+  }
+  return manifest;
+}
+
+void Manifest::Record(std::size_t cell, CellState state, const std::string& detail) {
+  CellStatus& status = statuses_.at(cell);
+  status.state = state;
+  status.detail = detail == "-" ? "" : detail;
+  std::int64_t attempt = status.attempts;
+  if (state == CellState::kRunning) {
+    attempt = status.attempts + 1;  // the attempt now starting
+  } else if (state == CellState::kDone || state == CellState::kFailed ||
+             state == CellState::kQuarantined) {
+    status.attempts = ++attempt;
+  }
+  journal_.push_back(CellName(cell) + ' ' + ToString(state) + ' ' +
+                     std::to_string(attempt) + ' ' + JournalEscape(detail));
+  Publish();
+}
+
+std::size_t Manifest::CountIn(CellState state) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(statuses_.begin(), statuses_.end(),
+                    [&](const CellStatus& s) { return s.state == state; }));
+}
+
+void Manifest::Publish() const {
+  std::string out;
+  char header[96];
+  std::snprintf(header, sizeof header, "%s %016llx %zu\n",
+                std::string(kHeaderTag).c_str(),
+                static_cast<unsigned long long>(fingerprint_), statuses_.size());
+  out += header;
+  for (const std::string& line : journal_) {
+    out += line;
+    out += '\n';
+  }
+  util::WriteFileAtomic(path_, out);
+}
+
+}  // namespace quicksand::xmat

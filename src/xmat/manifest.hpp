@@ -1,0 +1,86 @@
+#pragma once
+
+// Journaled cell-state manifest: what makes a matrix run resumable after
+// the *runner itself* is SIGKILLed (docs/ROBUSTNESS.md).
+//
+// The manifest is an append-only journal of cell-state transitions,
+// republished through util::WriteFileAtomic on every append — a reader
+// (or a resuming runner) sees either the previous complete journal or
+// the new complete journal, never a torn line. Replaying the journal
+// reconstructs the matrix state:
+//
+//   quicksand-xmat-manifest-v1 <config fingerprint> <cell count>
+//   cell_0003 running 1 -
+//   cell_0003 failed 1 signal_11_(Segmentation_fault)
+//   cell_0003 running 2 -
+//   cell_0003 done 2 -
+//
+// A cell whose last transition is `running` was in flight when the
+// runner died; replay books it back to pending *without* charging an
+// attempt — the runner's death is not the cell's failure. Attempt counts
+// survive through the explicit `failed` lines, so a cell that was
+// already quarantined stays quarantined across any number of resumes.
+// The header fingerprint gates resume: a journal written under a
+// different config (different axes → different cell indices) is refused,
+// like ckpt::ResumeLoader refusing foreign snapshots.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace quicksand::xmat {
+
+enum class CellState : std::uint8_t {
+  kPending,
+  kRunning,
+  kDone,
+  kFailed,       ///< failed at least once, retry still available
+  kQuarantined,  ///< exhausted retries; recorded, never retried again
+};
+
+[[nodiscard]] const char* ToString(CellState state) noexcept;
+
+/// Current status of one cell, as reconstructed from the journal.
+struct CellStatus {
+  CellState state = CellState::kPending;
+  std::int64_t attempts = 0;  ///< finished attempts (failed lines + done line)
+  std::string detail;         ///< last outcome, e.g. "exit 0" or "signal 9 (Killed)"
+};
+
+/// The journaled manifest for one matrix run.
+class Manifest {
+ public:
+  /// Fresh manifest: all `cells` pending, journal (re)created at `path`.
+  Manifest(std::string path, std::uint64_t fingerprint, std::size_t cells);
+
+  /// Loads and replays an existing journal. Throws std::runtime_error if
+  /// the file is missing/unreadable, structurally invalid, or journaled
+  /// under a different fingerprint or cell count.
+  [[nodiscard]] static Manifest Load(const std::string& path,
+                                     std::uint64_t fingerprint, std::size_t cells);
+
+  /// Appends one transition and republishes the journal atomically.
+  /// `detail` must be single-line; embedded whitespace is journal-escaped.
+  void Record(std::size_t cell, CellState state, const std::string& detail = "-");
+
+  [[nodiscard]] const CellStatus& Status(std::size_t cell) const {
+    return statuses_.at(cell);
+  }
+  [[nodiscard]] std::size_t CellCount() const noexcept { return statuses_.size(); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Counts cells currently in `state`.
+  [[nodiscard]] std::size_t CountIn(CellState state) const noexcept;
+
+ private:
+  Manifest() = default;
+
+  void Publish() const;
+
+  std::string path_;
+  std::uint64_t fingerprint_ = 0;
+  std::vector<CellStatus> statuses_;
+  std::vector<std::string> journal_;  ///< transition lines, append order
+};
+
+}  // namespace quicksand::xmat

@@ -1,0 +1,76 @@
+#pragma once
+
+// Crash-safe experiment-matrix execution (docs/ROBUSTNESS.md).
+//
+// The runner expands a MatrixConfig into cells and executes each as a
+// fork/exec'd child process — its own process group, stdout/stderr
+// captured per attempt, the bench's --json summary landing in the matrix
+// output tree. Robustness machinery, per cell:
+//
+//   * deadline: a ckpt::Watchdog armed around the reap; on trip the
+//     handler SIGKILLs the cell's process group, so a wedged cell turns
+//     into an attributable "deadline" failure instead of a hung sweep;
+//   * retry: failed cells re-run up to `retries` more times behind
+//     util::BackoffMs capped-exponential delays with deterministic
+//     jitter (seeded per cell off the config fingerprint);
+//   * quarantine: a cell that exhausts its retries is journaled
+//     `quarantined` and never retried again — the merge step reports it
+//     as an explicit gap instead of poisoning the sweep;
+//   * journal: every transition lands in the Manifest before and after
+//     the child runs, so SIGKILLing the *runner* loses at most the cell
+//     that was in flight — `--resume` replays the journal and picks up
+//     there, and the merged output is byte-identical to an uninterrupted
+//     run.
+//
+// `jobs > 1` runs that many cells concurrently (each still its own
+// process); cell indices, journal semantics, and merged output are
+// unaffected — only wall time and journal line order change.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xmat/config.hpp"
+#include "xmat/manifest.hpp"
+
+namespace quicksand::xmat {
+
+struct RunnerOptions {
+  std::string out_dir;    ///< matrix output tree (created if missing)
+  std::string bench_dir;  ///< directory holding the cell binary
+  bool resume = false;    ///< replay an existing manifest instead of starting over
+  std::size_t jobs = 1;   ///< concurrently running cells
+  /// Env entries ("NAME=value") passed to every cell on top of the
+  /// inherited environment (chaos hooks ride through here in tests).
+  std::vector<std::string> cell_env;
+  /// Test seam: skip the real retry-backoff sleeps (the computed delays
+  /// still draw from the deterministic jitter stream).
+  bool no_backoff_sleep = false;
+};
+
+/// What one matrix execution did.
+struct RunSummary {
+  std::size_t cells = 0;
+  std::size_t done = 0;
+  std::size_t quarantined = 0;
+  std::size_t attempts = 0;        ///< child processes actually spawned
+  std::size_t retries = 0;         ///< attempts beyond each cell's first
+  std::size_t deadline_kills = 0;  ///< attempts killed by the watchdog
+  std::size_t skipped_done = 0;    ///< cells already done in the resumed journal
+
+  [[nodiscard]] bool AllDone() const noexcept { return done == cells; }
+};
+
+/// Runs (or resumes) the matrix described by `config`. Throws
+/// std::runtime_error on runner-level failures: missing bench binary,
+/// unwritable output tree, or a resume journal from a different config.
+/// Cell failures never throw — they retry, then quarantine.
+[[nodiscard]] RunSummary RunMatrix(const MatrixConfig& config,
+                                   const RunnerOptions& options);
+
+/// Layout helpers shared with the merge step.
+[[nodiscard]] std::string ManifestPath(const std::string& out_dir);
+[[nodiscard]] std::string CellJsonPath(const std::string& out_dir, const Cell& cell);
+[[nodiscard]] std::string CellWorkDir(const std::string& out_dir, const Cell& cell);
+
+}  // namespace quicksand::xmat

@@ -7,10 +7,14 @@
 //   * the socket server round-trips the real wire path.
 
 #include <gtest/gtest.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -24,6 +28,7 @@
 #include "bgp/topology_gen.hpp"
 #include "core/monitor.hpp"
 #include "daemon/driver.hpp"
+#include "daemon/protocol.hpp"
 #include "daemon/quicksandd.hpp"
 #include "daemon/server.hpp"
 #include "fault/injector.hpp"
@@ -328,6 +333,47 @@ TEST(Daemon, UnixSocketServerRoundTrips) {
   EXPECT_EQ(responses[1].substr(0, 2), "ok");
   EXPECT_EQ(responses[2].substr(0, 2), "ok");
   EXPECT_EQ(responses[3].substr(0, 3), "err");
+}
+
+TEST(Daemon, ServerSurvivesClientDisconnectMidResponse) {
+  const SmallWorld world = MakeSmallWorld(kWindow);
+  Daemon daemon(MakeConfig(world, kWindow));
+
+  const std::string socket_path =
+      TempPath("quicksandd_gone_" + std::to_string(::getpid()) + ".sock");
+  UnixSocketServer server(socket_path);
+
+  // Raw client: connect (the listen backlog accepts before ServeOne
+  // does), queue two framed requests, and vanish without ever reading a
+  // byte of response.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  ASSERT_LT(socket_path.size(), sizeof(address.sun_path));
+  std::memcpy(address.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                      sizeof address),
+            0);
+  const std::string bytes = EncodeFrame("ping") + EncodeFrame("health");
+  ASSERT_EQ(::write(fd, bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+  ASSERT_EQ(::close(fd), 0);
+
+  // The server accepts the already-closed connection and tries to answer:
+  // on AF_UNIX the response write hits EPIPE immediately. Historically
+  // that raised SIGPIPE and killed the whole daemon process; now it must
+  // be a clean connection drop, served count 0.
+  EXPECT_EQ(server.ServeOne(daemon, [] { return std::int64_t{0}; }), 0u);
+
+  // And the listener is still healthy for the next, well-behaved client.
+  std::thread serve([&] {
+    static_cast<void>(server.ServeOne(daemon, [] { return std::int64_t{0}; }));
+  });
+  const std::vector<std::string> responses = QueryUnixSocket(socket_path, {"ping"});
+  serve.join();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0], "ok pong");
 }
 
 }  // namespace

@@ -1,0 +1,62 @@
+// End-to-end watchdog trip (docs/ROBUSTNESS.md): a process whose shard
+// blows its deadline must die fast with exit code 3 and the diagnostic
+// dump on stderr — not wedge. The in-process watchdog unit tests swap in
+// an observing handler; this one lets the *default* handler run its full
+// std::_Exit(3) path, so it needs a sacrificial child process.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "ckpt/watchdog.hpp"
+
+namespace quicksand::ckpt {
+namespace {
+
+TEST(WatchdogTrip, HungShardExitsThreeWithDiagnosticsEndToEnd) {
+  int err_pipe[2];
+  ASSERT_EQ(::pipe(err_pipe), 0);
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: route stderr into the pipe, arm a shard on a 50 ms deadline
+    // with the default (exiting) handler, and hang well past it.
+    ::close(err_pipe[0]);
+    ::dup2(err_pipe[1], STDERR_FILENO);
+    ::close(err_pipe[1]);
+    Watchdog watchdog(std::chrono::milliseconds(50));
+    const ShardGuard guard(&watchdog, "integration/hang", 7);
+    std::this_thread::sleep_for(std::chrono::seconds(60));
+    std::_Exit(0);  // unreachable: the watchdog must fire first
+  }
+
+  ::close(err_pipe[1]);
+  std::string child_stderr;
+  char buffer[512];
+  for (;;) {
+    const ssize_t n = ::read(err_pipe[0], buffer, sizeof buffer);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    child_stderr.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(err_pipe[0]);
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "child was signaled, not exited";
+  EXPECT_EQ(WEXITSTATUS(status), 3);
+  EXPECT_NE(child_stderr.find("WATCHDOG"), std::string::npos) << child_stderr;
+  EXPECT_NE(child_stderr.find("integration/hang"), std::string::npos) << child_stderr;
+  EXPECT_NE(child_stderr.find("shard 7"), std::string::npos) << child_stderr;
+}
+
+}  // namespace
+}  // namespace quicksand::ckpt

@@ -1,0 +1,97 @@
+#include "util/subprocess.hpp"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+namespace quicksand::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir() {
+  const std::string dir = (fs::temp_directory_path() /
+                           ("subprocess_test_" + std::to_string(::getpid())))
+                              .string();
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(Subprocess, RunsAndReportsExitCodes) {
+  const WaitResult ok = Wait(Spawn({"/bin/sh", "-c", "exit 0"}, {}));
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.exited);
+  EXPECT_EQ(ok.exit_code, 0);
+  EXPECT_EQ(ok.Describe(), "exit 0");
+
+  const WaitResult fail = Wait(Spawn({"/bin/sh", "-c", "exit 7"}, {}));
+  EXPECT_FALSE(fail.ok());
+  EXPECT_EQ(fail.exit_code, 7);
+  EXPECT_EQ(fail.Describe(), "exit 7");
+}
+
+TEST(Subprocess, ReportsSignals) {
+  const WaitResult result =
+      Wait(Spawn({"/bin/sh", "-c", "kill -TERM $$"}, {}));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.signaled);
+  EXPECT_EQ(result.term_signal, SIGTERM);
+  EXPECT_NE(result.Describe().find("signal 15"), std::string::npos);
+}
+
+TEST(Subprocess, ExecFailureIs127NotAThrow) {
+  // The child reports exec failure on its own stderr and exits 127 (the
+  // shell convention); the parent must see a normal failed wait.
+  const WaitResult result = Wait(Spawn({"/nonexistent/binary/path"}, {}));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.exited);
+  EXPECT_EQ(result.exit_code, 127);
+}
+
+TEST(Subprocess, RedirectsAndCwdAndEnv) {
+  const std::string dir = TempDir();
+  SpawnOptions options;
+  options.cwd = dir;
+  options.stdout_path = dir + "/out.txt";
+  options.env_extra = {"SUBPROCESS_TEST_VALUE=hello"};
+  const WaitResult result =
+      Wait(Spawn({"/bin/sh", "-c", "pwd; printf '%s\\n' \"$SUBPROCESS_TEST_VALUE\""},
+                 options));
+  EXPECT_TRUE(result.ok());
+  std::ifstream out(dir + "/out.txt");
+  std::string pwd, value;
+  std::getline(out, pwd);
+  std::getline(out, value);
+  EXPECT_EQ(fs::canonical(pwd), fs::canonical(dir));
+  EXPECT_EQ(value, "hello");
+  fs::remove_all(dir);
+}
+
+TEST(Subprocess, KillProcessGroupReapsWholeTree) {
+  // The child spawns its own grandchild; both live in the child's own
+  // process group (Spawn setpgids), so one group kill takes down both —
+  // the watchdog's guarantee that a wedged cell can't orphan helpers.
+  const std::string dir = TempDir();
+  const std::string marker = dir + "/grandchild_ran";
+  const pid_t pid = Spawn(
+      {"/bin/sh", "-c", "sleep 30 & wait"},
+      {});
+  // Give the shell a beat to start its sleep, then kill the group.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  KillProcessGroup(pid);
+  const WaitResult result = Wait(pid);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.signaled);
+  EXPECT_EQ(result.term_signal, SIGKILL);
+  EXPECT_NE(result.Describe().find("signal 9"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace quicksand::util

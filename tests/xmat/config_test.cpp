@@ -1,0 +1,104 @@
+#include "xmat/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace quicksand::xmat {
+namespace {
+
+constexpr const char* kConfig = R"(# demo matrix
+bench = matrix_demo
+timeout_ms = 5000
+retries = 1
+retry_backoff_ms = 10
+summary_key = alerts
+
+arg.days = 1
+arg.countermeasure = monitor
+
+axis.fault_rate = 0 0.02
+axis.attack = none hijack intercept
+axis.seed = 1 2
+)";
+
+TEST(MatrixConfig, ParsesAndExpands) {
+  const MatrixConfig config = ParseMatrixConfig(kConfig);
+  EXPECT_EQ(config.bench, "matrix_demo");
+  EXPECT_EQ(config.timeout_ms, 5000);
+  EXPECT_EQ(config.retries, 1);
+  EXPECT_EQ(config.summary_key, "alerts");
+  ASSERT_EQ(config.axes.size(), 3u);
+  EXPECT_EQ(config.CellCount(), 2u * 3u * 2u);
+
+  const std::vector<Cell> cells = ExpandCells(config);
+  ASSERT_EQ(cells.size(), 12u);
+  EXPECT_EQ(cells[0].id, "cell_0000");
+  EXPECT_EQ(cells[11].id, "cell_0011");
+  // Row-major, last axis (seed) fastest.
+  EXPECT_EQ(cells[0].Label(), "fault_rate=0 attack=none seed=1");
+  EXPECT_EQ(cells[1].Label(), "fault_rate=0 attack=none seed=2");
+  EXPECT_EQ(cells[2].Label(), "fault_rate=0 attack=hijack seed=1");
+  EXPECT_EQ(cells[6].Label(), "fault_rate=0.02 attack=none seed=1");
+  EXPECT_EQ(cells[11].Label(), "fault_rate=0.02 attack=intercept seed=2");
+}
+
+TEST(MatrixConfig, CellArgvCarriesFixedArgsThenCoordinates) {
+  const MatrixConfig config = ParseMatrixConfig(kConfig);
+  const std::vector<Cell> cells = ExpandCells(config);
+  const std::vector<std::string> argv =
+      CellArgv(config, cells[2], "/build/bench/matrix_demo");
+  const std::vector<std::string> expected = {
+      "/build/bench/matrix_demo", "--days",       "1",    "--countermeasure",
+      "monitor",                  "--fault-rate", "0",    "--attack",
+      "hijack",                   "--seed",       "1"};
+  EXPECT_EQ(argv, expected);
+}
+
+TEST(MatrixConfig, FingerprintTracksText) {
+  const MatrixConfig a = ParseMatrixConfig(kConfig);
+  const MatrixConfig b = ParseMatrixConfig(kConfig);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  const MatrixConfig c =
+      ParseMatrixConfig(std::string(kConfig) + "axis.extra = 1 2\n");
+  EXPECT_NE(a.fingerprint, c.fingerprint);
+}
+
+TEST(MatrixConfig, FailsClosed) {
+  // No bench.
+  EXPECT_THROW(static_cast<void>(ParseMatrixConfig("axis.a = 1\n")),
+               std::runtime_error);
+  // No axes.
+  EXPECT_THROW(static_cast<void>(ParseMatrixConfig("bench = b\n")),
+               std::runtime_error);
+  // Malformed line (no '=').
+  EXPECT_THROW(
+      static_cast<void>(ParseMatrixConfig("bench = b\naxis.a = 1\ngarbage\n")),
+      std::runtime_error);
+  // Unknown reserved-looking key.
+  EXPECT_THROW(static_cast<void>(
+                   ParseMatrixConfig("bench = b\nbogus = 1\naxis.a = 1\n")),
+               std::runtime_error);
+  // Empty axis.
+  EXPECT_THROW(
+      static_cast<void>(ParseMatrixConfig("bench = b\naxis.a =\naxis.b = 1\n")),
+      std::runtime_error);
+  // Duplicate axis.
+  EXPECT_THROW(static_cast<void>(
+                   ParseMatrixConfig("bench = b\naxis.a = 1\naxis.a = 2\n")),
+               std::runtime_error);
+  // Bad axis name alphabet.
+  EXPECT_THROW(static_cast<void>(ParseMatrixConfig("bench = b\naxis.A-x = 1\n")),
+               std::runtime_error);
+  // Non-numeric timeout.
+  EXPECT_THROW(static_cast<void>(ParseMatrixConfig(
+                   "bench = b\ntimeout_ms = soon\naxis.a = 1\n")),
+               std::runtime_error);
+  // Path traversal in bench name.
+  EXPECT_THROW(static_cast<void>(
+                   ParseMatrixConfig("bench = ../evil\naxis.a = 1\n")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace quicksand::xmat

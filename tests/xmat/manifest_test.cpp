@@ -1,0 +1,114 @@
+#include "xmat/manifest.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace quicksand::xmat {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempJournal(const char* tag) {
+  return (fs::temp_directory_path() /
+          (std::string("xmat_manifest_") + tag + "_" + std::to_string(::getpid()) +
+           ".journal"))
+      .string();
+}
+
+constexpr std::uint64_t kFp = 0xDEADBEEFCAFEF00DULL;
+
+TEST(Manifest, JournalsTransitionsAndReplays) {
+  const std::string path = TempJournal("replay");
+  {
+    Manifest manifest(path, kFp, 3);
+    manifest.Record(0, CellState::kRunning);
+    manifest.Record(0, CellState::kDone, "exit 0");
+    manifest.Record(1, CellState::kRunning);
+    manifest.Record(1, CellState::kFailed, "signal 9 (Killed)");
+    manifest.Record(1, CellState::kRunning);
+    manifest.Record(1, CellState::kQuarantined, "signal 9 (Killed)");
+    manifest.Record(2, CellState::kRunning);
+    // Runner dies here: cell 2 is left `running` on its first attempt.
+  }
+
+  const Manifest replayed = Manifest::Load(path, kFp, 3);
+  EXPECT_EQ(replayed.Status(0).state, CellState::kDone);
+  EXPECT_EQ(replayed.Status(0).attempts, 1);
+  EXPECT_EQ(replayed.Status(1).state, CellState::kQuarantined);
+  EXPECT_EQ(replayed.Status(1).attempts, 2);
+  EXPECT_EQ(replayed.Status(1).detail, "signal_9_(Killed)");
+  // Mid-flight on its FIRST attempt when the runner died: back to
+  // pending, and crucially the interrupted attempt is not charged — the
+  // runner's death is not the cell's failure.
+  EXPECT_EQ(replayed.Status(2).state, CellState::kPending);
+  EXPECT_EQ(replayed.Status(2).attempts, 0);
+  fs::remove(path);
+}
+
+TEST(Manifest, InterruptedRetryKeepsChargedAttempts) {
+  const std::string path = TempJournal("retry");
+  {
+    Manifest manifest(path, kFp, 1);
+    manifest.Record(0, CellState::kRunning);
+    manifest.Record(0, CellState::kFailed, "exit 1");
+    manifest.Record(0, CellState::kRunning);
+    // Runner dies mid-retry.
+  }
+  const Manifest replayed = Manifest::Load(path, kFp, 1);
+  // One attempt already failed; the interrupted retry itself is free.
+  EXPECT_EQ(replayed.Status(0).state, CellState::kFailed);
+  EXPECT_EQ(replayed.Status(0).attempts, 1);
+  fs::remove(path);
+}
+
+TEST(Manifest, RejectsForeignJournals) {
+  const std::string path = TempJournal("foreign");
+  { const Manifest manifest(path, kFp, 2); }
+  // Different config fingerprint: resuming someone else's matrix output
+  // tree must fail loudly, not mix cells.
+  EXPECT_THROW(static_cast<void>(Manifest::Load(path, kFp + 1, 2)),
+               std::runtime_error);
+  // Same config hash but different cell count.
+  EXPECT_THROW(static_cast<void>(Manifest::Load(path, kFp, 3)),
+               std::runtime_error);
+  fs::remove(path);
+  // Missing journal.
+  EXPECT_THROW(static_cast<void>(Manifest::Load(path, kFp, 2)),
+               std::runtime_error);
+}
+
+TEST(Manifest, RejectsCorruptLines) {
+  const std::string path = TempJournal("corrupt");
+  { const Manifest manifest(path, kFp, 1); }
+  std::ofstream(path, std::ios::app) << "cell_0 exploded 1 -\n";
+  EXPECT_THROW(static_cast<void>(Manifest::Load(path, kFp, 1)),
+               std::runtime_error);
+  fs::remove(path);
+}
+
+TEST(Manifest, SurvivesLoadRecordLoadCycles) {
+  const std::string path = TempJournal("cycle");
+  {
+    Manifest manifest(path, kFp, 2);
+    manifest.Record(0, CellState::kRunning);
+    manifest.Record(0, CellState::kDone);
+  }
+  {
+    Manifest resumed = Manifest::Load(path, kFp, 2);
+    resumed.Record(1, CellState::kRunning);
+    resumed.Record(1, CellState::kDone);
+  }
+  const Manifest final_state = Manifest::Load(path, kFp, 2);
+  EXPECT_EQ(final_state.CountIn(CellState::kDone), 2u);
+  EXPECT_EQ(final_state.Status(0).attempts, 1);
+  EXPECT_EQ(final_state.Status(1).attempts, 1);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace quicksand::xmat
