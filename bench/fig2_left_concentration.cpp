@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   const auto curve = ctx.Timed("concentration", [&] {
     const auto per_as =
         scenario.prefix_map.GuardExitRelaysPerAs(scenario.consensus.consensus);
-    return core::ConcentrationCurve(per_as);
+    return core::ConcentrationCurve(per_as.items());
   });
 
   util::PrintBanner(std::cout, "concentration curve (x ASes host y% of relays)");

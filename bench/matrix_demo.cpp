@@ -11,7 +11,14 @@
 //
 //   matrix_demo --scale 1 --fault-rate 0.02 --attack hijack \
 //               --countermeasure monitor --seed 3 --days 2 \
-//               --threads 4 --format qmrt --json out.json
+//               --clients 2000 --threads 4 --format qmrt --json out.json
+//
+// --clients > 0 adds a Tor client-population leg: a small consensus is
+// generated on the cell topology and the population engine
+// (tor::population + core::SimulatePopulationExposure) simulates that
+// many clients for the cell's window, emitting population_* results.
+// With --clients 0 (the default) the leg is skipped entirely and the
+// cell's output stays byte-identical to pre-population builds.
 //
 // Axis flags are consumed here; everything else (--json, --threads,
 // --format, ...) passes through to the shared BenchContext, which owns
@@ -52,7 +59,10 @@
 #include "bgp/update.hpp"
 #include "common.hpp"
 #include "core/monitor.hpp"
+#include "core/population_exposure.hpp"
 #include "fault/injector.hpp"
+#include "tor/consensus_gen.hpp"
+#include "tor/path_selection.hpp"
 #include "util/parse_num.hpp"
 
 namespace {
@@ -68,6 +78,7 @@ struct Axes {
   std::string countermeasure = "none";  // none | monitor
   std::uint64_t seed = 1;
   std::int64_t days = 2;
+  std::int64_t clients = 0;  ///< 0 = no Tor client population leg
 };
 
 [[noreturn]] void UsageError(const std::string& message) {
@@ -114,6 +125,10 @@ Axes ConsumeAxisFlags(int& argc, char** argv) {
       const auto parsed = util::ParseI64(value());
       if (!parsed || *parsed < 1 || *parsed > 31) UsageError("invalid --days");
       axes.days = *parsed;
+    } else if (arg == "--clients") {
+      const auto parsed = util::ParseI64(value());
+      if (!parsed || *parsed < 0) UsageError("invalid --clients");
+      axes.clients = *parsed;
     } else {
       rest.push_back(argv[i]);
     }
@@ -303,6 +318,31 @@ int main(int argc, char** argv) {
     });
   }
 
+  // Population leg (off by default): how exposed would a Tor client
+  // population homed in this cell's eyeball ASes be to a 10%-bandwidth
+  // relay adversary over the cell's window?
+  core::PopulationExposureResult population;
+  if (axes.clients > 0) {
+    const tor::GeneratedConsensus cell_consensus = ctx.Timed("consensus", [&] {
+      tor::ConsensusGenParams params;
+      params.total_relays = static_cast<std::size_t>(160 * axes.scale);
+      params.guard_only = static_cast<std::size_t>(50 * axes.scale);
+      params.exit_only = static_cast<std::size_t>(40 * axes.scale);
+      params.guard_exit = static_cast<std::size_t>(16 * axes.scale);
+      params.seed = axes.seed + 2;
+      return tor::GenerateConsensus(topology, params);
+    });
+    const tor::PathSelector selector(cell_consensus.consensus);
+    core::PopulationExposureParams params;
+    params.clients = static_cast<std::size_t>(axes.clients);
+    params.days = static_cast<std::size_t>(axes.days);
+    params.seed = axes.seed + 3;
+    params.threads = ctx.threads();
+    population = ctx.Timed("population", [&] {
+      return core::SimulatePopulationExposure(selector, topology.eyeballs, params);
+    });
+  }
+
   std::cout << "  cell: scale=" << axes.scale << " fault_rate=" << axes.fault_rate
             << " attack=" << axes.attack << " countermeasure=" << axes.countermeasure
             << " seed=" << axes.seed << "\n  " << dynamics.updates.size()
@@ -330,6 +370,18 @@ int main(int argc, char** argv) {
   ctx.Result("alerts_suppressed",
              obs::JsonValue(static_cast<std::int64_t>(alerts_suppressed)));
   ctx.Result("attack_detected", obs::JsonValue(attack_detected));
+  // Population keys exist only when the leg ran, so --clients 0 cells
+  // stay byte-identical to pre-population builds.
+  if (axes.clients > 0) {
+    ctx.Result("clients", obs::JsonValue(axes.clients));
+    ctx.Result("population_circuits",
+               obs::JsonValue(static_cast<std::int64_t>(population.circuits)));
+    ctx.Result("population_rotations",
+               obs::JsonValue(static_cast<std::int64_t>(population.rotations)));
+    ctx.Result("population_final_fraction", obs::JsonValue(population.final_fraction));
+    ctx.Result("population_client_ases",
+               obs::JsonValue(static_cast<std::int64_t>(population.per_as.size())));
+  }
   ctx.Finish();
   return 0;
 }

@@ -184,7 +184,7 @@ def validate(doc, origin):
 
 def scheduling_dependent(name):
     """True for metrics in the reserved "exec.", "ckpt.", "feed.",
-    "span.", "prof.", "qmrt.", "daemon.", and "xmat." namespaces, whose values may
+    "span.", "prof.", "qmrt.", "daemon.", "xmat.", and "pop." namespaces, whose values may
     vary with thread count, scheduling, where in a sweep a run was killed,
     the streaming batch size, the selected wire format, or the resource
     sampler's cadence (pool telemetry, cache hits, snapshot sizes and
@@ -197,11 +197,17 @@ def scheduling_dependent(name):
     runner: attempt, retry, and deadline-kill counts legitimately differ
     between an uninterrupted matrix and a killed-and-resumed one — the
     matrix contract is merged-artifact byte identity (docs/ROBUSTNESS.md
-    "Experiment matrix")."""
+    "Experiment matrix"). "pop." covers the population engine's telemetry
+    (clients simulated, rotation sweeps, alias-table builds, peak shard
+    residency): a resumed population sweep skips the shards it loaded and
+    lazily rebuilds alias tables per process, so these tallies vary with
+    where a run was killed while the population results themselves stay
+    byte-identical."""
     return (name.startswith("exec.") or name.startswith("ckpt.")
             or name.startswith("feed.") or name.startswith("span.")
             or name.startswith("prof.") or name.startswith("qmrt.")
-            or name.startswith("daemon.") or name.startswith("xmat."))
+            or name.startswith("daemon.") or name.startswith("xmat.")
+            or name.startswith("pop."))
 
 
 def deterministic_view(doc):

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Determinism smoke for the population-scale client engine
+# (docs/ARCHITECTURE.md "Population layer", docs/ROBUSTNESS.md).
+#
+# Two assertions over bench/population_scale on small axes:
+#
+#   threads — the same sweep at --threads 1 and --threads 4 produces
+#             byte-identical bench JSON (deterministic view) and CSVs;
+#             client RNG substreams are re-derived per shard, so the
+#             schedule cannot leak into the output.
+#   resume  — a --checkpoint run hard-killed mid-population via
+#             QUICKSAND_CKPT_ABORT_AFTER (std::_Exit(42), no destructors)
+#             and then resumed with --resume reproduces the uninterrupted
+#             output byte-for-byte, including the per-client-AS CSV.
+#
+# Usage: scripts/population_smoke.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  defaults to "build"
+#   OUT_DIR    defaults to "population_smoke_out" (wiped per case)
+
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=$(cd "${1:-"$repo_root/build"}" && pwd)  # absolute: runs cd around
+mkdir -p "${2:-"$repo_root/population_smoke_out"}"
+out_dir=$(cd "${2:-"$repo_root/population_smoke_out"}" && pwd)
+checker="$repo_root/scripts/check_bench_json.py"
+
+bin="$build_dir/bench/population_scale"
+if [[ ! -x "$bin" ]]; then
+  echo "error: $bin not found — build first:" >&2
+  echo "  cmake --build $build_dir -j --target population_scale" >&2
+  exit 1
+fi
+
+# Small axes: 20k clients x 10 days in 8 shards of 2500; the crash leg
+# aborts after 5 recorded shards, mid-population.
+axes=(--clients 20000 --days 10 --shard-clients 2500)
+abort_after=5
+
+for threads in 1 4; do
+  case_dir="$out_dir/t$threads"
+  rm -rf "$case_dir"
+  mkdir -p "$case_dir/full" "$case_dir/crash"
+  echo "==> population_scale --threads $threads"
+
+  (cd "$case_dir/full" && "$bin" "${axes[@]}" --threads "$threads" \
+      --json full.json > full.log)
+
+  set +e
+  (cd "$case_dir/crash" && QUICKSAND_CKPT_ABORT_AFTER="$abort_after" \
+      "$bin" "${axes[@]}" --threads "$threads" --checkpoint ck \
+      --json crash.json > crash.log 2>&1)
+  status=$?
+  set -e
+  if [[ $status -ne 42 ]]; then
+    echo "error: expected the aborted run to exit 42, got $status" >&2
+    tail -n 20 "$case_dir/crash/crash.log" >&2
+    exit 1
+  fi
+
+  (cd "$case_dir/crash" && "$bin" "${axes[@]}" --threads "$threads" \
+      --checkpoint ck --resume --json resume.json > resume.log)
+
+  python3 "$checker" --compare-resume \
+      "$case_dir/full/full.json" "$case_dir/crash/resume.json"
+  for csv in population_scale.csv population_scale_per_as.csv; do
+    if ! cmp "$case_dir/full/$csv" "$case_dir/crash/$csv"; then
+      echo "error: $csv differs between uninterrupted and resumed runs" >&2
+      exit 1
+    fi
+  done
+  echo "    CSVs byte-identical after kill+resume"
+done
+
+echo "==> population_scale --threads 1 vs --threads 4"
+python3 "$checker" --compare "$out_dir/t1/full/full.json" "$out_dir/t4/full/full.json"
+for csv in population_scale.csv population_scale_per_as.csv; do
+  if ! cmp "$out_dir/t1/full/$csv" "$out_dir/t4/full/$csv"; then
+    echo "error: $csv differs between --threads 1 and --threads 4" >&2
+    exit 1
+  fi
+done
+
+echo
+echo "population smoke passed: the population sweep is byte-identical across"
+echo "thread counts and across kill+resume."

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/population_exposure.hpp"
 #include "exec/parallel.hpp"
 #include "obs/span.hpp"
 #include "netbase/rng.hpp"
@@ -19,26 +20,13 @@ LongTermResult SimulateLongTermExposure(const tor::Consensus& consensus,
   }
   netbase::Rng rng(params.seed);
 
-  // Mark relays malicious until the adversary owns the target bandwidth
-  // share (random order: the adversary stands up mid-sized relays, not
-  // only the biggest ones).
-  const auto& relays = consensus.relays();
-  std::vector<bool> malicious(relays.size(), false);
-  std::vector<std::size_t> order(relays.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  rng.Shuffle(order);
-  const double target =
-      params.malicious_bandwidth_fraction * static_cast<double>(consensus.TotalBandwidth());
-  double owned = 0;
+  const MaliciousMarkResult marked =
+      MarkMaliciousByBandwidth(consensus, params.malicious_bandwidth_fraction, rng);
+  const std::vector<bool>& malicious = marked.malicious;
   LongTermResult result;
-  for (std::size_t index : order) {
-    if (owned >= target) break;
-    malicious[index] = true;
-    owned += relays[index].bandwidth_kbs;
-    ++result.malicious_relays;
-    if (relays[index].IsGuard()) ++result.malicious_guards;
-    if (relays[index].IsExit()) ++result.malicious_exits;
-  }
+  result.malicious_relays = marked.relays;
+  result.malicious_guards = marked.guards;
+  result.malicious_exits = marked.exits;
 
   tor::PathSelectionConfig config;
   config.guard_set_size = std::max<std::size_t>(1, params.guard_set_size);

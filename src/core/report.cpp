@@ -10,7 +10,7 @@
 namespace quicksand::core {
 
 std::vector<ConcentrationPoint> ConcentrationCurve(
-    const std::map<bgp::AsNumber, std::size_t>& relays_per_as) {
+    std::span<const std::pair<bgp::AsNumber, std::size_t>> relays_per_as) {
   std::vector<std::size_t> counts;
   counts.reserve(relays_per_as.size());
   std::size_t total = 0;

@@ -6,9 +6,9 @@
 
 #include <cstddef>
 #include <iosfwd>
-#include <map>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bgp/path.hpp"
@@ -23,10 +23,11 @@ struct ConcentrationPoint {
   double fraction = 0;
 };
 
-/// Builds the Figure 2 (left) curve from per-AS relay counts: ASes sorted
-/// by descending count, cumulative share at every rank.
+/// Builds the Figure 2 (left) curve from per-AS relay counts (pairs of
+/// AS -> count, e.g. tor::FlatCounts items): ASes sorted by descending
+/// count, cumulative share at every rank.
 [[nodiscard]] std::vector<ConcentrationPoint> ConcentrationCurve(
-    const std::map<bgp::AsNumber, std::size_t>& relays_per_as);
+    std::span<const std::pair<bgp::AsNumber, std::size_t>> relays_per_as);
 
 /// Fraction of relays hosted by the top `as_count` ASes (reads the curve).
 [[nodiscard]] double TopAsShare(std::span<const ConcentrationPoint> curve,

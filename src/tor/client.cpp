@@ -6,23 +6,18 @@ TorClient::TorClient(bgp::AsNumber client_as, const PathSelector& selector,
                      netbase::Rng rng, ClientConfig config,
                      const CircuitConstraint* constraint)
     : client_as_(client_as),
-      selector_(&selector),
-      constraint_(constraint),
-      config_(config),
-      rng_(rng),
-      guard_set_(selector.PickGuardSet(rng_, {}, constraint)) {}
+      population_(selector, PopulationConfig{config.guard_lifetime_s},
+                  /*client_as_ids=*/{0}, /*rngs=*/{rng}, constraint) {}
 
 bool TorClient::MaybeRotateGuards(netbase::SimTime now) {
-  if (now - guards_chosen_at_ < config_.guard_lifetime_s) return false;
-  guard_set_ = selector_->PickGuardSet(rng_, {}, constraint_);
-  guards_chosen_at_ = now;
-  ++rotations_;
-  return true;
+  return population_.RotateExpired(now) > 0;
 }
 
 Circuit TorClient::Connect(netbase::SimTime now) {
   MaybeRotateGuards(now);
-  return selector_->BuildCircuit(guard_set_, rng_, constraint_);
+  Circuit circuit;
+  population_.BuildCircuits({&circuit, 1});
+  return circuit;
 }
 
 }  // namespace quicksand::tor

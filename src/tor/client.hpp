@@ -6,6 +6,11 @@
 // kept for about a month (with a proposal to extend to 9 months), so a
 // client's circuits keep entering the network at the same few relays while
 // the AS-level paths underneath them keep changing.
+//
+// TorClient is the scalar adapter over tor::ClientPopulation: a client is
+// a one-client population shard, so the scalar API and the vectorized
+// sweep are the same code path for N=1 (the adapter-equivalence test in
+// tests/tor/population_test.cpp holds by construction).
 
 #include <cstdint>
 #include <vector>
@@ -14,6 +19,7 @@
 #include "netbase/rng.hpp"
 #include "netbase/sim_time.hpp"
 #include "tor/path_selection.hpp"
+#include "tor/population.hpp"
 
 namespace quicksand::tor {
 
@@ -32,10 +38,12 @@ class TorClient {
             const CircuitConstraint* constraint = nullptr);
 
   [[nodiscard]] bgp::AsNumber client_as() const noexcept { return client_as_; }
-  [[nodiscard]] const std::vector<std::size_t>& guard_set() const noexcept {
-    return guard_set_;
+  [[nodiscard]] std::vector<std::size_t> guard_set() const {
+    return population_.GuardSetOf(0);
   }
-  [[nodiscard]] std::size_t rotations() const noexcept { return rotations_; }
+  [[nodiscard]] std::size_t rotations() const noexcept {
+    return static_cast<std::size_t>(population_.rotations());
+  }
 
   /// Rotates the guard set if its lifetime has expired at `now`.
   /// Returns true if a rotation happened.
@@ -47,13 +55,7 @@ class TorClient {
 
  private:
   bgp::AsNumber client_as_;
-  const PathSelector* selector_;
-  const CircuitConstraint* constraint_;
-  ClientConfig config_;
-  netbase::Rng rng_;
-  std::vector<std::size_t> guard_set_;
-  netbase::SimTime guards_chosen_at_{};
-  std::size_t rotations_ = 0;
+  ClientPopulation population_;
 };
 
 }  // namespace quicksand::tor

@@ -35,28 +35,28 @@ T ParseNumberOrThrow(std::string_view text, std::size_t line_number, const char*
 
 }  // namespace
 
-std::vector<const Relay*> Consensus::Guards() const {
-  std::vector<const Relay*> out;
-  for (const Relay& r : relays_) {
-    if (r.IsGuard()) out.push_back(&r);
+void Consensus::BuildIndex() {
+  guards_.clear();
+  exits_.clear();
+  guard_exits_.clear();
+  guard_indices_.clear();
+  exit_indices_.clear();
+  guard_exit_indices_.clear();
+  for (std::size_t i = 0; i < relays_.size(); ++i) {
+    const Relay& r = relays_[i];
+    if (r.IsGuard()) {
+      guards_.push_back(&r);
+      guard_indices_.push_back(i);
+    }
+    if (r.IsExit()) {
+      exits_.push_back(&r);
+      exit_indices_.push_back(i);
+    }
+    if (r.IsGuard() && r.IsExit()) {
+      guard_exits_.push_back(&r);
+      guard_exit_indices_.push_back(i);
+    }
   }
-  return out;
-}
-
-std::vector<const Relay*> Consensus::Exits() const {
-  std::vector<const Relay*> out;
-  for (const Relay& r : relays_) {
-    if (r.IsExit()) out.push_back(&r);
-  }
-  return out;
-}
-
-std::vector<const Relay*> Consensus::GuardExits() const {
-  std::vector<const Relay*> out;
-  for (const Relay& r : relays_) {
-    if (r.IsGuard() && r.IsExit()) out.push_back(&r);
-  }
-  return out;
 }
 
 std::uint64_t Consensus::TotalBandwidth() const noexcept {

@@ -7,8 +7,15 @@
 //
 //   consensus <valid-after-seconds>
 //   r <nickname> <ip> <orport> <bandwidth-kb/s> <Flag> <Flag> ...
+//
+// Flag-partitioned relay lists (Guards/Exits/GuardExits and their index
+// variants) are built once at construction and served as const references;
+// the relay list itself is immutable after construction, so the cache can
+// never go stale. Copies rebuild the pointer cache against their own relay
+// storage; moves keep it valid because the relay heap buffer moves intact.
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -22,18 +29,55 @@ class Consensus {
  public:
   Consensus() = default;
   Consensus(netbase::SimTime valid_after, std::vector<Relay> relays)
-      : valid_after_(valid_after), relays_(std::move(relays)) {}
+      : valid_after_(valid_after), relays_(std::move(relays)) {
+    BuildIndex();
+  }
+
+  Consensus(const Consensus& other)
+      : valid_after_(other.valid_after_), relays_(other.relays_) {
+    BuildIndex();
+  }
+  Consensus& operator=(const Consensus& other) {
+    if (this != &other) {
+      valid_after_ = other.valid_after_;
+      relays_ = other.relays_;
+      BuildIndex();
+    }
+    return *this;
+  }
+  // Moves steal the relay vector's heap buffer, so cached pointers into it
+  // remain valid in the destination.
+  Consensus(Consensus&&) noexcept = default;
+  Consensus& operator=(Consensus&&) noexcept = default;
 
   [[nodiscard]] netbase::SimTime valid_after() const noexcept { return valid_after_; }
   [[nodiscard]] const std::vector<Relay>& relays() const noexcept { return relays_; }
   [[nodiscard]] std::size_t size() const noexcept { return relays_.size(); }
 
   /// Relays carrying the Guard flag.
-  [[nodiscard]] std::vector<const Relay*> Guards() const;
+  [[nodiscard]] const std::vector<const Relay*>& Guards() const noexcept {
+    return guards_;
+  }
   /// Relays carrying the Exit flag.
-  [[nodiscard]] std::vector<const Relay*> Exits() const;
+  [[nodiscard]] const std::vector<const Relay*>& Exits() const noexcept {
+    return exits_;
+  }
   /// Relays carrying both Guard and Exit.
-  [[nodiscard]] std::vector<const Relay*> GuardExits() const;
+  [[nodiscard]] const std::vector<const Relay*>& GuardExits() const noexcept {
+    return guard_exits_;
+  }
+
+  /// Index (into relays()) variants of the flag partitions, for callers
+  /// that address relays positionally (SelectionCore, TorPrefixMap).
+  [[nodiscard]] std::span<const std::size_t> GuardIndices() const noexcept {
+    return guard_indices_;
+  }
+  [[nodiscard]] std::span<const std::size_t> ExitIndices() const noexcept {
+    return exit_indices_;
+  }
+  [[nodiscard]] std::span<const std::size_t> GuardExitIndices() const noexcept {
+    return guard_exit_indices_;
+  }
 
   /// Sum of bandwidth weights over all relays.
   [[nodiscard]] std::uint64_t TotalBandwidth() const noexcept;
@@ -46,8 +90,16 @@ class Consensus {
   [[nodiscard]] static Consensus Parse(std::string_view text);
 
  private:
+  void BuildIndex();
+
   netbase::SimTime valid_after_{};
   std::vector<Relay> relays_;
+  std::vector<const Relay*> guards_;
+  std::vector<const Relay*> exits_;
+  std::vector<const Relay*> guard_exits_;
+  std::vector<std::size_t> guard_indices_;
+  std::vector<std::size_t> exit_indices_;
+  std::vector<std::size_t> guard_exit_indices_;
 };
 
 }  // namespace quicksand::tor

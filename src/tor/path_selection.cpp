@@ -28,72 +28,29 @@ struct PathMetrics {
 }  // namespace
 
 PathSelector::PathSelector(const Consensus& consensus, PathSelectionConfig config)
-    : consensus_(&consensus), config_(config) {
-  const auto& relays = consensus.relays();
-  for (std::size_t i = 0; i < relays.size(); ++i) {
-    if (!relays[i].IsRunning()) continue;
-    running_.push_back(i);
-    if (relays[i].IsGuard()) {
-      guards_.push_back(i);
-      guard_bandwidth_total_ += relays[i].bandwidth_kbs;
-    }
-    if (relays[i].IsExit()) {
-      exits_.push_back(i);
-      exit_bandwidth_total_ += relays[i].bandwidth_kbs;
-    }
-  }
-}
-
-bool PathSelector::SharesSlash16(std::size_t a, std::size_t b) const {
-  const auto& relays = consensus_->relays();
-  return (relays[a].address.value() >> 16) == (relays[b].address.value() >> 16);
-}
-
-std::optional<std::size_t> PathSelector::WeightedPick(
-    std::span<const std::size_t> candidates, netbase::Rng& rng,
-    std::span<const double> weight_multipliers,
-    std::span<const std::size_t> exclude) const {
-  const auto& relays = consensus_->relays();
-  std::vector<double> weights;
-  weights.reserve(candidates.size());
-  double total = 0;
-  for (std::size_t index : candidates) {
-    double weight = relays[index].bandwidth_kbs;
-    if (!weight_multipliers.empty()) weight *= weight_multipliers[index];
-    const bool excluded =
-        std::find(exclude.begin(), exclude.end(), index) != exclude.end() ||
-        (config_.enforce_distinct_slash16 &&
-         std::any_of(exclude.begin(), exclude.end(),
-                     [&](std::size_t e) { return SharesSlash16(index, e); }));
-    if (excluded) weight = 0;
-    weights.push_back(weight);
-    total += weight;
-  }
-  if (total <= 0) return std::nullopt;
-  return candidates[rng.WeightedIndex(weights)];
-}
+    : core_(consensus, config) {}
 
 std::vector<std::size_t> PathSelector::PickGuardSet(
     netbase::Rng& rng, std::span<const double> weight_multipliers,
     const CircuitConstraint* constraint) const {
   if (!weight_multipliers.empty() &&
-      weight_multipliers.size() != consensus_->relays().size()) {
+      weight_multipliers.size() != consensus().relays().size()) {
     throw std::invalid_argument(
         "PickGuardSet: weight_multipliers must align with the relay list");
   }
   std::vector<std::size_t> candidates;
-  candidates.reserve(guards_.size());
-  for (std::size_t index : guards_) {
+  candidates.reserve(core_.guards().size());
+  for (std::size_t index : core_.guards()) {
     if (constraint == nullptr || constraint->AllowGuard(index)) {
       candidates.push_back(index);
     }
   }
-  if (candidates.size() < config_.guard_set_size) {
+  if (candidates.size() < config().guard_set_size) {
     throw std::runtime_error("PickGuardSet: fewer eligible guards than guard_set_size");
   }
   std::vector<std::size_t> chosen;
-  while (chosen.size() < config_.guard_set_size) {
-    const auto pick = WeightedPick(candidates, rng, weight_multipliers, chosen);
+  while (chosen.size() < config().guard_set_size) {
+    const auto pick = core_.ScanPick(candidates, rng, weight_multipliers, chosen);
     if (!pick) {
       throw std::runtime_error("PickGuardSet: guard candidates exhausted (weights/16s)");
     }
@@ -118,17 +75,17 @@ Circuit PathSelector::BuildCircuit(std::span<const std::size_t> guard_set,
 
     // Exit: bandwidth-weighted among exits, excluding the guard.
     const std::size_t exclude_guard[] = {guard};
-    const auto exit = WeightedPick(exits_, rng, {}, exclude_guard);
+    const auto exit = core_.ScanPick(core_.exits(), rng, {}, exclude_guard);
     if (!exit) continue;
     if (constraint != nullptr && !constraint->AllowExitWithGuard(*exit, guard)) continue;
 
     // Middle: bandwidth-weighted among all running relays.
     const std::size_t exclude_both[] = {guard, *exit};
-    const auto middle = WeightedPick(running_, rng, {}, exclude_both);
+    const auto middle = core_.ScanPick(core_.running(), rng, {}, exclude_both);
     if (!middle) continue;
 
     Circuit circuit{guard, *middle, *exit};
-    ValidateCircuit(circuit, *consensus_);
+    ValidateCircuit(circuit, consensus());
     metrics.circuits_built.Increment();
     return circuit;
   }
@@ -137,21 +94,21 @@ Circuit PathSelector::BuildCircuit(std::span<const std::size_t> guard_set,
 }
 
 double PathSelector::GuardSelectionProbability(std::size_t relay_index) const {
-  const auto& relays = consensus_->relays();
+  const auto& relays = consensus().relays();
   if (relay_index >= relays.size() || !relays[relay_index].IsGuard() ||
-      !relays[relay_index].IsRunning() || guard_bandwidth_total_ <= 0) {
+      !relays[relay_index].IsRunning() || core_.guard_bandwidth_total() <= 0) {
     return 0;
   }
-  return relays[relay_index].bandwidth_kbs / guard_bandwidth_total_;
+  return relays[relay_index].bandwidth_kbs / core_.guard_bandwidth_total();
 }
 
 double PathSelector::ExitSelectionProbability(std::size_t relay_index) const {
-  const auto& relays = consensus_->relays();
+  const auto& relays = consensus().relays();
   if (relay_index >= relays.size() || !relays[relay_index].IsExit() ||
-      !relays[relay_index].IsRunning() || exit_bandwidth_total_ <= 0) {
+      !relays[relay_index].IsRunning() || core_.exit_bandwidth_total() <= 0) {
     return 0;
   }
-  return relays[relay_index].bandwidth_kbs / exit_bandwidth_total_;
+  return relays[relay_index].bandwidth_kbs / core_.exit_bandwidth_total();
 }
 
 }  // namespace quicksand::tor

@@ -9,6 +9,13 @@
 // come from a small persistent guard set, and circuits obey Tor's
 // distinctness and /16 constraints. Countermeasure policies (Section 5)
 // plug in through CircuitConstraint and per-guard weight multipliers.
+//
+// PathSelector is the scalar adapter over tor::SelectionCore
+// (tor/population.hpp): the candidate partitions, /16 keys, and the
+// cumulative-scan draw live in the shared core, and every draw here uses
+// the core's ScanPick — the exact pre-refactor FP sequence, so outputs
+// stay bit-identical. Population-scale sweeps use the same core through
+// ClientPopulation's O(1) alias draws instead.
 
 #include <cstddef>
 #include <memory>
@@ -19,34 +26,9 @@
 #include "netbase/rng.hpp"
 #include "tor/circuit.hpp"
 #include "tor/consensus.hpp"
+#include "tor/population.hpp"
 
 namespace quicksand::tor {
-
-/// Pluggable circuit-building policy hook (used by the Section 5
-/// countermeasures). Default-allows everything.
-class CircuitConstraint {
- public:
-  virtual ~CircuitConstraint() = default;
-  /// May this relay serve as the guard of a new circuit?
-  [[nodiscard]] virtual bool AllowGuard(std::size_t relay_index) const {
-    (void)relay_index;
-    return true;
-  }
-  /// May this exit be combined with this guard?
-  [[nodiscard]] virtual bool AllowExitWithGuard(std::size_t exit_index,
-                                                std::size_t guard_index) const {
-    (void)exit_index;
-    (void)guard_index;
-    return true;
-  }
-};
-
-struct PathSelectionConfig {
-  /// Enforce Tor's rule that no two circuit relays share an IPv4 /16.
-  bool enforce_distinct_slash16 = true;
-  /// Number of guards in a client's guard set (Tor used 3 in 2014).
-  std::size_t guard_set_size = 3;
-};
 
 /// Bandwidth-weighted relay and circuit selection over one consensus.
 /// The consensus must outlive the selector.
@@ -54,15 +36,22 @@ class PathSelector {
  public:
   explicit PathSelector(const Consensus& consensus, PathSelectionConfig config = {});
 
-  [[nodiscard]] const Consensus& consensus() const noexcept { return *consensus_; }
-  [[nodiscard]] const PathSelectionConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const Consensus& consensus() const noexcept {
+    return core_.consensus();
+  }
+  [[nodiscard]] const PathSelectionConfig& config() const noexcept {
+    return core_.config();
+  }
+
+  /// The shared vectorized core (ClientPopulation builds on it).
+  [[nodiscard]] const SelectionCore& core() const noexcept { return core_; }
 
   /// Indices of relays eligible for each position.
   [[nodiscard]] std::span<const std::size_t> GuardCandidates() const noexcept {
-    return guards_;
+    return core_.guards();
   }
   [[nodiscard]] std::span<const std::size_t> ExitCandidates() const noexcept {
-    return exits_;
+    return core_.exits();
   }
 
   /// Draws a guard set: `guard_set_size` distinct guards, bandwidth-
@@ -89,20 +78,7 @@ class PathSelector {
   [[nodiscard]] double ExitSelectionProbability(std::size_t relay_index) const;
 
  private:
-  [[nodiscard]] std::optional<std::size_t> WeightedPick(
-      std::span<const std::size_t> candidates, netbase::Rng& rng,
-      std::span<const double> weight_multipliers,
-      std::span<const std::size_t> exclude) const;
-
-  [[nodiscard]] bool SharesSlash16(std::size_t a, std::size_t b) const;
-
-  const Consensus* consensus_;
-  PathSelectionConfig config_;
-  std::vector<std::size_t> guards_;
-  std::vector<std::size_t> exits_;
-  std::vector<std::size_t> running_;
-  double guard_bandwidth_total_ = 0;
-  double exit_bandwidth_total_ = 0;
+  SelectionCore core_;
 };
 
 }  // namespace quicksand::tor

@@ -18,7 +18,7 @@ TorPrefixMap TorPrefixMap::Build(const Consensus& consensus,
       ++map.unmapped_;
       continue;
     }
-    map.entry_of_relay_.emplace(i, map.entries_.size());
+    map.entry_of_relay_.push_back({i, map.entries_.size()});
     map.entries_.push_back({i, match->first, *match->second});
   }
   return map;
@@ -34,37 +34,45 @@ std::unordered_set<Prefix> TorPrefixMap::TorPrefixes(const Consensus& consensus)
   return out;
 }
 
-std::map<Prefix, std::size_t> TorPrefixMap::GuardExitRelaysPerPrefix(
+FlatCounts<Prefix> TorPrefixMap::GuardExitRelaysPerPrefix(
     const Consensus& consensus) const {
-  std::map<Prefix, std::size_t> out;
+  std::vector<Prefix> keys;
   const auto& relays = consensus.relays();
   for (const RelayPrefixEntry& entry : entries_) {
     const Relay& relay = relays[entry.relay_index];
-    if (relay.IsGuard() || relay.IsExit()) ++out[entry.prefix];
+    if (relay.IsGuard() || relay.IsExit()) keys.push_back(entry.prefix);
   }
-  return out;
+  return FlatCounts<Prefix>::Count(std::move(keys));
 }
 
-std::map<bgp::AsNumber, std::size_t> TorPrefixMap::GuardExitRelaysPerAs(
+FlatCounts<bgp::AsNumber> TorPrefixMap::GuardExitRelaysPerAs(
     const Consensus& consensus) const {
-  std::map<bgp::AsNumber, std::size_t> out;
+  std::vector<bgp::AsNumber> keys;
   const auto& relays = consensus.relays();
   for (const RelayPrefixEntry& entry : entries_) {
     const Relay& relay = relays[entry.relay_index];
-    if (relay.IsGuard() || relay.IsExit()) ++out[entry.origin];
+    if (relay.IsGuard() || relay.IsExit()) keys.push_back(entry.origin);
   }
-  return out;
+  return FlatCounts<bgp::AsNumber>::Count(std::move(keys));
+}
+
+const RelayPrefixEntry* TorPrefixMap::EntryOfRelay(std::size_t relay_index) const {
+  const auto it = std::lower_bound(
+      entry_of_relay_.begin(), entry_of_relay_.end(), relay_index,
+      [](const auto& item, std::size_t key) { return item.first < key; });
+  if (it == entry_of_relay_.end() || it->first != relay_index) return nullptr;
+  return &entries_[it->second];
 }
 
 bgp::AsNumber TorPrefixMap::OriginOfRelay(std::size_t relay_index) const {
-  const auto it = entry_of_relay_.find(relay_index);
-  return it == entry_of_relay_.end() ? 0 : entries_[it->second].origin;
+  const RelayPrefixEntry* entry = EntryOfRelay(relay_index);
+  return entry == nullptr ? 0 : entry->origin;
 }
 
 std::optional<Prefix> TorPrefixMap::PrefixOfRelay(std::size_t relay_index) const {
-  const auto it = entry_of_relay_.find(relay_index);
-  if (it == entry_of_relay_.end()) return std::nullopt;
-  return entries_[it->second].prefix;
+  const RelayPrefixEntry* entry = EntryOfRelay(relay_index);
+  if (entry == nullptr) return std::nullopt;
+  return entry->prefix;
 }
 
 }  // namespace quicksand::tor

@@ -3,11 +3,20 @@
 // Mapping Tor relays onto announced BGP prefixes — the paper's "Tor
 // prefix" identification step: "For each guard and exit relay, we
 // identified the most specific BGP prefix that contained it."
+//
+// Aggregations are served as sorted flat vectors (FlatCounts) rather than
+// node-based maps: the key sets are small and read-heavy, so one sorted
+// contiguous array beats per-node allocation, and iteration order (sorted
+// by key) is identical to the std::map behaviour it replaced — downstream
+// CSVs and curves are unchanged.
 
+#include <algorithm>
 #include <cstddef>
-#include <map>
+#include <optional>
 #include <span>
+#include <stdexcept>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "bgp/topology_gen.hpp"
@@ -16,6 +25,62 @@
 #include "tor/consensus.hpp"
 
 namespace quicksand::tor {
+
+/// Sorted flat key -> count aggregation. Iterates in ascending key order
+/// (matching std::map); lookups are binary searches.
+template <typename Key>
+class FlatCounts {
+ public:
+  using value_type = std::pair<Key, std::size_t>;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  FlatCounts() = default;
+
+  /// Builds from an unsorted key stream, counting duplicates.
+  [[nodiscard]] static FlatCounts Count(std::vector<Key> keys) {
+    std::sort(keys.begin(), keys.end());
+    FlatCounts out;
+    for (std::size_t i = 0; i < keys.size();) {
+      std::size_t j = i;
+      while (j < keys.size() && keys[j] == keys[i]) ++j;
+      out.items_.push_back({keys[i], j - i});
+      i = j;
+    }
+    return out;
+  }
+
+  [[nodiscard]] const_iterator begin() const noexcept { return items_.begin(); }
+  [[nodiscard]] const_iterator end() const noexcept { return items_.end(); }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+
+  /// The underlying sorted (key, count) pairs.
+  [[nodiscard]] std::span<const value_type> items() const noexcept { return items_; }
+
+  [[nodiscard]] const_iterator find(const Key& key) const {
+    const auto it = LowerBound(key);
+    return (it != items_.end() && it->first == key) ? it : items_.end();
+  }
+
+  /// Count for `key`; throws std::out_of_range if absent (std::map::at
+  /// contract, which call sites rely on).
+  [[nodiscard]] std::size_t at(const Key& key) const {
+    const auto it = LowerBound(key);
+    if (it == items_.end() || !(it->first == key)) {
+      throw std::out_of_range("FlatCounts::at: key not present");
+    }
+    return it->second;
+  }
+
+ private:
+  [[nodiscard]] const_iterator LowerBound(const Key& key) const {
+    return std::lower_bound(
+        items_.begin(), items_.end(), key,
+        [](const value_type& item, const Key& k) { return item.first < k; });
+  }
+
+  std::vector<value_type> items_;
+};
 
 /// One relay resolved to its covering announcement.
 struct RelayPrefixEntry {
@@ -47,11 +112,11 @@ class TorPrefixMap {
 
   /// Guard/exit relay count per Tor prefix (the paper's skew statistic:
   /// median 1, 75th percentile 2, max 33).
-  [[nodiscard]] std::map<netbase::Prefix, std::size_t> GuardExitRelaysPerPrefix(
+  [[nodiscard]] FlatCounts<netbase::Prefix> GuardExitRelaysPerPrefix(
       const Consensus& consensus) const;
 
   /// Guard/exit relay count per origin AS (Figure 2 left input).
-  [[nodiscard]] std::map<bgp::AsNumber, std::size_t> GuardExitRelaysPerAs(
+  [[nodiscard]] FlatCounts<bgp::AsNumber> GuardExitRelaysPerAs(
       const Consensus& consensus) const;
 
   /// Origin AS of the prefix covering a relay, or 0 if unmapped.
@@ -62,8 +127,12 @@ class TorPrefixMap {
       std::size_t relay_index) const;
 
  private:
+  [[nodiscard]] const RelayPrefixEntry* EntryOfRelay(std::size_t relay_index) const;
+
   std::vector<RelayPrefixEntry> entries_;
-  std::map<std::size_t, std::size_t> entry_of_relay_;  // relay index -> entries_ slot
+  // relay index -> entries_ slot, sorted by relay index (Build inserts in
+  // ascending relay order, so no sort pass is needed).
+  std::vector<std::pair<std::size_t, std::size_t>> entry_of_relay_;
   std::size_t unmapped_ = 0;
 };
 

@@ -8,7 +8,7 @@ namespace quicksand::core {
 namespace {
 
 TEST(ConcentrationCurve, SortsByCountAndAccumulates) {
-  const std::map<bgp::AsNumber, std::size_t> per_as = {
+  const std::vector<std::pair<bgp::AsNumber, std::size_t>> per_as = {
       {100, 5}, {200, 30}, {300, 10}, {400, 55}};
   const auto curve = ConcentrationCurve(per_as);
   ASSERT_EQ(curve.size(), 4u);
@@ -24,7 +24,7 @@ TEST(ConcentrationCurve, EmptyInput) {
 }
 
 TEST(ConcentrationCurve, TopAsShareReadsCurve) {
-  const std::map<bgp::AsNumber, std::size_t> per_as = {
+  const std::vector<std::pair<bgp::AsNumber, std::size_t>> per_as = {
       {1, 40}, {2, 30}, {3, 20}, {4, 10}};
   const auto curve = ConcentrationCurve(per_as);
   EXPECT_DOUBLE_EQ(TopAsShare(curve, 1), 0.4);
